@@ -1,0 +1,77 @@
+"""Ablation: LRU vs FIFO vs RANDOM victim selection in the key cache.
+
+The paper chooses LRU so that "a virtual key which changes permission
+frequently will be mapped with a hardware key".  This ablation replays
+a skewed (hot/cold) access pattern over more groups than hardware keys
+under each policy and compares hit rates and total cycles.
+"""
+
+from repro.consts import PAGE_SIZE, PROT_READ, PROT_WRITE
+from repro.bench import Reporter, make_testbed
+
+RW = PROT_READ | PROT_WRITE
+GROUPS = 30
+ACCESSES = 600
+HOT_GROUPS = 10          # the working set that fits in the 15 keys
+HOT_FRACTION = 0.9       # 90% of accesses go to the hot set
+
+
+def _pattern():
+    """Deterministic skewed access sequence over group indices."""
+    error = 0.0
+    cold_cursor = 0
+    hot_cursor = 0
+    for _ in range(ACCESSES):
+        error += HOT_FRACTION
+        if error >= 1.0:
+            error -= 1.0
+            yield hot_cursor % HOT_GROUPS
+            hot_cursor += 1
+        else:
+            yield HOT_GROUPS + cold_cursor % (GROUPS - HOT_GROUPS)
+            cold_cursor += 1
+
+
+def run_policy(policy: str) -> tuple[float, float]:
+    bed = make_testbed(threads=1, with_libmpk=False)
+    from repro import Libmpk
+    lib = Libmpk(bed.process)
+    lib.mpk_init(bed.task, evict_rate=1.0, policy=policy)
+    for i in range(GROUPS):
+        lib.mpk_mmap(bed.task, 100 + i, PAGE_SIZE, RW)
+    start = bed.clock.snapshot()
+    for index in _pattern():
+        lib.mpk_begin(bed.task, 100 + index, RW)
+        lib.mpk_end(bed.task, 100 + index)
+    elapsed = bed.clock.snapshot() - start
+    cache = lib.cache
+    hit_rate = cache.stats_hits / (cache.stats_hits
+                                   + cache.stats_misses)
+    return hit_rate, elapsed / ACCESSES
+
+
+def run_ablation():
+    return {policy: run_policy(policy)
+            for policy in ("lru", "fifo", "random")}
+
+
+def test_ablation_eviction_policy(once):
+    results = once(run_ablation)
+    reporter = Reporter("ablation_eviction_policy")
+    reporter.header("Ablation: key-cache victim selection policy "
+                    "(skewed access, 30 groups on 15 keys)")
+    rows = [[policy, f"{hit_rate:.1%}", f"{cycles:,.0f}"]
+            for policy, (hit_rate, cycles) in results.items()]
+    reporter.table(["policy", "hit rate", "cycles/access"], rows)
+    reporter.line()
+    reporter.line("LRU keeps the hot working set cached, which is why "
+                  "the paper picks it.")
+    reporter.flush()
+
+    lru_hit, lru_cycles = results["lru"]
+    for policy in ("fifo", "random"):
+        hit, cycles = results[policy]
+        assert lru_hit >= hit, policy
+        assert lru_cycles <= cycles, policy
+    # And the advantage is material, not noise.
+    assert lru_cycles < results["fifo"][1] * 0.9

@@ -1,0 +1,58 @@
+"""Ablation: lazy (task_work + IPI) vs eager (synchronous rendezvous)
+inter-thread PKRU synchronization.
+
+§4.4 argues the naive synchronous design — message every thread and
+wait for each acknowledgement — "suffers from a high cost" and builds
+the lazy scheme instead.  This ablation measures both under growing
+thread counts, with a mix of running and sleeping siblings (sleeping
+threads are where laziness pays most: they need no IPI at all).
+"""
+
+from repro.hw.pkru import KEY_RIGHTS_NONE, KEY_RIGHTS_READ
+from repro.core.sync import do_pkey_sync
+from repro.bench import Reporter, make_testbed
+
+THREADS = [2, 4, 8, 16]
+CALLS = 50
+
+
+def run_variant(threads: int, eager: bool,
+                sleeping_fraction: float = 0.5) -> float:
+    bed = make_testbed(threads=threads, with_libmpk=False)
+    # Park a fraction of the siblings (sleeping threads).
+    to_sleep = int(len(bed.siblings) * sleeping_fraction)
+    for sibling in bed.siblings[:to_sleep]:
+        bed.kernel.scheduler.unschedule(sibling)
+    rights = [KEY_RIGHTS_READ, KEY_RIGHTS_NONE]
+
+    def one_call():
+        do_pkey_sync(bed.kernel, bed.task, 3,
+                     rights[bed.kernel.clock.events % 2], eager=eager)
+
+    return bed.measure_avg(one_call, CALLS)
+
+
+def run_ablation():
+    return [(threads, run_variant(threads, eager=False),
+             run_variant(threads, eager=True))
+            for threads in THREADS]
+
+
+def test_ablation_sync(once):
+    series = once(run_ablation)
+    reporter = Reporter("ablation_sync")
+    reporter.header("Ablation: lazy vs eager PKRU synchronization "
+                    "(cycles/call, half the siblings sleeping)")
+    rows = [[threads, f"{lazy:,.0f}", f"{eager:,.0f}",
+             f"{eager / lazy:.2f}x"]
+            for threads, lazy, eager in series]
+    reporter.table(["threads", "lazy (libmpk)", "eager (strawman)",
+                    "eager/lazy"], rows)
+    reporter.flush()
+
+    for threads, lazy, eager in series:
+        assert eager > lazy, threads
+    # The gap widens with thread count (per-sibling rendezvous cost).
+    first_ratio = series[0][2] / series[0][1]
+    last_ratio = series[-1][2] / series[-1][1]
+    assert last_ratio > first_ratio

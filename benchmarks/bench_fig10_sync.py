@@ -1,0 +1,84 @@
+"""Figure 10: inter-thread permission synchronization latency.
+
+mpk_mprotect (lazy PKRU sync: task_work + rescheduling IPIs) against
+mprotect (VMA updates + TLB shootdowns) on regions of 1..1000 pages,
+at several thread counts.
+
+Expected shape: mprotect grows linearly with the page count and with
+the thread count (more TLBs to shoot down); mpk_mprotect is flat in
+pages and grows only with threads — so the gap widens with region
+size (paper: 1.73x at one page, 3.78x at 1,000 pages).
+"""
+
+import itertools
+
+from repro.consts import PAGE_SIZE, PROT_READ, PROT_WRITE
+from repro.bench import Reporter, make_testbed
+
+RW = PROT_READ | PROT_WRITE
+PAGE_COUNTS = [1, 10, 100, 1000]
+THREAD_COUNTS = [2, 4, 8]
+CALLS = 50
+
+
+def _mpk(threads: int, pages: int) -> float:
+    bed = make_testbed(threads=threads)
+    bed.lib.mpk_mmap(bed.task, 100, pages * PAGE_SIZE, RW)
+    bed.lib.mpk_mprotect(bed.task, 100, RW)  # load the key (cache hit
+    toggle = itertools.cycle([PROT_READ, RW])  # path thereafter)
+    return bed.measure_avg(
+        lambda: bed.lib.mpk_mprotect(bed.task, 100, next(toggle)), CALLS)
+
+
+def _mprotect(threads: int, pages: int) -> float:
+    bed = make_testbed(threads=threads, with_libmpk=False)
+    addr = bed.kernel.sys_mmap(bed.task, pages * PAGE_SIZE, RW)
+    toggle = itertools.cycle([PROT_READ, RW])
+    return bed.measure_avg(
+        lambda: bed.kernel.sys_mprotect(bed.task, addr,
+                                        pages * PAGE_SIZE, next(toggle)),
+        CALLS)
+
+
+def run_fig10():
+    return {
+        threads: [(pages, _mpk(threads, pages),
+                   _mprotect(threads, pages))
+                  for pages in PAGE_COUNTS]
+        for threads in THREAD_COUNTS
+    }
+
+
+def test_fig10(once):
+    results = once(run_fig10)
+    reporter = Reporter("fig10_sync")
+    for threads, series in results.items():
+        reporter.header(f"Figure 10: inter-thread sync latency, "
+                        f"{threads} threads (cycles/call)")
+        rows = [[pages, f"{mpk:,.0f}", f"{mp:,.0f}", f"{mp / mpk:.2f}x"]
+                for pages, mpk, mp in series]
+        reporter.table(["pages", "mpk_mprotect", "mprotect", "speedup"],
+                       rows)
+    four = {pages: (mpk, mp) for pages, mpk, mp in results[4]}
+    reporter.line()
+    reporter.compare("speedup at 1 page, 4 threads (x)", 1.73,
+                     four[1][1] / four[1][0])
+    reporter.compare("speedup at 1000 pages, 4 threads (x)", 3.78,
+                     four[1000][1] / four[1000][0])
+    reporter.flush()
+    reporter.write_csv()
+
+    for threads, series in results.items():
+        by_pages = {pages: (mpk, mp) for pages, mpk, mp in series}
+        # mpk_mprotect latency is independent of the page count...
+        assert abs(by_pages[1][0] - by_pages[1000][0]) < 1.0
+        # ...mprotect grows with it...
+        assert by_pages[1000][1] > by_pages[1][1]
+        # ...so mpk wins everywhere and the gap widens with size.
+        for pages, (mpk, mp) in by_pages.items():
+            assert mp > mpk, (threads, pages)
+        assert (by_pages[1000][1] / by_pages[1000][0]
+                > by_pages[1][1] / by_pages[1][0])
+    # Both get slower as threads increase (IPIs vs shootdowns).
+    assert results[8][0][1] > results[2][0][1]  # mpk at 1 page
+    assert results[8][0][2] > results[2][0][2]  # mprotect at 1 page

@@ -1,0 +1,108 @@
+"""Figure 12: Octane scores for SpiderMonkey and ChakraCore under the
+original (mprotect) W⊕X and the two libmpk schemes.
+
+The paper's headline: both libmpk approaches beat the mprotect-based
+defence on the total score — by 0.38% / 1.26% for SpiderMonkey and
+1.01% / 4.39% for ChakraCore — with the largest per-program swings on
+Box2D (up to +31.11%, ChakraCore + key-per-process), a small
+key-per-page *loss* on SplayLatency for SpiderMonkey (-1.36%), and a
+key-per-process loss on zlib (-2.12%).
+"""
+
+from repro import Kernel, Libmpk
+from repro.apps.jit import (
+    ENGINES,
+    JsEngine,
+    KeyPerPageWx,
+    KeyPerProcessWx,
+    MprotectWx,
+)
+from repro.apps.jit.octane import (
+    OCTANE_PROGRAMS,
+    geometric_mean,
+    octane_score,
+)
+from repro.bench import Reporter
+
+BACKENDS = ("mprotect", "key-per-page", "key-per-process")
+
+
+def run_suite(engine_name: str, backend_name: str) -> dict[str, float]:
+    kernel = Kernel()
+    process = kernel.create_process()
+    task = process.main_task
+    if backend_name == "mprotect":
+        backend = MprotectWx(kernel)
+    else:
+        lib = Libmpk(process)
+        lib.mpk_init(task)
+        if backend_name == "key-per-page":
+            backend = KeyPerPageWx(kernel, lib)
+        else:
+            backend = KeyPerProcessWx(kernel, lib)
+    engine = JsEngine(kernel, process, ENGINES[engine_name], backend,
+                      cache_pages=256)
+    return {program.name: octane_score(engine.run_program(program))
+            for program in OCTANE_PROGRAMS}
+
+
+def run_fig12():
+    return {
+        engine: {backend: run_suite(engine, backend)
+                 for backend in BACKENDS}
+        for engine in ("spidermonkey", "chakracore")
+    }
+
+
+def test_fig12(once):
+    results = once(run_fig12)
+    reporter = Reporter("fig12_octane")
+    paper_totals = {
+        ("spidermonkey", "key-per-page"): 0.38,
+        ("spidermonkey", "key-per-process"): 1.26,
+        ("chakracore", "key-per-page"): 1.01,
+        ("chakracore", "key-per-process"): 4.39,
+    }
+    deltas = {}
+    for engine, suites in results.items():
+        base = suites["mprotect"]
+        reporter.header(f"Figure 12: Octane scores, {engine}")
+        rows = []
+        for name in base:
+            row = [name, f"{base[name]:,.0f}"]
+            for backend in BACKENDS[1:]:
+                score = suites[backend][name]
+                row.append(f"{score:,.0f} "
+                           f"({(score / base[name] - 1) * 100:+.2f}%)")
+            rows.append(row)
+        total_base = geometric_mean(base.values())
+        total_row = ["TOTAL", f"{total_base:,.0f}"]
+        for backend in BACKENDS[1:]:
+            total = geometric_mean(suites[backend].values())
+            delta = (total / total_base - 1) * 100
+            deltas[(engine, backend)] = delta
+            total_row.append(f"{total:,.0f} ({delta:+.2f}%)")
+        rows.append(total_row)
+        reporter.table(["program", "mprotect"] + list(BACKENDS[1:]),
+                       rows)
+    reporter.line()
+    for key, paper in paper_totals.items():
+        reporter.compare(f"{key[0]} {key[1]} total gain (%)", paper,
+                         deltas[key])
+    reporter.flush()
+    reporter.write_csv()
+
+    # Both libmpk schemes beat mprotect-based W⊕X on the total score.
+    for key, delta in deltas.items():
+        assert delta > 0, key
+    # ChakraCore benefits more than SpiderMonkey (it switches more).
+    assert (deltas[("chakracore", "key-per-process")]
+            > deltas[("spidermonkey", "key-per-process")])
+    # The per-program extremes keep their signs.
+    cc = results["chakracore"]
+    assert (cc["key-per-process"]["Box2D"]
+            > cc["mprotect"]["Box2D"] * 1.15)          # big Box2D win
+    assert cc["key-per-process"]["zlib"] < cc["mprotect"]["zlib"]
+    sm = results["spidermonkey"]
+    assert (sm["key-per-page"]["SplayLatency"]
+            < sm["mprotect"]["SplayLatency"])           # the kpp loss

@@ -1,0 +1,76 @@
+"""Figure 13: v8 — original vs SDCG vs libmpk key-per-process.
+
+v8 (of the SDCG era) ships without W⊕X; both SDCG (dedicated emitter
+process) and libmpk (key-per-process) add it.  The paper: SDCG costs
+6.68% of the Octane total, libmpk only 0.81%.
+"""
+
+from repro import Kernel, Libmpk
+from repro.apps.jit import (
+    ENGINES,
+    JsEngine,
+    KeyPerProcessWx,
+    NoWx,
+    SdcgWx,
+)
+from repro.apps.jit.octane import (
+    OCTANE_PROGRAMS,
+    geometric_mean,
+    octane_score,
+)
+from repro.bench import Reporter
+
+
+def run_suite(backend_name: str) -> dict[str, float]:
+    kernel = Kernel()
+    process = kernel.create_process()
+    task = process.main_task
+    if backend_name == "original":
+        backend = NoWx(kernel)
+    elif backend_name == "sdcg":
+        backend = SdcgWx(kernel)
+    else:
+        lib = Libmpk(process)
+        lib.mpk_init(task)
+        backend = KeyPerProcessWx(kernel, lib)
+    engine = JsEngine(kernel, process, ENGINES["v8"], backend,
+                      cache_pages=256)
+    return {program.name: octane_score(engine.run_program(program))
+            for program in OCTANE_PROGRAMS}
+
+
+def run_fig13():
+    return {name: run_suite(name)
+            for name in ("original", "sdcg", "libmpk")}
+
+
+def test_fig13(once):
+    results = once(run_fig13)
+    reporter = Reporter("fig13_v8_sdcg")
+    reporter.header("Figure 13: v8 Octane scores — original, SDCG, "
+                    "libmpk key-per-process")
+    base = results["original"]
+    rows = []
+    for name in base:
+        rows.append([
+            name,
+            f"{base[name]:,.0f}",
+            f"{results['sdcg'][name]:,.0f}",
+            f"{results['libmpk'][name]:,.0f}",
+        ])
+    totals = {k: geometric_mean(v.values()) for k, v in results.items()}
+    rows.append(["TOTAL", f"{totals['original']:,.0f}",
+                 f"{totals['sdcg']:,.0f}", f"{totals['libmpk']:,.0f}"])
+    reporter.table(["program", "original", "SDCG", "libmpk"], rows)
+
+    sdcg_overhead = (1 - totals["sdcg"] / totals["original"]) * 100
+    libmpk_overhead = (1 - totals["libmpk"] / totals["original"]) * 100
+    reporter.line()
+    reporter.compare("SDCG overhead (%)", 6.68, sdcg_overhead)
+    reporter.compare("libmpk overhead (%)", 0.81, libmpk_overhead)
+    reporter.flush()
+
+    # libmpk's W⊕X costs v8 almost nothing; SDCG costs real points.
+    assert libmpk_overhead < 2.0
+    assert sdcg_overhead > 4.0
+    assert libmpk_overhead < sdcg_overhead / 3

@@ -1,0 +1,81 @@
+"""Figure 14: Memcached throughput and unhandled connections.
+
+Four configurations (original, mpk_begin, mpk_mprotect, mprotect) with
+the paper's setup: 1 GB pre-allocated slab area, four worker threads,
+twemperf offering 250-1,000 connections/sec with 10 requests each.
+
+Paper headlines: the mpk_begin build costs ~0.01% throughput; the
+mprotect build loses ~89.56% throughput with a growing backlog of
+unhandled connections; mpk_mprotect keeps mprotect's semantics while
+outperforming it 8.1x.
+"""
+
+from repro import Kernel, Libmpk
+from repro.apps.kvstore import Memcached, PROTECTION_MODES, Twemperf
+from repro.bench import Reporter
+
+CONN_RATES = [250, 500, 750, 1000]
+WORKERS = 4
+SLAB_BYTES = 1 << 30
+
+
+def run_mode(mode: str):
+    kernel = Kernel()
+    process = kernel.create_process()
+    task = process.main_task
+    for _ in range(WORKERS - 1):
+        kernel.scheduler.schedule(process.spawn_task(), charge=False)
+    lib = None
+    if mode.startswith("mpk"):
+        lib = Libmpk(process)
+        lib.mpk_init(task)
+    store = Memcached(kernel, process, task, mode=mode, lib=lib,
+                      slab_bytes=SLAB_BYTES)
+    perf = Twemperf(store, workers=WORKERS)
+    return [perf.run(task, rate, sample_connections=6)
+            for rate in CONN_RATES]
+
+
+def run_fig14():
+    return {mode: run_mode(mode) for mode in PROTECTION_MODES}
+
+
+def test_fig14(once):
+    results = once(run_fig14)
+    reporter = Reporter("fig14_memcached")
+    reporter.header("Figure 14: Memcached under twemperf "
+                    "(1 GB slab, 4 workers)")
+    rows = []
+    for mode, series in results.items():
+        for res in series:
+            rows.append([
+                mode,
+                res.offered_conns_per_sec,
+                f"{res.handled_conns_per_sec:,.0f}",
+                f"{res.unhandled_conns_per_sec:,.0f}",
+                f"{res.throughput_mb_per_sec:,.2f}",
+            ])
+    reporter.table(["mode", "offered c/s", "handled", "unhandled",
+                    "MB/s"], rows)
+
+    cost = {mode: series[-1].cycles_per_connection
+            for mode, series in results.items()}
+    begin_overhead = (cost["mpk_begin"] / cost["none"] - 1) * 100
+    tput_drop = (1 - cost["none"] / cost["mprotect"]) * 100
+    speedup = cost["mprotect"] / cost["mpk_mprotect"]
+    reporter.line()
+    reporter.compare("mpk_begin overhead (%)", 0.01, begin_overhead)
+    reporter.compare("mprotect throughput drop (%)", 89.56, tput_drop)
+    reporter.compare("mpk_mprotect speedup over mprotect (x)", 8.1,
+                     speedup)
+    reporter.flush()
+    reporter.write_csv()
+
+    assert begin_overhead < 0.5
+    assert 80.0 < tput_drop < 95.0
+    assert 6.0 < speedup < 10.0
+    # mprotect accumulates unhandled connections at high offered rates;
+    # the others keep up everywhere.
+    assert results["mprotect"][-1].unhandled_conns_per_sec > 0
+    for mode in ("none", "mpk_begin", "mpk_mprotect"):
+        assert results[mode][-1].unhandled_conns_per_sec == 0

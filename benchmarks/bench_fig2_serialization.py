@@ -1,0 +1,50 @@
+"""Figure 2: WRPKRU serialization effect on neighbouring ADDs.
+
+W1 places N ADD instructions *before* the WRPKRU (they overlap freely);
+W2 places them *after* (they issue into the post-serialization shadow).
+The paper's observation — W2 is always slower, with the gap saturating
+once the out-of-order window refills — must hold at every N.
+"""
+
+from repro.bench import Reporter, make_testbed
+
+ADD_COUNTS = [0, 1, 2, 4, 8, 16, 24, 32, 48, 64]
+
+
+def _sequence(adds_first: bool, n: int) -> float:
+    bed = make_testbed(threads=1, with_libmpk=False)
+    core = bed.kernel.machine.core(bed.task.core_id)
+
+    def run():
+        if adds_first:
+            core.execute_adds(n)
+            core.wrpkru(0)
+        else:
+            core.wrpkru(0)
+            core.execute_adds(n)
+
+    return bed.measure(run)
+
+
+def run_fig2() -> list[tuple[int, float, float]]:
+    return [(n, _sequence(True, n), _sequence(False, n))
+            for n in ADD_COUNTS]
+
+
+def test_fig2(once):
+    series = once(run_fig2)
+    reporter = Reporter("fig2_serialization")
+    reporter.header("Figure 2: WRPKRU serialization "
+                    "(W1 = ADDs before, W2 = ADDs after)")
+    rows = [[n, f"{w1:.2f}", f"{w2:.2f}", f"{w2 - w1:+.2f}"]
+            for n, w1, w2 in series]
+    reporter.table(["#ADDs", "W1 (cycles)", "W2 (cycles)", "gap"], rows)
+    reporter.flush()
+
+    for n, w1, w2 in series:
+        if n > 0:
+            assert w2 > w1, f"W2 must be slower at N={n}"
+    # The gap saturates once N exceeds the serialization window.
+    gaps = {n: w2 - w1 for n, w1, w2 in series}
+    assert abs(gaps[32] - gaps[64]) < 1e-6
+    assert gaps[8] < gaps[32]

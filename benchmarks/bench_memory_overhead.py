@@ -1,0 +1,61 @@
+"""§6.2 "Memory overhead": libmpk's metadata footprint.
+
+Paper: each mpk_mmap() allocates 32 bytes of group metadata; the
+vkey→pkey hashmap is pre-allocated at 32 KB and "will automatically
+expand when a program invokes mpk_mmap() more than about 4,000 times".
+
+The benchmark creates thousands of groups and tracks the metadata
+footprint and the expansion point.
+"""
+
+from repro.consts import PAGE_SIZE, PROT_READ, PROT_WRITE
+from repro.core.groups import PageGroup
+from repro.core.metadata import INITIAL_REGION_BYTES, RECORD_SIZE
+from repro.bench import Reporter, make_testbed
+
+RW = PROT_READ | PROT_WRITE
+GROUP_COUNTS = [1, 100, 1000, 2048, 2500, 4000]
+
+
+def run_overhead():
+    bed = make_testbed(threads=1)
+    lib, task = bed.lib, bed.task
+    baseline = lib.memory_overhead_bytes()
+    samples = []
+    created = 0
+    for target in GROUP_COUNTS:
+        while created < target:
+            lib.mpk_mmap(task, 1000 + created, PAGE_SIZE, RW)
+            created += 1
+        samples.append((target, lib.memory_overhead_bytes(),
+                        lib.metadata.expansions))
+    return baseline, samples
+
+
+def test_memory_overhead(once):
+    baseline, samples = once(run_overhead)
+    reporter = Reporter("memory_overhead")
+    reporter.header("§6.2 memory overhead: metadata footprint vs groups")
+    reporter.line(f"baseline (hashmap region only): {baseline:,} bytes "
+                  f"(paper: 32 KB pre-allocated)")
+    rows = [[groups, f"{total:,}", f"{total - baseline - expansions * INITIAL_REGION_BYTES:,}",
+             expansions]
+            for groups, total, expansions in samples]
+    reporter.table(["groups", "total bytes", "group metadata",
+                    "region expansions"], rows)
+    reporter.flush()
+
+    assert baseline == INITIAL_REGION_BYTES
+    by_groups = dict((g, (t, e)) for g, t, e in samples)
+    # 32 bytes per group, exactly.
+    for groups, (total, expansions) in by_groups.items():
+        group_bytes = total - INITIAL_REGION_BYTES \
+            - expansions * INITIAL_REGION_BYTES
+        assert group_bytes == groups * PageGroup.METADATA_BYTES
+    # No expansion until the record area fills; expansion by the time
+    # the paper's "about 4,000" calls have happened.
+    first_capacity = INITIAL_REGION_BYTES // RECORD_SIZE
+    assert by_groups[1000][1] == 0
+    assert by_groups[min(c for c in GROUP_COUNTS
+                         if c > first_capacity)][1] >= 1
+    assert by_groups[4000][1] >= 1

@@ -1,0 +1,97 @@
+"""Table 3: the application-integration summary.
+
+Verifies, on the live application models, the key counts the paper
+reports: OpenSSL uses 1 pkey / 1 vkey; the key-per-page JIT uses all
+15 pkeys with more than 15 vkeys; the key-per-process JIT uses 1 of
+each; Memcached uses 2 pkeys / 2 vkeys (slab + hash table).
+"""
+
+from repro.consts import NUM_PKEYS
+from repro import Kernel, Libmpk
+from repro.apps.jit import ENGINES, JsEngine, KeyPerPageWx, KeyPerProcessWx
+from repro.apps.kvstore import Memcached
+from repro.apps.sslserver import HttpServer, SslLibrary
+from repro.bench import Reporter
+
+
+def _fresh(threads: int = 1):
+    kernel = Kernel()
+    process = kernel.create_process()
+    task = process.main_task
+    for _ in range(threads - 1):
+        kernel.scheduler.schedule(process.spawn_task(), charge=False)
+    lib = Libmpk(process)
+    lib.mpk_init(task)
+    return kernel, process, task, lib
+
+
+def openssl_row():
+    kernel, process, task, lib = _fresh()
+    ssl = SslLibrary(kernel, process, task, mode="libmpk", lib=lib)
+    HttpServer(kernel, process, task, ssl)
+    groups = lib.groups()
+    pkeys = {g.pkey for g in groups.values() if g.pkey is not None}
+    return ["OpenSSL", "Isolation", "Private key", len(pkeys),
+            len(groups)]
+
+
+def jit_key_per_page_row():
+    kernel, process, task, lib = _fresh()
+    backend = KeyPerPageWx(kernel, lib)
+    engine = JsEngine(kernel, process, ENGINES["chakracore"], backend,
+                      cache_pages=64)
+    for _ in range(20):  # more hot pages than hardware keys
+        addr = engine.compile_function(100)
+        engine.patch_function(addr, 2)
+    groups = lib.groups()
+    active_pkeys = {g.pkey for g in groups.values()
+                    if g.pkey is not None}
+    return ["JIT (key/page)", "W^X", "Code cache", len(active_pkeys),
+            len(groups)]
+
+
+def jit_key_per_process_row():
+    kernel, process, task, lib = _fresh()
+    backend = KeyPerProcessWx(kernel, lib)
+    engine = JsEngine(kernel, process, ENGINES["v8"], backend,
+                      cache_pages=64)
+    for _ in range(10):
+        engine.patch_function(engine.compile_function(100), 2)
+    groups = lib.groups()
+    pkeys = {g.pkey for g in groups.values() if g.pkey is not None}
+    return ["JIT (key/process)", "W^X", "Code cache", len(pkeys),
+            len(groups)]
+
+
+def memcached_row():
+    kernel, process, task, lib = _fresh()
+    store = Memcached(kernel, process, task, mode="mpk_begin", lib=lib,
+                      slab_bytes=8 << 20, hash_buckets=1 << 12)
+    store.set(task, b"k", b"v")
+    groups = lib.groups()
+    pkeys = {g.pkey for g in groups.values() if g.pkey is not None}
+    return ["Memcached", "Isolation", "Slab, hashtable", len(pkeys),
+            len(groups)]
+
+
+def run_table3():
+    return [openssl_row(), jit_key_per_page_row(),
+            jit_key_per_process_row(), memcached_row()]
+
+
+def test_table3(once):
+    rows = once(run_table3)
+    reporter = Reporter("table3_apps")
+    reporter.header("Table 3: libmpk application integrations")
+    reporter.table(["application", "protection", "protected data",
+                    "#pkeys", "#vkeys"], rows)
+    reporter.flush()
+
+    by_name = {row[0]: row for row in rows}
+    assert by_name["OpenSSL"][3] == 1 and by_name["OpenSSL"][4] == 1
+    # Key-per-page: every hardware key in play, more vkeys than keys.
+    assert by_name["JIT (key/page)"][3] == NUM_PKEYS - 1
+    assert by_name["JIT (key/page)"][4] > NUM_PKEYS - 1
+    assert by_name["JIT (key/process)"][3] == 1
+    assert by_name["JIT (key/process)"][4] == 1
+    assert by_name["Memcached"][3] == 2 and by_name["Memcached"][4] == 2

@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+Each benchmark runs a deterministic simulated experiment exactly once
+(`rounds=1, iterations=1`): the numbers that matter are *simulated
+cycles*, printed as paper-style tables by the Reporter and archived
+under ``benchmarks/results/`` — pytest-benchmark's wall-clock column
+only reflects how long the simulation took to execute on the host.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run ``fn`` exactly once under pytest-benchmark."""
+
+    def _once(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _once

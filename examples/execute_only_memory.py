@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Execute-only memory: the kernel's broken version vs libmpk's (§3.3).
+
+Linux (4.9+) implements mprotect(PROT_EXEC) with a protection key —
+but only updates the *calling thread's* PKRU.  A sibling thread whose
+PKRU happens to permit the key (it legitimately set its own register)
+can read the "execute-only" code: the semantic gap between MPK's
+thread-local registers and mprotect's process-wide promise.
+
+libmpk's mpk_mprotect(PROT_EXEC) routes the group through a reserved
+hardware key and synchronizes the denial to *every* thread with
+do_pkey_sync, restoring the promise.
+
+Run:  python examples/execute_only_memory.py
+"""
+
+from repro import (
+    Kernel,
+    Libmpk,
+    PAGE_SIZE,
+    PROT_EXEC,
+    PROT_READ,
+    PROT_WRITE,
+)
+from repro.hw.pkru import PKRU
+
+RW = PROT_READ | PROT_WRITE
+SECRET_CODE = b"\x48\x31\xc0\x48\xff\xc0\xc3"  # xor rax,rax; inc; ret
+
+
+def kernel_execute_only():
+    print("== kernel mprotect(PROT_EXEC): the broken promise ==")
+    kernel = Kernel()
+    process = kernel.create_process()
+    writer = process.main_task
+    sibling = process.spawn_task()
+    kernel.scheduler.schedule(sibling, charge=False)
+    # The sibling configured its own PKRU earlier (a perfectly legal
+    # userspace action — e.g. it uses MPK for its own purposes).
+    sibling.wrpkru(PKRU.allow_all().value)
+
+    addr = kernel.sys_mmap(writer, PAGE_SIZE, RW)
+    writer.write(addr, SECRET_CODE)
+    kernel.sys_mprotect(writer, addr, PAGE_SIZE, PROT_EXEC)
+
+    print("caller reads own XO page  :", writer.try_read(addr, 7))
+    print("caller executes it        :", writer.fetch(addr, 7).hex())
+    leaked = sibling.try_read(addr, 7)
+    print("sibling reads the XO page :",
+          leaked.hex() if leaked else None,
+          "<-- the secret code leaks!" if leaked else "")
+    print()
+
+
+def libmpk_execute_only():
+    print("== libmpk mpk_mprotect(PROT_EXEC): the promise kept ==")
+    kernel = Kernel()
+    process = kernel.create_process()
+    writer = process.main_task
+    sibling = process.spawn_task()
+    kernel.scheduler.schedule(sibling, charge=False)
+    sibling.wrpkru(PKRU.allow_all().value)  # same head start
+
+    lib = Libmpk(process)
+    lib.mpk_init(writer)
+    CODE = 100
+    addr = lib.mpk_mmap(writer, CODE, PAGE_SIZE, RW)
+    lib.mpk_mprotect(writer, CODE, RW)
+    writer.write(addr, SECRET_CODE)
+    lib.mpk_mprotect(writer, CODE, PROT_EXEC)
+
+    print("caller reads own XO page  :", writer.try_read(addr, 7))
+    print("caller executes it        :", writer.fetch(addr, 7).hex())
+    print("sibling reads the XO page :", sibling.try_read(addr, 7),
+          "(do_pkey_sync revoked every thread)")
+    print("sibling executes it       :", sibling.fetch(addr, 7).hex())
+    print("reserved execute-only key :", lib.exec_only_pkey)
+
+
+def main():
+    kernel_execute_only()
+    libmpk_execute_only()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""JIT W⊕X: the code-cache race condition and libmpk's fix (§5.2/§6.1).
+
+Two ChakraCore-model engines protect their JIT code cache differently:
+
+* mprotect-based W⊕X — the page is writable *process-wide* while the
+  compiler patches it, so a compromised sibling thread wins the race
+  and plants shellcode (SDCG's attack).
+* libmpk one-key-per-process — write access exists only in the JIT
+  thread's PKRU; the attacker's racing write dies with a pkey fault.
+
+The demo then compares the cost side: permission-switch cycles spent
+by each backend on the same compilation workload.
+
+Run:  python examples/jit_wx_demo.py
+"""
+
+from repro import Kernel, Libmpk
+from repro.apps.jit import (
+    ENGINES,
+    JsEngine,
+    KeyPerProcessWx,
+    MprotectWx,
+)
+from repro.security import jit_race_attack
+
+
+def build(backend_name: str):
+    kernel = Kernel()
+    process = kernel.create_process()
+    task = process.main_task
+    if backend_name == "mprotect":
+        backend = MprotectWx(kernel)
+    else:
+        lib = Libmpk(process)
+        lib.mpk_init(task)
+        backend = KeyPerProcessWx(kernel, lib)
+    engine = JsEngine(kernel, process, ENGINES["chakracore"], backend)
+    attacker = process.spawn_task()
+    kernel.scheduler.schedule(attacker, charge=False)
+    return engine, attacker
+
+
+def race_demo():
+    print("== the race-condition attack ==")
+    for backend_name in ("mprotect", "libmpk"):
+        engine, attacker = build(backend_name)
+        result = jit_race_attack(engine, attacker)
+        verdict = "SHELLCODE PLANTED" if result.succeeded else "blocked"
+        print(f"{backend_name:>9s} W^X: {verdict} - {result.detail}")
+    print()
+
+
+def cost_demo():
+    print("== permission-switch cost on the same JIT workload ==")
+    for backend_name in ("mprotect", "libmpk"):
+        engine, _ = build(backend_name)
+        for _ in range(20):
+            addr = engine.compile_function(300)
+            engine.patch_function(addr, times=8)
+            engine.execute_native(addr, 300, iterations=50)
+        print(f"{backend_name:>9s}: {engine.backend.switch_cycles:>12,.0f} "
+              f"cycles in permission switches "
+              f"({engine.backend.emissions} emissions)")
+
+
+def main():
+    race_demo()
+    cost_demo()
+
+
+if __name__ == "__main__":
+    main()

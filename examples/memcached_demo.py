@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Protecting gigabytes: the Memcached case study (§5.3, Figure 14).
+
+Builds the Memcached model in its four protection configurations and
+drives each with the twemperf-like load generator.  The point the
+paper makes: libmpk's cost is *independent of the protected size* —
+wrapping every access of a 1 GB slab area costs a WRPKRU, while
+mprotect pays for every one of the 262,144 pages, every time.
+
+Run:  python examples/memcached_demo.py
+"""
+
+from repro import Kernel, Libmpk
+from repro.apps.kvstore import Memcached, PROTECTION_MODES, Twemperf
+from repro.errors import MachineFault
+
+SLAB_BYTES = 1 << 30  # the paper's 1 GB pre-allocated slab area
+
+
+def build(mode: str):
+    kernel = Kernel()
+    process = kernel.create_process()
+    task = process.main_task
+    for _ in range(3):  # four worker threads total
+        kernel.scheduler.schedule(process.spawn_task(), charge=False)
+    lib = None
+    if mode.startswith("mpk"):
+        lib = Libmpk(process)
+        lib.mpk_init(task)
+    store = Memcached(kernel, process, task, mode=mode, lib=lib,
+                      slab_bytes=SLAB_BYTES)
+    return store, task
+
+
+def isolation_check(store, task):
+    """Is the stored data reachable by a stray read?"""
+    store.set(task, b"card", b"4242-4242-4242-4242")
+    try:
+        task.read(store._slab_base, 64)
+        return "slab READABLE by arbitrary-read attacker"
+    except MachineFault:
+        return "slab sealed (arbitrary read faults)"
+
+
+def main():
+    print(f"{'mode':14s} {'cycles/conn':>14s} {'handled@1000':>13s} "
+          f"{'unhandled':>10s}  security")
+    print("-" * 76)
+    baseline = None
+    for mode in PROTECTION_MODES:
+        store, task = build(mode)
+        sealed = isolation_check(store, task)
+        result = Twemperf(store).run(task, conns_per_sec=1000,
+                                     sample_connections=6)
+        if mode == "none":
+            baseline = result.cycles_per_connection
+        rel = result.cycles_per_connection / baseline
+        print(f"{mode:14s} {result.cycles_per_connection:>12,.0f} "
+              f"({rel:4.1f}x) {result.handled_conns_per_sec:>10,.0f} "
+              f"{result.unhandled_conns_per_sec:>10,.0f}  {sealed}")
+    print()
+    print("mpk_begin matches the unprotected original; mprotect pays "
+          "per page of the 1 GB region; mpk_mprotect keeps mprotect's "
+          "process-wide semantics at ~8x less cost.")
+
+
+if __name__ == "__main__":
+    main()

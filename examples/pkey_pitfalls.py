@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""The raw-MPK pitfalls of §3.1, demonstrated — then fixed by libmpk.
+
+Two demos against the *kernel interfaces alone* (no libmpk):
+
+1. protection-key use-after-free — pkey_free() does not scrub PTEs, so
+   pkey_alloc() can hand new code a key that still guards old pages.
+2. protection-key corruption — applications keep pkey values in
+   writable memory; an arbitrary-write attacker redirects them.
+
+Each is then replayed against libmpk, where key virtualization and the
+read-only metadata page close the hole.
+
+Run:  python examples/pkey_pitfalls.py
+"""
+
+from repro import (
+    Kernel,
+    Libmpk,
+    PAGE_SIZE,
+    PROT_READ,
+    PROT_WRITE,
+)
+from repro.errors import MpkMetadataTampering
+from repro.hw.pkru import KEY_RIGHTS_NONE
+from repro.security import (
+    pkey_corruption_attack,
+    pkey_use_after_free_attack,
+)
+
+RW = PROT_READ | PROT_WRITE
+
+
+def fresh():
+    kernel = Kernel()
+    process = kernel.create_process()
+    return kernel, process, process.main_task
+
+
+def use_after_free_raw():
+    print("== 1a. protection-key use-after-free (raw MPK) ==")
+    kernel, process, task = fresh()
+    key = kernel.sys_pkey_alloc(task)
+    secret = kernel.sys_mmap(task, PAGE_SIZE, RW)
+    kernel.sys_pkey_mprotect(task, secret, PAGE_SIZE, RW, key)
+    task.write(secret, b"tenant A's secret")
+    task.pkey_set(key, KEY_RIGHTS_NONE)     # sealed
+    kernel.sys_pkey_free(task, key)          # ...but PTEs keep the key
+    stale = process.page_table.pages_with_pkey(key)
+    print(f"after pkey_free({key}): {len(stale)} page(s) still tagged "
+          f"with the freed key")
+    result = pkey_use_after_free_attack(kernel, task, secret, key)
+    print("outcome:", result.detail,
+          f"-> leaked {result.leaked!r}" if result.succeeded else "")
+
+
+def use_after_free_libmpk():
+    print("\n== 1b. the same flow under libmpk ==")
+    kernel, process, task = fresh()
+    lib = Libmpk(process)
+    lib.mpk_init(task)
+    secret = lib.mpk_mmap(task, 100, PAGE_SIZE, RW)
+    with lib.domain(task, 100, RW):
+        task.write(secret, b"tenant A's secret")
+    lib.mpk_munmap(task, 100)                # group destroyed cleanly
+    fresh_addr = lib.mpk_mmap(task, 200, PAGE_SIZE, RW)
+    with lib.domain(task, 200, RW):
+        content = task.read(fresh_addr, 17)
+    print("new group's memory after key reuse:", content,
+          "(zeroed - nothing stale to inherit)")
+
+
+def corruption_raw():
+    print("\n== 2a. protection-key corruption (raw MPK) ==")
+    kernel, process, task = fresh()
+    victim_key = kernel.sys_pkey_alloc(task)
+    victim = kernel.sys_mmap(task, PAGE_SIZE, RW)
+    kernel.sys_pkey_mprotect(task, victim, PAGE_SIZE, RW, victim_key)
+    task.write(victim, b"victim data")
+    task.pkey_set(victim_key, KEY_RIGHTS_NONE)
+
+    app_key = kernel.sys_pkey_alloc(task)
+    key_var = kernel.sys_mmap(task, PAGE_SIZE, RW)  # pkey in memory!
+    task.write(key_var, bytes([app_key]))
+    result = pkey_corruption_attack(kernel, task, key_var, victim)
+    print("outcome:", result.detail,
+          f"-> leaked {result.leaked!r}" if result.succeeded else "")
+
+
+def corruption_libmpk():
+    print("\n== 2b. the same attack surface under libmpk ==")
+    kernel, process, task = fresh()
+    lib = Libmpk(process)
+    lib.mpk_init(task, static_vkeys=[100])  # load-time call-site scan
+    victim = lib.mpk_mmap(task, 100, PAGE_SIZE, RW)
+    with lib.domain(task, 100, RW):
+        task.write(victim, b"victim data")
+    try:
+        lib.mpk_begin(task, 0x41414141, RW)  # corrupted vkey argument
+    except MpkMetadataTampering as exc:
+        print("corrupted vkey rejected at the call site:", exc)
+    record_addr = lib.metadata.record_user_addr(100)
+    try:
+        task.write(record_addr, b"\xff" * 8)
+        verdict = "LANDED (bug!)"
+    except Exception as exc:
+        verdict = f"faults ({type(exc).__name__})"
+    print("vkey->pkey metadata lives at a read-only mapping "
+          f"({record_addr:#x}); overwrite attempt:", verdict)
+
+
+def main():
+    use_after_free_raw()
+    use_after_free_libmpk()
+    corruption_raw()
+    corruption_libmpk()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""repro — reproduction of *libmpk: Software Abstraction for Intel MPK*
+(Park et al., USENIX ATC 2019) on a fully simulated MPK machine.
+
+Quickstart
+----------
+>>> from repro import Kernel, Libmpk, PROT_READ, PROT_WRITE
+>>> kernel = Kernel()
+>>> process = kernel.create_process()
+>>> task = process.main_task
+>>> lib = Libmpk(process)
+>>> lib.mpk_init(task, evict_rate=1.0)
+>>> SECRET = 100
+>>> addr = lib.mpk_mmap(task, SECRET, 4096, PROT_READ | PROT_WRITE)
+>>> with lib.domain(task, SECRET, PROT_READ | PROT_WRITE):
+...     task.write(addr, b"private key material")
+>>> task.try_read(addr, 20) is None   # inaccessible outside the domain
+True
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.consts import (
+    DEFAULT_PKEY,
+    MAP_ANONYMOUS,
+    MAP_PRIVATE,
+    NUM_PKEYS,
+    PAGE_SIZE,
+    PKEY_DISABLE_ACCESS,
+    PKEY_DISABLE_WRITE,
+    PROT_EXEC,
+    PROT_NONE,
+    PROT_READ,
+    PROT_WRITE,
+)
+from repro.errors import (
+    KernelError,
+    MachineFault,
+    MpkError,
+    MpkKeyExhaustion,
+    MpkMetadataTampering,
+    MpkUnknownVkey,
+    PkeyFault,
+    SegmentationFault,
+)
+from repro.hw import Machine, PKRU
+from repro.kernel import Kernel, Process, Task
+from repro.core import Libmpk, PageGroup
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_PKEY",
+    "MAP_ANONYMOUS",
+    "MAP_PRIVATE",
+    "NUM_PKEYS",
+    "PAGE_SIZE",
+    "PKEY_DISABLE_ACCESS",
+    "PKEY_DISABLE_WRITE",
+    "PROT_EXEC",
+    "PROT_NONE",
+    "PROT_READ",
+    "PROT_WRITE",
+    "KernelError",
+    "MachineFault",
+    "MpkError",
+    "MpkKeyExhaustion",
+    "MpkMetadataTampering",
+    "MpkUnknownVkey",
+    "PkeyFault",
+    "SegmentationFault",
+    "Machine",
+    "PKRU",
+    "Kernel",
+    "Process",
+    "Task",
+    "Libmpk",
+    "PageGroup",
+    "__version__",
+]

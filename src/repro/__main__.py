@@ -1,0 +1,115 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+info       package, machine-model, and cost-model summary
+results    print every archived benchmark table (benchmarks/results/)
+bench      regenerate all tables/figures (pytest benchmarks/ …)
+examples   run every example script in sequence
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import runpy
+import subprocess
+import sys
+
+import repro
+from repro.hw.cycles import DEFAULT_COST_MODEL
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+
+def cmd_info(_args: argparse.Namespace) -> int:
+    print(f"libmpk-repro {repro.__version__}")
+    print("reproduction of: Park et al., 'libmpk: Software Abstraction "
+          "for Intel Memory Protection Keys', USENIX ATC 2019")
+    print()
+    print("simulated machine defaults: 40 logical cores, 192 GB memory "
+          "(paper's 2x Xeon Gold 5115 testbed)")
+    costs = DEFAULT_COST_MODEL
+    print("calibrated primitives (cycles):")
+    rows = [
+        ("WRPKRU", costs.wrpkru),
+        ("RDPKRU", costs.rdpkru),
+        ("pkey_alloc", costs.syscall_overhead() + costs.pkey_alloc_kernel),
+        ("pkey_free", costs.syscall_overhead() + costs.pkey_free_kernel),
+        ("mprotect (1 page)", costs.syscall_overhead()
+         + costs.mprotect_base + costs.vma_find + costs.pte_update
+         + costs.tlb_flush_full),
+        ("libmpk hit path", costs.wrpkru + costs.mpk_cache_lookup
+         + costs.mpk_metadata_op),
+    ]
+    for name, value in rows:
+        print(f"  {name:<20s} {value:>8.1f}")
+    return 0
+
+
+def cmd_results(_args: argparse.Namespace) -> int:
+    if not RESULTS_DIR.is_dir():
+        print("no archived results; run `python -m repro bench` first",
+              file=sys.stderr)
+        return 1
+    files = sorted(RESULTS_DIR.glob("*.txt"))
+    if not files:
+        print("no archived results; run `python -m repro bench` first",
+              file=sys.stderr)
+        return 1
+    for path in files:
+        sys.stdout.write(path.read_text())
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    cmd = [sys.executable, "-m", "pytest",
+           str(REPO_ROOT / "benchmarks"), "--benchmark-only", "-q"]
+    if args.only:
+        cmd += ["-k", args.only]
+    return subprocess.call(cmd)
+
+
+def cmd_examples(_args: argparse.Namespace) -> int:
+    failures = 0
+    for script in sorted(EXAMPLES_DIR.glob("*.py")):
+        banner = f"### {script.name} "
+        print(banner + "#" * max(0, 72 - len(banner)))
+        try:
+            runpy.run_path(str(script), run_name="__main__")
+        except SystemExit as exc:
+            if exc.code not in (0, None):
+                failures += 1
+        except Exception as exc:  # surfaced, not swallowed
+            print(f"FAILED: {type(exc).__name__}: {exc}",
+                  file=sys.stderr)
+            failures += 1
+        print()
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("info", help="package and cost-model summary")
+    sub.add_parser("results", help="print archived benchmark tables")
+    bench = sub.add_parser("bench", help="regenerate tables/figures")
+    bench.add_argument("--only", help="pytest -k filter", default=None)
+    sub.add_parser("examples", help="run every example script")
+    args = parser.parse_args(argv)
+    handler = {
+        "info": cmd_info,
+        "results": cmd_results,
+        "bench": cmd_bench,
+        "examples": cmd_examples,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Real-world application models hardened with libmpk (§5).
+
+Three applications, mirroring the paper's case studies:
+
+* :mod:`repro.apps.sslserver` — an OpenSSL-like TLS library plus an
+  Apache-httpd-like server; private keys live in an isolated page
+  group (Table 3 row 1, Figures 11 and the Heartbleed PoC of §6.1).
+* :mod:`repro.apps.jit` — JavaScript-engine models (SpiderMonkey,
+  ChakraCore, v8) whose JIT code caches are W⊕X-protected by four
+  interchangeable backends (Figures 9, 12, 13 and the race-condition
+  PoC of §6.1).
+* :mod:`repro.apps.kvstore` — a Memcached-like slab/hash-table store
+  protecting gigabytes of data (Figure 14).
+
+Every application runs on the simulated machine: its data-path loads
+and stores go through the MMU (so a protection mistake faults exactly
+as on hardware) and its compute is charged to the machine clock.
+"""

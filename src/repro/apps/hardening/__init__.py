@@ -1,0 +1,23 @@
+"""Related-work schemes rebuilt on libmpk (§8).
+
+The paper positions libmpk as the key-management layer the
+contemporaneous MPK work could build on: "These schemes can leverage
+libmpk to achieve secure and scalable key management to create as many
+sensitive memory regions as required securely."  This package makes
+that claim executable with two of them:
+
+* :mod:`repro.apps.hardening.erim` — ERIM-style trusted-component
+  isolation: sensitive state behind call gates, with the WRPKRU
+  sandbox closing the gadget surface.
+* :mod:`repro.apps.hardening.shadowstack` — Burow-et-al-style shadow
+  stack: return addresses mirrored into an MPK-protected region,
+  writable only inside the instrumented prologue/epilogue.
+"""
+
+from repro.apps.hardening.erim import TrustedComponent
+from repro.apps.hardening.shadowstack import (
+    ReturnAddressCorrupted,
+    ShadowStack,
+)
+
+__all__ = ["TrustedComponent", "ShadowStack", "ReturnAddressCorrupted"]

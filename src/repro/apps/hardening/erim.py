@@ -1,0 +1,101 @@
+"""ERIM-style in-process isolation as a libmpk client.
+
+ERIM (Vahldiek-Oberwagner et al.) splits a process into a small trusted
+component holding secrets and a large untrusted remainder, switching
+between them with WRPKRU at call gates.  Its engineering pain points —
+owning raw hardware keys, scrubbing WRPKRU gadgets — map directly onto
+libmpk facilities: the component's memory is an ordinary page group
+(virtual key, so arbitrarily many components coexist), the call gate is
+an mpk_begin/mpk_end pair inside a trusted-gate scope, and the WRPKRU
+sandbox enforces that untrusted code cannot elevate itself.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.consts import PROT_READ, PROT_WRITE, page_align_up
+from repro.errors import MpkError
+
+if typing.TYPE_CHECKING:
+    from repro.core.api import Libmpk
+    from repro.kernel.task import Task
+
+RW = PROT_READ | PROT_WRITE
+
+
+class TrustedComponent:
+    """A sensitive region + call gate, ERIM-style.
+
+    >>> component = TrustedComponent(lib, task, vkey=900, size=4096)
+    >>> handle = component.store(task, b"session key")     # via gate
+    >>> component.call(task, lambda t: t.read(handle, 11)) # via gate
+    b'session key'
+    >>> task.try_read(handle, 11) is None                  # outside
+    True
+    """
+
+    def __init__(self, lib: "Libmpk", task: "Task", vkey: int,
+                 size: int) -> None:
+        self.lib = lib
+        self.vkey = vkey
+        self.size = page_align_up(size)
+        self.base = lib.mpk_mmap(task, vkey, self.size, RW)
+        self._gate_calls = 0
+
+    # ------------------------------------------------------------------
+    # The call gate.
+    # ------------------------------------------------------------------
+
+    def call(self, task: "Task", trusted_fn, prot: int = RW):
+        """Run ``trusted_fn(task)`` inside the component's domain.
+
+        This is the ERIM call gate: the only place the component's
+        memory becomes accessible, and (via the task's trusted-gate
+        scope) the only place a WRPKRU may legally execute when the
+        process is sandboxed.
+        """
+        self._gate_calls += 1
+        with task.trusted_gate():
+            self.lib.mpk_begin(task, self.vkey, prot)
+        try:
+            return trusted_fn(task)
+        finally:
+            with task.trusted_gate():
+                self.lib.mpk_end(task, self.vkey)
+
+    # ------------------------------------------------------------------
+    # Convenience operations through the gate.
+    # ------------------------------------------------------------------
+
+    def store(self, task: "Task", secret: bytes) -> int:
+        """Allocate and write a secret inside the component; returns
+        its address (opaque to untrusted code)."""
+        addr = self.lib.mpk_malloc(task, self.vkey, len(secret))
+
+        def writer(t: "Task"):
+            t.write(addr, secret)
+
+        self.call(task, writer)
+        return addr
+
+    def read(self, task: "Task", addr: int, length: int) -> bytes:
+        return self.call(task, lambda t: t.read(addr, length),
+                         prot=PROT_READ)
+
+    def wipe(self, task: "Task", addr: int) -> None:
+        """Zero and free a secret."""
+        heap = self.lib.heap(self.vkey)
+        size = heap.allocation_size(addr) if heap else None
+        if size is None:
+            raise MpkError(f"no component allocation at {addr:#x}")
+
+        def zero(t: "Task"):
+            t.write(addr, b"\x00" * size)
+
+        self.call(task, zero)
+        self.lib.mpk_free(task, self.vkey, addr)
+
+    @property
+    def gate_calls(self) -> int:
+        return self._gate_calls

@@ -1,0 +1,100 @@
+"""An MPK-protected shadow stack as a libmpk client (Burow et al.).
+
+Return addresses are mirrored into a page group that is writable only
+inside the instrumented prologue/epilogue (an mpk_begin/mpk_end
+window).  An attacker with an arbitrary-write primitive can smash the
+ordinary stack, but cannot touch the shadow copy — the epilogue's
+comparison then catches the corruption before the "return" happens.
+"""
+
+from __future__ import annotations
+
+import struct
+import typing
+
+from repro.consts import PROT_READ, PROT_WRITE, page_align_up
+from repro.errors import ReproError
+
+if typing.TYPE_CHECKING:
+    from repro.core.api import Libmpk
+    from repro.kernel.kcore import Kernel
+    from repro.kernel.task import Task
+
+RW = PROT_READ | PROT_WRITE
+_SLOT = struct.Struct("<Q")
+
+
+class ReturnAddressCorrupted(ReproError):
+    """Epilogue check failed: stack and shadow stack disagree."""
+
+
+class ShadowStack:
+    """A per-thread shadow stack in a libmpk page group.
+
+    The *ordinary* stack also lives in simulated memory (a plain rw
+    mapping) so an attacker write can genuinely corrupt it; the shadow
+    copy lives in the protected group.
+    """
+
+    def __init__(self, lib: "Libmpk", kernel: "Kernel", task: "Task",
+                 vkey: int, max_depth: int = 512) -> None:
+        self.lib = lib
+        self.kernel = kernel
+        self.vkey = vkey
+        self.max_depth = max_depth
+        size = page_align_up(max_depth * _SLOT.size)
+        self.shadow_base = lib.mpk_mmap(task, vkey, size, RW)
+        self.stack_base = kernel.sys_mmap(task, size, RW)
+        self._depth = 0
+
+    # ------------------------------------------------------------------
+
+    def _slot(self, base: int, index: int) -> int:
+        return base + index * _SLOT.size
+
+    def push(self, task: "Task", return_address: int) -> None:
+        """Function prologue: record the return address twice."""
+        if self._depth >= self.max_depth:
+            raise ReproError("shadow stack overflow")
+        task.write(self._slot(self.stack_base, self._depth),
+                   _SLOT.pack(return_address))
+        with self.lib.domain(task, self.vkey, RW):
+            task.write(self._slot(self.shadow_base, self._depth),
+                       _SLOT.pack(return_address))
+        self._depth += 1
+
+    def pop(self, task: "Task") -> int:
+        """Function epilogue: compare and return the address.
+
+        Raises :class:`ReturnAddressCorrupted` when the writable stack
+        no longer matches the protected shadow copy.
+        """
+        if self._depth == 0:
+            raise ReproError("shadow stack underflow")
+        self._depth -= 1
+        raw = task.read(self._slot(self.stack_base, self._depth),
+                        _SLOT.size)
+        stack_value = _SLOT.unpack(raw)[0]
+        with self.lib.domain(task, self.vkey, PROT_READ):
+            raw = task.read(self._slot(self.shadow_base, self._depth),
+                            _SLOT.size)
+        shadow_value = _SLOT.unpack(raw)[0]
+        if stack_value != shadow_value:
+            raise ReturnAddressCorrupted(
+                f"return address smashed: stack={stack_value:#x} "
+                f"shadow={shadow_value:#x}")
+        return shadow_value
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    # ------------------------------------------------------------------
+    # Attack surface accessors (for the tests' attacker).
+    # ------------------------------------------------------------------
+
+    def stack_slot_addr(self, index: int) -> int:
+        return self._slot(self.stack_base, index)
+
+    def shadow_slot_addr(self, index: int) -> int:
+        return self._slot(self.shadow_base, index)

@@ -1,0 +1,46 @@
+"""JavaScript-engine models with pluggable W⊕X backends (§5.2).
+
+The engines (SpiderMonkey, ChakraCore, v8) are modeled at the level
+that determines the paper's results: how often the JIT compiler needs
+write access to code-cache pages, and what one permission switch costs
+under each protection scheme.
+
+Backends:
+
+* :class:`~repro.apps.jit.wx.NoWx` — v8's original unprotected cache.
+* :class:`~repro.apps.jit.wx.MprotectWx` — the stock SpiderMonkey /
+  ChakraCore defence: toggle pages rw ↔ r-x with mprotect (vulnerable
+  to the §6.1 race).
+* :class:`~repro.apps.jit.wx.KeyPerPageWx` — libmpk, one virtual key
+  per code page.
+* :class:`~repro.apps.jit.wx.KeyPerProcessWx` — libmpk, a single key
+  for the whole cache.
+* :class:`~repro.apps.jit.wx.SdcgWx` — SDCG's dedicated-process
+  emitter (the Figure 13 comparison point).
+"""
+
+from repro.apps.jit.wx import (
+    KeyPerPageWx,
+    KeyPerProcessWx,
+    MprotectWx,
+    NoWx,
+    SdcgWx,
+    WxBackend,
+)
+from repro.apps.jit.engine import EngineProfile, JsEngine, ENGINES
+from repro.apps.jit.octane import OCTANE_PROGRAMS, OctaneProgram, octane_score
+
+__all__ = [
+    "WxBackend",
+    "NoWx",
+    "MprotectWx",
+    "KeyPerPageWx",
+    "KeyPerProcessWx",
+    "SdcgWx",
+    "JsEngine",
+    "EngineProfile",
+    "ENGINES",
+    "OctaneProgram",
+    "OCTANE_PROGRAMS",
+    "octane_score",
+]

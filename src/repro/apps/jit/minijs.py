@@ -1,0 +1,203 @@
+"""A tiny expression language compiled to MiniVM bytecode.
+
+This is the "JavaScript" our engine model runs end to end: arithmetic
+expressions with named variables, parsed by recursive descent and
+compiled to stack-machine bytecode.  Hot expressions get JIT-compiled
+into the W⊕X-protected code cache (through whatever backend the engine
+uses) with the variable bindings baked in as PUSH immediates — the
+re-binding of a variable is an inline-cache-style *patch* of compiled
+code, exactly the operation whose permission cost the paper measures.
+
+Grammar::
+
+    expr    := term (('+' | '-') term)*
+    term    := factor (('*') factor)*
+    factor  := NUMBER | IDENT | '(' expr ')' | '-' factor
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from repro.apps.jit.minivm import (
+    ADD,
+    MUL,
+    PUSH,
+    RET,
+    SUB,
+    CompiledFunction,
+    MiniFunction,
+    MiniVm,
+    VmError,
+)
+
+if typing.TYPE_CHECKING:
+    from repro.apps.jit.engine import JsEngine
+
+
+class JsSyntaxError(VmError):
+    """Malformed source text."""
+
+
+# ---------------------------------------------------------------------------
+# Lexer.
+# ---------------------------------------------------------------------------
+
+def _tokenize(source: str) -> list[str]:
+    tokens: list[str] = []
+    i = 0
+    while i < len(source):
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+        elif ch.isdigit():
+            j = i
+            while j < len(source) and source[j].isdigit():
+                j += 1
+            tokens.append(source[i:j])
+            i = j
+        elif ch.isalpha() or ch == "_":
+            j = i
+            while j < len(source) and (source[j].isalnum()
+                                       or source[j] == "_"):
+                j += 1
+            tokens.append(source[i:j])
+            i = j
+        elif ch in "+-*()":
+            tokens.append(ch)
+            i += 1
+        else:
+            raise JsSyntaxError(f"unexpected character {ch!r} at {i}")
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Parser / compiler.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Compiler:
+    tokens: list[str]
+    variables: dict[str, int]
+    pos: int = 0
+    code: list = field(default_factory=list)
+    #: PUSH index per variable *occurrence* (for later patching).
+    var_sites: dict[str, list[int]] = field(default_factory=dict)
+    _push_count: int = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) \
+            else None
+
+    def take(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise JsSyntaxError("unexpected end of input")
+        self.pos += 1
+        return token
+
+    def emit_push(self, value: int) -> int:
+        self.code.append((PUSH, value))
+        index = self._push_count
+        self._push_count += 1
+        return index
+
+    # -- grammar --------------------------------------------------------
+
+    def expr(self) -> None:
+        self.term()
+        while self.peek() in ("+", "-"):
+            op = self.take()
+            self.term()
+            self.code.append(ADD if op == "+" else SUB)
+
+    def term(self) -> None:
+        self.factor()
+        while self.peek() == "*":
+            self.take()
+            self.factor()
+            self.code.append(MUL)
+
+    def factor(self) -> None:
+        token = self.take()
+        if token.isdigit():
+            self.emit_push(int(token))
+        elif token == "(":
+            self.expr()
+            if self.take() != ")":
+                raise JsSyntaxError("expected ')'")
+        elif token == "-":
+            self.emit_push(0)
+            self.factor()
+            self.code.append(SUB)
+        elif token.isidentifier():
+            if token not in self.variables:
+                raise JsSyntaxError(f"unbound variable {token!r}")
+            index = self.emit_push(self.variables[token])
+            self.var_sites.setdefault(token, []).append(index)
+        else:
+            raise JsSyntaxError(f"unexpected token {token!r}")
+
+
+def compile_expression(name: str, source: str,
+                       variables: dict[str, int] | None = None
+                       ) -> tuple[MiniFunction, dict[str, list[int]]]:
+    """Compile ``source`` to a MiniFunction; returns (function,
+    variable-occurrence → PUSH-site indices)."""
+    compiler = _Compiler(_tokenize(source), dict(variables or {}))
+    compiler.expr()
+    if compiler.peek() is not None:
+        raise JsSyntaxError(f"trailing input at {compiler.peek()!r}")
+    compiler.code.append(RET)
+    return MiniFunction.build(name, compiler.code), compiler.var_sites
+
+
+# ---------------------------------------------------------------------------
+# The tiered runtime.
+# ---------------------------------------------------------------------------
+
+class MiniJsRuntime:
+    """Interpret cold expressions; JIT hot ones; patch on re-binding."""
+
+    def __init__(self, engine: "JsEngine", hot_threshold: int = 3) -> None:
+        self.vm = MiniVm(engine)
+        self.hot_threshold = hot_threshold
+        self._counts: dict[str, int] = {}
+        self._compiled: dict[str, CompiledFunction] = {}
+        self._sites: dict[str, dict[str, list[int]]] = {}
+        self._sources: dict[str, tuple[str, dict[str, int]]] = {}
+
+    def evaluate(self, name: str, source: str,
+                 variables: dict[str, int] | None = None) -> int:
+        """Run an expression, tiering up after ``hot_threshold`` runs."""
+        variables = dict(variables or {})
+        compiled = self._compiled.get(name)
+        if compiled is not None:
+            self._rebind(name, variables)
+            return self.vm.execute(self._compiled[name])
+        count = self._counts.get(name, 0) + 1
+        self._counts[name] = count
+        fn, sites = compile_expression(name, source, variables)
+        if count >= self.hot_threshold:
+            self._compiled[name] = self.vm.jit_compile(fn)
+            self._sites[name] = sites
+            self._sources[name] = (source, variables)
+            return self.vm.execute(self._compiled[name])
+        return self.vm.interpret(fn)
+
+    def _rebind(self, name: str, variables: dict[str, int]) -> None:
+        """Patch compiled code when variable bindings changed."""
+        source, bound = self._sources[name]
+        changed = {k: v for k, v in variables.items()
+                   if bound.get(k) != v}
+        if not changed:
+            return
+        compiled = self._compiled[name]
+        for var, value in changed.items():
+            for push_index in self._sites[name].get(var, []):
+                self.vm.patch_push_constant(compiled, push_index, value)
+            bound[var] = value
+
+    def is_compiled(self, name: str) -> bool:
+        return name in self._compiled

@@ -1,0 +1,211 @@
+"""A miniature stack VM whose JIT output really lives in the code cache.
+
+The engine model in :mod:`repro.apps.jit.engine` reproduces the
+paper's *costs*; this module adds genuine *behaviour*: a small stack
+machine whose functions can be interpreted, or JIT-compiled into a
+compact encoding that is written into a code-cache page through the
+W⊕X backend and **fetched back through the MMU at execution time**.
+
+That closes the loop the security evaluation cares about: if a backend
+mishandled permissions, execution would fault; if an attacker managed
+to scribble on the cache (the mprotect race), the next execution
+visibly runs the corrupted code.
+
+Instruction set
+---------------
+``PUSH imm64`` · ``ADD`` · ``SUB`` · ``MUL`` · ``DUP`` · ``SWAP`` ·
+``RET`` — enough to express real computations with verifiable results.
+"""
+
+from __future__ import annotations
+
+import struct
+import typing
+from dataclasses import dataclass
+
+from repro.consts import PAGE_SIZE
+from repro.errors import ReproError
+
+if typing.TYPE_CHECKING:
+    from repro.apps.jit.engine import JsEngine
+
+# Opcodes.
+PUSH, ADD, SUB, MUL, DUP, SWAP, RET = range(7)
+_IMM = struct.Struct("<q")
+
+# Cycle costs per executed operation.
+INTERP_CYCLES_PER_OP = 14.0
+NATIVE_CYCLES_PER_OP = 1.5
+
+
+class VmError(ReproError):
+    """Malformed bytecode or a runtime error (stack underflow...)."""
+
+
+@dataclass(frozen=True)
+class MiniFunction:
+    """A function: a tuple of (opcode, operand) pairs."""
+
+    name: str
+    ops: tuple[tuple[int, int], ...]
+
+    @classmethod
+    def build(cls, name: str, ops: list) -> "MiniFunction":
+        normalized = []
+        for op in ops:
+            if isinstance(op, tuple):
+                normalized.append((op[0], op[1]))
+            else:
+                normalized.append((op, 0))
+        return cls(name=name, ops=tuple(normalized))
+
+
+@dataclass(frozen=True)
+class CompiledFunction:
+    """A function's JIT artifact in the code cache."""
+
+    fn: MiniFunction
+    addr: int
+    length: int
+
+
+# ---------------------------------------------------------------------------
+# Encoding (the "native code" format stored in cache pages).
+# ---------------------------------------------------------------------------
+
+def assemble(fn: MiniFunction) -> bytes:
+    out = bytearray()
+    for opcode, operand in fn.ops:
+        if not 0 <= opcode <= RET:
+            raise VmError(f"unknown opcode {opcode}")
+        out.append(opcode)
+        if opcode == PUSH:
+            out += _IMM.pack(operand)
+    if not fn.ops or fn.ops[-1][0] != RET:
+        raise VmError(f"{fn.name}: function must end with RET")
+    if len(out) > PAGE_SIZE:
+        raise VmError(f"{fn.name}: compiled size exceeds one page")
+    return bytes(out)
+
+
+def disassemble(code: bytes) -> tuple[tuple[int, int], ...]:
+    ops = []
+    cursor = 0
+    while cursor < len(code):
+        opcode = code[cursor]
+        cursor += 1
+        if opcode == PUSH:
+            if cursor + 8 > len(code):
+                raise VmError("truncated PUSH operand")
+            operand = _IMM.unpack_from(code, cursor)[0]
+            cursor += 8
+            ops.append((PUSH, operand))
+        elif opcode <= RET:
+            ops.append((opcode, 0))
+            if opcode == RET:
+                return tuple(ops)
+        else:
+            raise VmError(f"invalid opcode byte {opcode:#x} at offset "
+                          f"{cursor - 1}")
+    raise VmError("code ran off the end without RET")
+
+
+def _evaluate(ops: typing.Iterable[tuple[int, int]]) -> int:
+    stack: list[int] = []
+    try:
+        for opcode, operand in ops:
+            if opcode == PUSH:
+                stack.append(operand)
+            elif opcode == ADD:
+                b, a = stack.pop(), stack.pop()
+                stack.append(a + b)
+            elif opcode == SUB:
+                b, a = stack.pop(), stack.pop()
+                stack.append(a - b)
+            elif opcode == MUL:
+                b, a = stack.pop(), stack.pop()
+                stack.append(a * b)
+            elif opcode == DUP:
+                stack.append(stack[-1])
+            elif opcode == SWAP:
+                stack[-1], stack[-2] = stack[-2], stack[-1]
+            elif opcode == RET:
+                return stack.pop()
+    except IndexError:
+        raise VmError("stack underflow") from None
+    raise VmError("fell off the end without RET")
+
+
+# ---------------------------------------------------------------------------
+# The VM tier driver.
+# ---------------------------------------------------------------------------
+
+class MiniVm:
+    """Interpreter + JIT over a :class:`JsEngine`'s code cache."""
+
+    def __init__(self, engine: "JsEngine") -> None:
+        self.engine = engine
+        self._compiled: dict[str, CompiledFunction] = {}
+
+    # -- tier 0: interpretation -----------------------------------------
+
+    def interpret(self, fn: MiniFunction) -> int:
+        self.engine.kernel.clock.charge(
+            len(fn.ops) * INTERP_CYCLES_PER_OP)
+        return _evaluate(fn.ops)
+
+    # -- tier 1: JIT ------------------------------------------------------
+
+    def jit_compile(self, fn: MiniFunction) -> CompiledFunction:
+        """Emit the function's encoding into a fresh cache page."""
+        code = assemble(fn)
+        addr = self.engine.alloc_code_page()
+        backend = self.engine.backend
+        backend.commit_page(self.engine.jit_task, addr)
+        backend.emit(self.engine.jit_task, addr, code)
+        compiled = CompiledFunction(fn=fn, addr=addr, length=len(code))
+        self._compiled[fn.name] = compiled
+        return compiled
+
+    def execute(self, compiled: CompiledFunction) -> int:
+        """Run compiled code: fetch the bytes back through the MMU
+        (exec permission enforced) and evaluate them."""
+        raw = self.engine.exec_task.fetch(compiled.addr, compiled.length)
+        ops = disassemble(raw)
+        self.engine.kernel.clock.charge(
+            len(ops) * NATIVE_CYCLES_PER_OP)
+        return _evaluate(ops)
+
+    def patch_push_constant(self, compiled: CompiledFunction,
+                            push_index: int, value: int) -> None:
+        """Inline-cache-style patching: rewrite the ``push_index``-th
+        PUSH's immediate, through the backend's W⊕X discipline."""
+        seen = -1
+        offset = 0
+        new_code = bytearray(assemble(compiled.fn))
+        for opcode, _ in compiled.fn.ops:
+            if opcode == PUSH:
+                seen += 1
+                if seen == push_index:
+                    _IMM.pack_into(new_code, offset + 1, value)
+                    patched_ops = list(compiled.fn.ops)
+                    # Rebuild the function descriptor to match.
+                    push_positions = [i for i, (op, _) in
+                                      enumerate(patched_ops)
+                                      if op == PUSH]
+                    patched_ops[push_positions[push_index]] = (PUSH,
+                                                               value)
+                    object.__setattr__(compiled, "fn", MiniFunction(
+                        name=compiled.fn.name,
+                        ops=tuple(patched_ops)))
+                    self.engine.backend.emit(self.engine.jit_task,
+                                             compiled.addr,
+                                             bytes(new_code))
+                    return
+                offset += 9
+            else:
+                offset += 1
+        raise VmError(f"function has no PUSH #{push_index}")
+
+    def lookup(self, name: str) -> CompiledFunction | None:
+        return self._compiled.get(name)

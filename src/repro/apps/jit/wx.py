@@ -1,0 +1,360 @@
+"""W⊕X backends for the JIT code cache.
+
+A backend owns the code-cache mapping and mediates every write to it.
+All writes and fetches go through the simulated MMU, so a backend that
+forgot to open write access would fault — the enforcement is real, not
+bookkeeping.  Each backend separately accumulates the cycles it spends
+on *permission switching* (``switch_cycles``) so Figure 9 can plot that
+component alone.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.consts import (
+    PAGE_SIZE,
+    PROT_EXEC,
+    PROT_READ,
+    PROT_WRITE,
+)
+
+if typing.TYPE_CHECKING:
+    from repro.core.api import Libmpk
+    from repro.kernel.kcore import Kernel, Process
+    from repro.kernel.task import Task
+
+RW = PROT_READ | PROT_WRITE
+RX = PROT_READ | PROT_EXEC
+RWX = PROT_READ | PROT_WRITE | PROT_EXEC
+
+#: SDCG emits code from a dedicated process; each emission pays an IPC
+#: round trip (two context switches and a copy).  Calibrated so v8+SDCG
+#: lands near the paper's 6.68% Octane overhead.
+SDCG_IPC_CYCLES = 7_600.0
+
+
+class WxBackend:
+    """Interface: create the cache, commit pages, emit code into them."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.switch_cycles = 0.0
+        self.emissions = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    def create_cache(self, task: "Task", num_pages: int) -> int:
+        """Map the code cache; returns its base address."""
+        raise NotImplementedError
+
+    def commit_page(self, task: "Task", addr: int) -> None:
+        """First-touch commit of one cache page (default: nothing)."""
+
+    # -- emission -------------------------------------------------------
+
+    def emit(self, task: "Task", addr: int, data: bytes) -> None:
+        """Write ``data`` at ``addr`` (single page), W⊕X-safely."""
+        raise NotImplementedError
+
+    def emit_multi(self, task: "Task", addrs: list[int],
+                   data: bytes) -> None:
+        """Write ``data`` to the start of each page in ``addrs``."""
+        for addr in addrs:
+            self.emit(task, addr, data)
+
+    # -- helpers --------------------------------------------------------
+
+    def _timed(self, kernel: "Kernel", fn) -> None:
+        start = kernel.clock.snapshot()
+        fn()
+        self.switch_cycles += kernel.clock.snapshot() - start
+
+
+class NoWx(WxBackend):
+    """v8's original scheme: the whole cache stays rwx forever."""
+
+    name = "none"
+
+    def __init__(self, kernel: "Kernel") -> None:
+        super().__init__()
+        self.kernel = kernel
+
+    def create_cache(self, task: "Task", num_pages: int) -> int:
+        return self.kernel.sys_mmap(task, num_pages * PAGE_SIZE, RWX)
+
+    def emit(self, task: "Task", addr: int, data: bytes) -> None:
+        task.write(addr, data)
+        self.emissions += 1
+
+
+class MprotectWx(WxBackend):
+    """Stock W⊕X: mprotect the page rw, write, mprotect it back r-x.
+
+    ``race_hook`` is invoked while the page is writable — the §6.1
+    attack uses it to demonstrate that *any* thread can write during
+    the window, because page permissions are process-global.
+    """
+
+    name = "mprotect"
+
+    def __init__(self, kernel: "Kernel",
+                 race_hook: typing.Callable[[int], None] | None = None
+                 ) -> None:
+        super().__init__()
+        self.kernel = kernel
+        self.race_hook = race_hook
+
+    def create_cache(self, task: "Task", num_pages: int) -> int:
+        return self.kernel.sys_mmap(task, num_pages * PAGE_SIZE, RX)
+
+    def emit(self, task: "Task", addr: int, data: bytes) -> None:
+        page = addr & ~(PAGE_SIZE - 1)
+        self._emit_range(task, page, PAGE_SIZE, addr, data)
+
+    def emit_multi(self, task: "Task", addrs: list[int],
+                   data: bytes) -> None:
+        # A real engine issues one mprotect per contiguous run; our
+        # emission traces use contiguous pages for multi-page events.
+        base = min(addrs)
+        length = max(addrs) + PAGE_SIZE - base
+        self._emit_range(task, base, length, None, data, addrs)
+
+    def _emit_range(self, task, base, length, addr, data, addrs=None):
+        self._timed(self.kernel, lambda: self.kernel.sys_mprotect(
+            task, base, length, RW))
+        if addrs is None:
+            task.write(addr, data)
+        else:
+            for a in addrs:
+                task.write(a, data)
+        if self.race_hook is not None:
+            # The §6.1 race: another thread writes while the page is
+            # still writable process-wide (after the compiler's store,
+            # before the re-protect).
+            self.race_hook(base)
+        self._timed(self.kernel, lambda: self.kernel.sys_mprotect(
+            task, base, length, RX))
+        self.emissions += 1
+
+
+class KeyPerPageWx(WxBackend):
+    """libmpk one-key-per-page (§5.2): every code page is its own page
+    group; emission is an mpk_begin/mpk_end pair on that page's vkey.
+
+    Pages are mapped rwx at the page level; writability is gated
+    per-thread by the protection key, so only the emitting thread ever
+    sees the page writable.  Multi-page updates fall back to mprotect,
+    as the paper does.
+    """
+
+    name = "libmpk-key-per-page"
+
+    #: vkeys for code pages start here (hardcoded constants in a real
+    #: binary; one per page slot).
+    VKEY_BASE = 10_000
+
+    def __init__(self, kernel: "Kernel", lib: "Libmpk") -> None:
+        super().__init__()
+        self.kernel = kernel
+        self.lib = lib
+        self._page_vkeys: dict[int, int] = {}
+        self._next_vkey = self.VKEY_BASE
+        self._base = None
+        self._num_pages = 0
+
+    def create_cache(self, task: "Task", num_pages: int) -> int:
+        # The reserved region; pages are re-mapped into groups on first
+        # protection (the paper dedicates a key when a page is "first
+        # time re-protected").
+        self._base = self.kernel.sys_mmap(task, num_pages * PAGE_SIZE, RX)
+        self._num_pages = num_pages
+        return self._base
+
+    def _vkey_for(self, task: "Task", addr: int) -> int:
+        page = addr & ~(PAGE_SIZE - 1)
+        vkey = self._page_vkeys.get(page)
+        if vkey is None:
+            vkey = self._next_vkey
+            self._next_vkey += 1
+            self._page_vkeys[page] = vkey
+            # Dedicate a key to the page the first time it is
+            # re-protected (§5.2): adopt it as a page group in place.
+            # The page keeps r-x permission until the first mpk_begin
+            # loads the group, which atomically sets the page to rwx
+            # *and* attaches the key — so there is never a window where
+            # another thread could write.
+            self._timed(self.kernel, lambda: self.lib.mpk_adopt(
+                task, vkey, page, PAGE_SIZE, RWX))
+        return vkey
+
+    def emit(self, task: "Task", addr: int, data: bytes) -> None:
+        vkey = self._vkey_for(task, addr)
+        self._timed(self.kernel,
+                    lambda: self.lib.mpk_begin(task, vkey, RW))
+        task.write(addr, data)
+        self._timed(self.kernel, lambda: self.lib.mpk_end(task, vkey))
+        self.emissions += 1
+
+    def release_page(self, task: "Task", addr: int) -> bool:
+        """Code-cache GC hook: un-dedicate a cold page.
+
+        The page returns to the plain r-x pool (still executable — the
+        code may be re-entered) and its virtual key is retired.
+        Returns True when the page was dedicated.
+        """
+        page = addr & ~(PAGE_SIZE - 1)
+        vkey = self._page_vkeys.pop(page, None)
+        if vkey is None:
+            return False
+        self.lib.mpk_disown(task, vkey, RX)
+        return True
+
+    def emit_multi(self, task: "Task", addrs: list[int],
+                   data: bytes) -> None:
+        """Multiple pages change permission at once: the paper keeps
+        plain mprotect for this case, "based on the observation that
+        mostly only one page is updated at a time"."""
+        base = min(addrs)
+        length = max(addrs) + PAGE_SIZE - base
+        # Dedicated pages in the span are rwx gated by their keys; a
+        # blanket mprotect would destroy their pkey association, so the
+        # writable window is opened for them through their groups while
+        # the undedicated remainder goes through mprotect.
+        dedicated = [a for a in addrs
+                     if (a & ~(PAGE_SIZE - 1)) in self._page_vkeys]
+        plain = [a for a in addrs if a not in dedicated]
+        for addr in dedicated:
+            vkey = self._page_vkeys[addr & ~(PAGE_SIZE - 1)]
+            self._timed(self.kernel,
+                        lambda v=vkey: self.lib.mpk_begin(task, v, RW))
+        if plain:
+            pbase = min(plain)
+            plen = max(plain) + PAGE_SIZE - pbase
+            self._timed(self.kernel, lambda: self.kernel.sys_mprotect(
+                task, pbase, plen, RW))
+        for a in addrs:
+            task.write(a, data)
+        if plain:
+            pbase = min(plain)
+            plen = max(plain) + PAGE_SIZE - pbase
+            self._timed(self.kernel, lambda: self.kernel.sys_mprotect(
+                task, pbase, plen, RX))
+        for addr in dedicated:
+            vkey = self._page_vkeys[addr & ~(PAGE_SIZE - 1)]
+            self._timed(self.kernel,
+                        lambda v=vkey: self.lib.mpk_end(task, v))
+        self.emissions += 1
+
+
+class KeyPerProcessWx(WxBackend):
+    """libmpk one-key-per-process (§5.2): a single virtual key guards
+    the whole code cache; committed pages are rwx at the page level and
+    only the thread inside mpk_begin can write them."""
+
+    name = "libmpk-key-per-process"
+
+    VKEY = 20_000
+
+    def __init__(self, kernel: "Kernel", lib: "Libmpk") -> None:
+        super().__init__()
+        self.kernel = kernel
+        self.lib = lib
+        self._committed: set[int] = set()
+
+    def create_cache(self, task: "Task", num_pages: int) -> int:
+        base = self.lib.mpk_mmap(task, self.VKEY,
+                                 num_pages * PAGE_SIZE, RWX)
+        # Execution must always be possible; data access stays gated by
+        # the key.  One global mprotect-style load establishes that.
+        self.lib.mpk_mprotect(task, self.VKEY, RX)
+        return base
+
+    def commit_page(self, task: "Task", addr: int) -> None:
+        """First-touch commit: the paper notes this costs an extra
+        pkey_mprotect on the committed pages (the zlib regression)."""
+        page = addr & ~(PAGE_SIZE - 1)
+        if page in self._committed:
+            return
+        self._committed.add(page)
+        group = self.lib.group(self.VKEY)
+        if group.pkey is not None:
+            self._timed(self.kernel, lambda: self.kernel.sys_pkey_mprotect(
+                task, page, PAGE_SIZE, RWX, group.pkey))
+
+    def emit(self, task: "Task", addr: int, data: bytes) -> None:
+        self.commit_page(task, addr)
+        self._timed(self.kernel,
+                    lambda: self.lib.mpk_begin(task, self.VKEY, RW))
+        task.write(addr, data)
+        self._timed(self.kernel,
+                    lambda: self.lib.mpk_end(task, self.VKEY))
+        self.emissions += 1
+
+    def emit_multi(self, task: "Task", addrs: list[int],
+                   data: bytes) -> None:
+        # One key covers everything: a single begin/end suffices even
+        # for many pages — a structural advantage over mprotect.
+        for addr in addrs:
+            self.commit_page(task, addr)
+        self._timed(self.kernel,
+                    lambda: self.lib.mpk_begin(task, self.VKEY, RW))
+        for addr in addrs:
+            task.write(addr, data)
+        self._timed(self.kernel,
+                    lambda: self.lib.mpk_end(task, self.VKEY))
+        self.emissions += 1
+
+
+class SdcgWx(WxBackend):
+    """SDCG: code is emitted by a dedicated trusted process; the cache
+    is write-protected in the engine's process.  Every emission pays an
+    IPC round trip to the emitter process (Figure 13's baseline).
+
+    The code cache is a real shared-memory object: the engine process
+    maps it r-x, the emitter process maps the *same frames* read-write,
+    and emission is an MMU-checked store through the emitter's mapping
+    — exactly SDCG's two-process design.
+    """
+
+    name = "sdcg"
+
+    def __init__(self, kernel: "Kernel") -> None:
+        super().__init__()
+        self.kernel = kernel
+        self._emitter = kernel.create_process()
+        self._emitter_task = self._emitter.main_task
+        self._cache_object = None
+        self._engine_base = 0
+        self._emitter_base = 0
+
+    def create_cache(self, task: "Task", num_pages: int) -> int:
+        self._cache_object = self.kernel.create_shared_object(
+            "sdcg-code-cache", num_pages * PAGE_SIZE)
+        # Engine side: read-execute only — never writable in-process.
+        self._engine_base = self.kernel.sys_mmap_shared(
+            task, self._cache_object, RX)
+        # Emitter side: read-write, never executable.
+        self._emitter_base = self.kernel.sys_mmap_shared(
+            self._emitter_task, self._cache_object, RW)
+        return self._engine_base
+
+    def emit(self, task: "Task", addr: int, data: bytes) -> None:
+        self._ipc_emit(task, [addr], data)
+
+    def emit_multi(self, task: "Task", addrs: list[int],
+                   data: bytes) -> None:
+        # One IPC message carries the whole batch to the emitter.
+        self._ipc_emit(task, addrs, data)
+
+    def _ipc_emit(self, task: "Task", addrs: list[int],
+                  data: bytes) -> None:
+        self._timed(self.kernel,
+                    lambda: self.kernel.clock.charge(SDCG_IPC_CYCLES))
+        # The emitter writes through its own (writable) mapping of the
+        # same shared frames — an ordinary MMU-checked store.
+        for addr in addrs:
+            offset = addr - self._engine_base
+            self._emitter_task.write(self._emitter_base + offset, data)
+        self.emissions += 1

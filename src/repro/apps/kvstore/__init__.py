@@ -1,0 +1,28 @@
+"""Memcached-like in-memory key-value store (§5.3, Figure 14).
+
+A slab allocator and a hash table hold the data — both inside the
+simulated address space, so every item read/write goes through the MMU.
+Four protection configurations mirror the paper's Figure 14 targets:
+
+* ``"none"`` — the original, unprotected Memcached.
+* ``"mpk_begin"`` — domain isolation: each legitimate access is wrapped
+  in mpk_begin/mpk_end on the slab or hash-table group.
+* ``"mpk_mprotect"`` — mprotect semantics via libmpk: regions opened
+  and closed globally around accesses with mpk_mprotect.
+* ``"mprotect"`` — the page-table baseline: regions opened/closed with
+  real mprotect, whose cost scales with the gigabyte-sized slab area.
+"""
+
+from repro.apps.kvstore.slab import SlabAllocator
+from repro.apps.kvstore.hashtable import HashTable
+from repro.apps.kvstore.memcached import Memcached, PROTECTION_MODES
+from repro.apps.kvstore.twemperf import LoadResult, Twemperf
+
+__all__ = [
+    "SlabAllocator",
+    "HashTable",
+    "Memcached",
+    "PROTECTION_MODES",
+    "Twemperf",
+    "LoadResult",
+]

@@ -1,0 +1,102 @@
+"""Memcached-style slab allocation over a pre-allocated region.
+
+Memcached carves its memory into 1 MB *slabs*, each assigned to a size
+class; items are fixed-size chunks within a slab.  The modified
+Memcached of the paper pre-allocates the whole region (1 GB) up front
+and places it under libmpk protection; this allocator reproduces that
+structure so the protected area really is gigabyte-scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MpkError
+
+SLAB_BYTES = 1 << 20  # 1 MB slabs, as in Memcached
+
+#: Memcached's default growth factor between size classes.
+GROWTH_FACTOR = 2.0
+MIN_CHUNK = 96
+MAX_CHUNK = SLAB_BYTES
+
+
+def default_size_classes() -> list[int]:
+    sizes = []
+    size = MIN_CHUNK
+    while size < MAX_CHUNK:
+        sizes.append(size)
+        size = int(size * GROWTH_FACTOR)
+    sizes.append(MAX_CHUNK)
+    return sizes
+
+
+@dataclass
+class _SizeClass:
+    chunk_size: int
+    free_chunks: list[int]
+    slabs: int = 0
+
+
+class SlabAllocator:
+    """Chunk allocator over ``[base, base + size)``."""
+
+    def __init__(self, base: int, size: int) -> None:
+        if size < SLAB_BYTES:
+            raise MpkError("slab region smaller than one slab")
+        self.base = base
+        self.size = size
+        self._next_slab = base
+        self._classes = [_SizeClass(cs, []) for cs in default_size_classes()]
+        self._allocated: dict[int, int] = {}  # addr -> class index
+
+    # ------------------------------------------------------------------
+
+    def _class_for(self, item_size: int) -> int:
+        for idx, cls in enumerate(self._classes):
+            if cls.chunk_size >= item_size:
+                return idx
+        raise MpkError(f"item of {item_size} bytes exceeds max chunk")
+
+    def _grow_class(self, idx: int) -> None:
+        if self._next_slab + SLAB_BYTES > self.base + self.size:
+            raise MpkError("slab region exhausted")
+        slab = self._next_slab
+        self._next_slab += SLAB_BYTES
+        cls = self._classes[idx]
+        cls.slabs += 1
+        count = SLAB_BYTES // cls.chunk_size
+        cls.free_chunks.extend(
+            slab + i * cls.chunk_size for i in range(count))
+
+    def alloc(self, item_size: int) -> int:
+        """Allocate a chunk big enough for ``item_size`` bytes."""
+        if item_size <= 0:
+            raise MpkError("item size must be positive")
+        idx = self._class_for(item_size)
+        cls = self._classes[idx]
+        if not cls.free_chunks:
+            self._grow_class(idx)
+        addr = cls.free_chunks.pop()
+        self._allocated[addr] = idx
+        return addr
+
+    def free(self, addr: int) -> None:
+        idx = self._allocated.pop(addr, None)
+        if idx is None:
+            raise MpkError(f"free of unallocated chunk {addr:#x}")
+        self._classes[idx].free_chunks.append(addr)
+
+    # ------------------------------------------------------------------
+
+    def chunk_size_of(self, addr: int) -> int:
+        idx = self._allocated.get(addr)
+        if idx is None:
+            raise MpkError(f"chunk {addr:#x} is not allocated")
+        return self._classes[idx].chunk_size
+
+    def allocated_chunks(self) -> int:
+        return len(self._allocated)
+
+    def slabs_in_use(self) -> int:
+        return sum(cls.slabs for cls in self._classes)

@@ -1,0 +1,96 @@
+"""A twemperf-like connection-rate load generator (Figure 14).
+
+The paper drives Memcached with twemperf at 250–1,000 connections per
+second, 10 requests per connection, over four worker threads, and
+reports (a) data throughput and (b) unhandled concurrent connections.
+
+The generator measures the *per-connection* cycle cost empirically by
+running sample connections through the simulated store, then computes
+the sustainable connection rate of the four workers at the paper's
+2.4 GHz clock: demand beyond that capacity shows up as unhandled
+connections, exactly as twemperf's accumulating connection backlog.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+
+from repro.apps.kvstore.memcached import (
+    CONNECTION_SETUP_CYCLES,
+    Memcached,
+)
+
+if typing.TYPE_CHECKING:
+    from repro.kernel.task import Task
+
+CLOCK_HZ = 2.4e9
+
+
+@dataclass(frozen=True)
+class LoadResult:
+    offered_conns_per_sec: int
+    handled_conns_per_sec: float
+    unhandled_conns_per_sec: float
+    throughput_mb_per_sec: float
+    cycles_per_connection: float
+
+
+class Twemperf:
+    """Measure a Memcached instance under an offered connection rate."""
+
+    def __init__(self, store: Memcached, workers: int = 4,
+                 requests_per_connection: int = 10,
+                 value_size: int = 1024) -> None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self.store = store
+        self.workers = workers
+        self.requests_per_connection = requests_per_connection
+        self.value_size = value_size
+
+    # ------------------------------------------------------------------
+
+    def _run_connection(self, task: "Task", conn_id: int) -> None:
+        """One client connection: a mixed get/set request stream."""
+        self.store.kernel.clock.charge(CONNECTION_SETUP_CYCLES)
+        value = bytes(self.value_size)
+        warmup = min(4, self.requests_per_connection)
+        for req in range(self.requests_per_connection):
+            key = b"key-%d-%d" % (conn_id, req % warmup)
+            if req < warmup:
+                self.store.set(task, key, value)
+            else:
+                got = self.store.get(task, key)
+                if got is None:
+                    raise RuntimeError("twemperf read its own write back "
+                                       "as missing")
+
+    def measure_connection_cost(self, task: "Task",
+                                sample_connections: int = 8) -> float:
+        """Average cycles per connection, measured on the machine."""
+        clock = self.store.kernel.clock
+        start = clock.snapshot()
+        for conn_id in range(sample_connections):
+            self._run_connection(task, conn_id)
+        return (clock.snapshot() - start) / sample_connections
+
+    # ------------------------------------------------------------------
+
+    def run(self, task: "Task",
+            conns_per_sec: int,
+            sample_connections: int = 8) -> LoadResult:
+        """Offer ``conns_per_sec`` and report what the store sustains."""
+        per_conn = self.measure_connection_cost(task, sample_connections)
+        capacity = self.workers * CLOCK_HZ / per_conn
+        handled = min(float(conns_per_sec), capacity)
+        unhandled = conns_per_sec - handled
+        bytes_per_conn = self.requests_per_connection * self.value_size
+        throughput = handled * bytes_per_conn / (1 << 20)
+        return LoadResult(
+            offered_conns_per_sec=conns_per_sec,
+            handled_conns_per_sec=handled,
+            unhandled_conns_per_sec=unhandled,
+            throughput_mb_per_sec=throughput,
+            cycles_per_connection=per_conn,
+        )

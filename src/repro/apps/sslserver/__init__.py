@@ -1,0 +1,16 @@
+"""OpenSSL-like TLS stack with libmpk-isolated private keys (§5.1)."""
+
+from repro.apps.sslserver.crypto import ToyRSA, RsaPublicKey
+from repro.apps.sslserver.openssl import EvpPkey, SslLibrary
+from repro.apps.sslserver.httpd import HttpServer
+from repro.apps.sslserver.ab import ApacheBench, BenchResult
+
+__all__ = [
+    "ToyRSA",
+    "RsaPublicKey",
+    "EvpPkey",
+    "SslLibrary",
+    "HttpServer",
+    "ApacheBench",
+    "BenchResult",
+]

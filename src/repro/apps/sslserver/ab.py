@@ -1,0 +1,77 @@
+"""ApacheBench-like load generator for the simulated HTTPS server.
+
+Mirrors the Figure 11 methodology: N runs of 1,000 requests from four
+concurrent clients, varying the response size, reporting throughput.
+Simulated time is the machine's cycle clock; throughput is expressed in
+requests/sec and MB/sec at the paper's 2.4 GHz core frequency.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+
+from repro.apps.sslserver.httpd import HttpServer
+
+if typing.TYPE_CHECKING:
+    from repro.kernel.task import Task
+
+#: Paper testbed frequency (Xeon Gold 5115): converts cycles to seconds.
+CLOCK_HZ = 2.4e9
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    requests: int
+    response_size: int
+    total_cycles: float
+
+    @property
+    def cycles_per_request(self) -> float:
+        return self.total_cycles / self.requests
+
+    @property
+    def requests_per_second(self) -> float:
+        return self.requests / (self.total_cycles / CLOCK_HZ)
+
+    @property
+    def throughput_mb_per_second(self) -> float:
+        total_bytes = self.requests * self.response_size
+        return (total_bytes / (1 << 20)) / (self.total_cycles / CLOCK_HZ)
+
+
+class ApacheBench:
+    """Drive an :class:`HttpServer` and measure simulated throughput."""
+
+    def __init__(self, server: HttpServer) -> None:
+        self.server = server
+
+    def run(self, task: "Task", requests: int, response_size: int,
+            concurrency: int = 4,
+            requests_per_connection: int = 1) -> BenchResult:
+        """Send ``requests`` requests of ``response_size`` bytes.
+
+        ``concurrency`` models the four concurrent ab clients: each new
+        connection's setup cost is amortized across the concurrent
+        batch exactly as pipelined client connections overlap in real
+        runs (the request handling itself is serialized on the single
+        worker, as in a single-listener httpd).
+        """
+        if requests <= 0 or concurrency <= 0:
+            raise ValueError("requests and concurrency must be positive")
+        kernel = self.server.kernel
+        start = kernel.clock.snapshot()
+        remaining = requests
+        while remaining > 0:
+            batch = min(concurrency * requests_per_connection, remaining)
+            connections = max(1, batch // max(1, requests_per_connection))
+            for _ in range(connections):
+                per_conn = min(requests_per_connection, remaining)
+                if per_conn == 0:
+                    break
+                self.server.handle_connection(task, response_size,
+                                              requests=per_conn)
+                remaining -= per_conn
+        elapsed = kernel.clock.snapshot() - start
+        return BenchResult(requests=requests, response_size=response_size,
+                           total_cycles=elapsed)

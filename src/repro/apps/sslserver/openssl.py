@@ -1,0 +1,124 @@
+"""The simulated OpenSSL library: EVP_PKEY storage and RSA operations.
+
+The paper's modification (§5.1) is small and surgical, and so is ours:
+
+* key material is allocated with ``mpk_malloc`` instead of
+  ``OPENSSL_malloc`` (so it lives in an isolated page group), and
+* the functions that legitimately touch it (``pkey_rsa_decrypt``) wrap
+  their access with ``mpk_begin``/``mpk_end``.
+
+``mode="insecure"`` keeps keys on the ordinary heap — the baseline the
+Heartbleed PoC leaks from; ``mode="libmpk"`` stores them in page group
+:data:`SslLibrary.PKEY_GROUP`.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.consts import PAGE_SIZE, PROT_READ, PROT_WRITE
+from repro.apps.sslserver.crypto import RsaPublicKey, ToyRSA
+
+if typing.TYPE_CHECKING:
+    from repro.core.api import Libmpk
+    from repro.kernel.kcore import Kernel, Process
+    from repro.kernel.task import Task
+
+RW = PROT_READ | PROT_WRITE
+
+# Cycle costs of the cryptographic compute itself (amortized bignum
+# work; the exact values only need to dwarf the permission-switch cost
+# the way real RSA dwarfs a WRPKRU).
+RSA_DECRYPT_CYCLES = 180_000.0
+RSA_KEYGEN_CYCLES = 2_000_000.0
+
+
+class EvpPkey:
+    """An EVP_PKEY handle: public half + the address of the private blob."""
+
+    def __init__(self, public: RsaPublicKey, addr: int, size: int) -> None:
+        self.public = public
+        self.addr = addr
+        self.size = size
+
+
+class SslLibrary:
+    """OpenSSL stand-in; one instance per server process."""
+
+    #: The hardcoded virtual key for the private-key page group
+    #: (Table 3: OpenSSL uses 1 pkey / 1 vkey).
+    PKEY_GROUP = 42
+    #: Size of the isolated key heap.
+    PKEY_HEAP_BYTES = 4 * PAGE_SIZE
+
+    def __init__(self, kernel: "Kernel", process: "Process", task: "Task",
+                 mode: str = "libmpk",
+                 lib: "Libmpk | None" = None) -> None:
+        if mode not in ("insecure", "libmpk"):
+            raise ValueError(f"unknown SSL mode: {mode!r}")
+        if mode == "libmpk" and lib is None:
+            raise ValueError("libmpk mode requires an initialized Libmpk")
+        self.kernel = kernel
+        self.process = process
+        self.mode = mode
+        self.lib = lib
+        if mode == "libmpk":
+            self._heap_base = lib.mpk_mmap(task, self.PKEY_GROUP,
+                                           self.PKEY_HEAP_BYTES, RW)
+        else:
+            self._heap_base = kernel.sys_mmap(task, self.PKEY_HEAP_BYTES,
+                                              RW)
+            self._bump = self._heap_base
+
+    # ------------------------------------------------------------------
+    # Allocation: OPENSSL_malloc vs mpk_malloc.
+    # ------------------------------------------------------------------
+
+    def _malloc(self, task: "Task", size: int) -> int:
+        if self.mode == "libmpk":
+            return self.lib.mpk_malloc(task, self.PKEY_GROUP, size)
+        addr = self._bump
+        if addr + size > self._heap_base + self.PKEY_HEAP_BYTES:
+            raise MemoryError("insecure SSL heap exhausted")
+        self._bump += (size + 15) & ~15
+        return addr
+
+    # ------------------------------------------------------------------
+    # Key lifecycle.
+    # ------------------------------------------------------------------
+
+    def load_private_key(self, task: "Task", seed: int = 0) -> EvpPkey:
+        """Generate a key pair and store the private blob in the key
+        heap (isolated in libmpk mode)."""
+        self.kernel.clock.charge(RSA_KEYGEN_CYCLES)
+        public, blob = ToyRSA.generate(seed)
+        addr = self._malloc(task, len(blob))
+        if self.mode == "libmpk":
+            with self.lib.domain(task, self.PKEY_GROUP, RW):
+                task.write(addr, blob)
+        else:
+            task.write(addr, blob)
+        return EvpPkey(public, addr, len(blob))
+
+    # ------------------------------------------------------------------
+    # The legitimate access path (wrapped in mpk_begin/mpk_end).
+    # ------------------------------------------------------------------
+
+    def pkey_rsa_decrypt(self, task: "Task", pkey: EvpPkey,
+                         ciphertext: int) -> int:
+        """RSA private-key decryption, reading the key through the MMU."""
+        if self.mode == "libmpk":
+            with self.lib.domain(task, self.PKEY_GROUP, PROT_READ):
+                blob = task.read(pkey.addr, pkey.size)
+        else:
+            blob = task.read(pkey.addr, pkey.size)
+        self.kernel.clock.charge(RSA_DECRYPT_CYCLES)
+        return ToyRSA.decrypt_with(blob, ciphertext)
+
+    # ------------------------------------------------------------------
+    # Introspection for the attack harness.
+    # ------------------------------------------------------------------
+
+    @property
+    def key_heap_base(self) -> int:
+        return self._heap_base

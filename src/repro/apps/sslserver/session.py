@@ -1,0 +1,160 @@
+"""TLS session management with a libmpk-protected session cache.
+
+Heartbleed's haul was not only private keys: master secrets of live
+sessions were equally exposed.  The hardened server therefore keeps
+its session cache in the same isolated page group as the private key —
+every master secret is an ``mpk_malloc`` allocation, readable only
+inside an access window.
+
+The handshake model distinguishes the two paths that matter for
+performance and key exposure:
+
+* **full handshake** — RSA key exchange (touches the private key) and
+  master-secret derivation; the secret is stored into the cache.
+* **resumption** — the client presents a session id; the server reads
+  the cached master secret (touching only the session group) and skips
+  the RSA operation entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import typing
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.consts import PROT_READ, PROT_WRITE
+from repro.errors import MpkError
+from repro.apps.sslserver.openssl import SslLibrary
+
+if typing.TYPE_CHECKING:
+    from repro.kernel.task import Task
+
+RW = PROT_READ | PROT_WRITE
+
+MASTER_SECRET_BYTES = 48          # TLS 1.2 master secret size
+DERIVE_CYCLES = 12_000.0          # PRF expansion
+RESUME_LOOKUP_CYCLES = 1_500.0    # cache probe + transcript check
+
+
+@dataclass(frozen=True)
+class TlsSession:
+    """A handle to one cached session (the secret stays in memory the
+    application cannot read outside a window)."""
+
+    session_id: bytes
+    secret_addr: int
+
+
+class SessionCache:
+    """LRU cache of master secrets inside the SSL library's key group."""
+
+    def __init__(self, ssl: SslLibrary, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise MpkError("session cache capacity must be positive")
+        self.ssl = ssl
+        self.capacity = capacity
+        self._sessions: OrderedDict[bytes, TlsSession] = OrderedDict()
+        self.stats_stores = 0
+        self.stats_resumptions = 0
+        self.stats_evictions = 0
+
+    # ------------------------------------------------------------------
+
+    def _alloc_secret(self, task: "Task") -> int:
+        if self.ssl.mode == "libmpk":
+            return self.ssl.lib.mpk_malloc(task, self.ssl.PKEY_GROUP,
+                                           MASTER_SECRET_BYTES)
+        return self.ssl._malloc(task, MASTER_SECRET_BYTES)
+
+    def _write_secret(self, task: "Task", addr: int,
+                      secret: bytes) -> None:
+        if self.ssl.mode == "libmpk":
+            with self.ssl.lib.domain(task, self.ssl.PKEY_GROUP, RW):
+                task.write(addr, secret)
+        else:
+            task.write(addr, secret)
+
+    def _read_secret(self, task: "Task", addr: int) -> bytes:
+        if self.ssl.mode == "libmpk":
+            with self.ssl.lib.domain(task, self.ssl.PKEY_GROUP,
+                                     PROT_READ):
+                return task.read(addr, MASTER_SECRET_BYTES)
+        return task.read(addr, MASTER_SECRET_BYTES)
+
+    # ------------------------------------------------------------------
+
+    def store(self, task: "Task", session_id: bytes,
+              secret: bytes) -> TlsSession:
+        if len(secret) != MASTER_SECRET_BYTES:
+            raise MpkError("master secret must be 48 bytes")
+        if session_id in self._sessions:
+            self.evict(task, session_id)
+        if len(self._sessions) >= self.capacity:
+            oldest = next(iter(self._sessions))
+            self.evict(task, oldest)
+            self.stats_evictions += 1
+        addr = self._alloc_secret(task)
+        self._write_secret(task, addr, secret)
+        session = TlsSession(session_id=session_id, secret_addr=addr)
+        self._sessions[session_id] = session
+        self.stats_stores += 1
+        return session
+
+    def resume(self, task: "Task", session_id: bytes) -> bytes | None:
+        """Return the master secret for ``session_id``, or None."""
+        session = self._sessions.get(session_id)
+        if session is None:
+            return None
+        self._sessions.move_to_end(session_id)
+        self.stats_resumptions += 1
+        return self._read_secret(task, session.secret_addr)
+
+    def evict(self, task: "Task", session_id: bytes) -> None:
+        """Wipe and free one session's secret."""
+        session = self._sessions.pop(session_id)
+        self._write_secret(task, session.secret_addr,
+                           b"\x00" * MASTER_SECRET_BYTES)
+        if self.ssl.mode == "libmpk":
+            self.ssl.lib.mpk_free(task, self.ssl.PKEY_GROUP,
+                                  session.secret_addr)
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def session_addr(self, session_id: bytes) -> int | None:
+        session = self._sessions.get(session_id)
+        return None if session is None else session.secret_addr
+
+
+class TlsHandshake:
+    """The two handshake paths over an :class:`SslLibrary`."""
+
+    def __init__(self, ssl: SslLibrary, cache: SessionCache,
+                 private_key) -> None:
+        self.ssl = ssl
+        self.cache = cache
+        self.private_key = private_key
+        self._counter = 0
+
+    def full_handshake(self, task: "Task") -> TlsSession:
+        """RSA key exchange + derivation + cache store."""
+        self._counter += 1
+        pre_master = 0x0303_0000_0000 + self._counter
+        ciphertext = self.private_key.public.encrypt(pre_master)
+        recovered = self.ssl.pkey_rsa_decrypt(task, self.private_key,
+                                              ciphertext)
+        if recovered != pre_master:
+            raise MpkError("key exchange failed")
+        self.ssl.kernel.clock.charge(DERIVE_CYCLES)
+        seed = recovered.to_bytes(8, "big") + self._counter.to_bytes(
+            4, "big")
+        secret = hashlib.sha384(seed).digest()
+        session_id = hashlib.sha256(seed).digest()[:16]
+        return self.cache.store(task, session_id, secret)
+
+    def resume_handshake(self, task: "Task",
+                         session_id: bytes) -> bytes | None:
+        """Abbreviated handshake: no RSA, no private-key touch."""
+        self.ssl.kernel.clock.charge(RESUME_LOOKUP_CYCLES)
+        return self.cache.resume(task, session_id)

@@ -1,0 +1,6 @@
+"""Benchmark harness support: fixtures, reporting, reference data."""
+
+from repro.bench.report import Reporter
+from repro.bench.fixtures import TestBed, make_testbed
+
+__all__ = ["Reporter", "TestBed", "make_testbed"]

@@ -1,0 +1,90 @@
+"""Table/series reporting for the benchmark suite.
+
+Benchmarks report *simulated cycles*, which pytest-benchmark cannot
+display natively (it measures host wall time).  The Reporter therefore
+prints paper-style tables straight to the real terminal (bypassing
+pytest's capture) and archives a copy under ``benchmarks/results/`` so
+EXPERIMENTS.md can reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parents[3] / \
+    "benchmarks" / "results"
+
+
+def _csv_cell(value: object) -> str:
+    """CSV-format one cell: strip thousands separators and markers so
+    the numbers parse numerically in plotting tools; quote non-numeric
+    text containing commas."""
+    text = str(value)
+    cleaned = text.replace(",", "").replace(" (*)", "").replace("%", "")
+    try:
+        float(cleaned.rstrip("x"))
+        return cleaned
+    except ValueError:
+        return f'"{text}"' if "," in text else text
+
+
+class Reporter:
+    """Collects lines for one experiment and emits them twice."""
+
+    def __init__(self, experiment: str) -> None:
+        self.experiment = experiment
+        self._lines: list[str] = []
+        self._csv_tables: list[tuple[list[str], list[list[object]]]] = []
+
+    def line(self, text: str = "") -> None:
+        self._lines.append(text)
+
+    def header(self, title: str) -> None:
+        self.line()
+        self.line("=" * 72)
+        self.line(title)
+        self.line("=" * 72)
+
+    def table(self, columns: list[str], rows: list[list[object]],
+              widths: list[int] | None = None) -> None:
+        if widths is None:
+            widths = []
+            for i, col in enumerate(columns):
+                cell_width = max([len(str(r[i])) for r in rows] + [len(col)])
+                widths.append(cell_width + 2)
+        self.line("".join(str(c).ljust(w) for c, w in zip(columns, widths)))
+        self.line("-" * sum(widths))
+        for row in rows:
+            self.line("".join(str(c).ljust(w)
+                              for c, w in zip(row, widths)))
+        self._csv_tables.append((list(columns), [list(r) for r in rows]))
+
+    def write_csv(self, suffix: str = "") -> pathlib.Path:
+        """Dump the most recent table as plot-ready CSV under
+        ``benchmarks/results/``; returns the path."""
+        if not self._csv_tables:
+            raise ValueError("no table recorded yet")
+        columns, rows = self._csv_tables[-1]
+        name = f"{self.experiment}{suffix}.csv"
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        path = RESULTS_DIR / name
+        with path.open("w") as handle:
+            handle.write(",".join(_csv_cell(c) for c in columns) + "\n")
+            for row in rows:
+                handle.write(",".join(_csv_cell(c) for c in row) + "\n")
+        return path
+
+    def compare(self, label: str, paper: float, measured: float,
+                unit: str = "") -> None:
+        """One paper-vs-measured line."""
+        self.line(f"  {label:<44s} paper {paper:>10.2f}{unit}   "
+                  f"measured {measured:>10.2f}{unit}")
+
+    def flush(self) -> None:
+        """Print to the real terminal and archive under results/."""
+        text = "\n".join(self._lines) + "\n"
+        sys.__stdout__.write(text)
+        sys.__stdout__.flush()
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        (RESULTS_DIR / f"{self.experiment}.txt").write_text(text)

@@ -1,0 +1,20 @@
+"""libmpk: the paper's software abstraction for Intel MPK.
+
+The package mirrors §4 of the paper:
+
+* :mod:`repro.core.api`      — the eight APIs of Table 2.
+* :mod:`repro.core.keycache` — protection-key virtualization (§4.2): the
+  vkey→pkey cache with LRU eviction and the configurable eviction rate.
+* :mod:`repro.core.groups`   — page-group metadata.
+* :mod:`repro.core.metadata` — metadata protection (§4.3): the
+  dual-mapped (user read-only / kernel writable) metadata page and
+  load-time call-site verification.
+* :mod:`repro.core.sync`     — inter-thread key synchronization (§4.4):
+  ``do_pkey_sync`` built on task_work + rescheduling IPIs.
+* :mod:`repro.core.heap`     — the per-group heap behind ``mpk_malloc``.
+"""
+
+from repro.core.api import Libmpk
+from repro.core.groups import PageGroup
+
+__all__ = ["Libmpk", "PageGroup"]

@@ -1,0 +1,578 @@
+"""The libmpk API (§4.1, Table 2).
+
+Eight calls over a process's address space:
+
+====================  =====================================================
+``mpk_init``          obtain every hardware key, set the eviction rate
+``mpk_mmap``          create a page group for a virtual key
+``mpk_munmap``        destroy a page group
+``mpk_begin/end``     thread-local domain isolation (usage model 1)
+``mpk_mprotect``      process-global permission change (usage model 2)
+``mpk_malloc/free``   heap allocation inside a page group
+====================  =====================================================
+
+All calls take the invoking :class:`~repro.kernel.task.Task` first —
+the simulator's stand-in for "the calling thread" — and charge the
+calibrated costs on the machine clock.
+
+Key-virtualization behaviour follows Figure 6: a *hit* costs a WRPKRU
+plus bookkeeping; a *miss* either evicts the least-recently-used
+unpinned hardware key or (for ``mpk_mprotect``, governed by the
+eviction rate) falls back to plain ``mprotect``.  ``mpk_begin`` always
+maps a key and raises :class:`~repro.errors.MpkKeyExhaustion` when all
+15 are pinned.  One key is lazily reserved for execute-only groups and
+never evicted while any exist.
+"""
+
+from __future__ import annotations
+
+import typing
+from contextlib import contextmanager
+
+from repro.consts import (
+    DEFAULT_PKEY,
+    MAP_ANONYMOUS,
+    MAP_PRIVATE,
+    PKEY_DISABLE_ACCESS,
+    PROT_EXEC,
+    PROT_NONE,
+    PROT_READ,
+    page_align_up,
+)
+from repro.errors import (
+    MpkError,
+    MpkKeyExhaustion,
+    MpkUnknownVkey,
+    MpkVkeyInUse,
+    NoSpace,
+)
+from repro.hw.pkru import KEY_RIGHTS_NONE, rights_for_prot
+from repro.core.groups import PageGroup
+from repro.core.heap import GroupHeap
+from repro.core.keycache import KeyCache
+from repro.core.metadata import CallSiteRegistry, MetadataRegion
+from repro.core.sync import do_pkey_sync
+
+if typing.TYPE_CHECKING:
+    from repro.kernel.kcore import Kernel, Process
+    from repro.kernel.task import Task
+
+_DEFAULT_FLAGS = MAP_ANONYMOUS | MAP_PRIVATE
+
+# Usage models a group was last driven by (decides eviction behaviour).
+_MODEL_DOMAIN = "domain"
+_MODEL_GLOBAL = "global"
+
+
+class Libmpk:
+    """One libmpk instance, bound to one process."""
+
+    def __init__(self, process: "Process") -> None:
+        self._process = process
+        self._kernel: "Kernel" = process.kernel
+        self._cache: KeyCache | None = None
+        self._groups: dict[int, PageGroup] = {}
+        self._heaps: dict[int, GroupHeap] = {}
+        self._models: dict[int, str] = {}
+        self._page_prots: dict[int, int] = {}  # PTE-level prot while cached
+        self._metadata: MetadataRegion | None = None
+        self._registry = CallSiteRegistry(None)
+        self._xo_pkey: int | None = None
+        self._xo_groups: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # mpk_init
+    # ------------------------------------------------------------------
+
+    def mpk_init(self, task: "Task", evict_rate: float = -1,
+                 static_vkeys: typing.Iterable[int] | None = None,
+                 policy: str = "lru") -> None:
+        """Initialize libmpk: grab all hardware keys, set the eviction
+        rate (-1 means the default of 100%), and set up the protected
+        metadata region.
+
+        ``static_vkeys`` models the load-time binary scan of §4.3: when
+        given, every later API call must use one of these hardcoded
+        virtual keys.  ``policy`` selects the victim-selection policy
+        ("lru" is the paper's design; "fifo"/"random" exist for the
+        ablation benchmarks).
+        """
+        if self._cache is not None:
+            raise MpkError("mpk_init() called twice")
+        if evict_rate == -1:
+            evict_rate = 1.0
+        keys: list[int] = []
+        while True:
+            try:
+                keys.append(self._kernel.sys_pkey_alloc(
+                    task, 0, PKEY_DISABLE_ACCESS))
+            except NoSpace:
+                break
+        if not keys:
+            raise MpkError("no hardware protection keys available")
+        self._cache = KeyCache(keys, evict_rate, policy=policy)
+        self._metadata = MetadataRegion(self._kernel, self._process, task)
+        self._registry = CallSiteRegistry(static_vkeys)
+
+    # ------------------------------------------------------------------
+    # mpk_mmap / mpk_munmap
+    # ------------------------------------------------------------------
+
+    def mpk_mmap(self, task: "Task", vkey: int, length: int, prot: int,
+                 flags: int = _DEFAULT_FLAGS,
+                 addr: int | None = None) -> int:
+        """Create a page group for ``vkey``; returns its base address.
+
+        The group starts *inaccessible* (Figure 5: "page permission:
+        rw- & pkey permission: --"): if a hardware key is free it backs
+        the group immediately with all-threads-denied PKRU rights;
+        otherwise the pages are mapped with their permission revoked
+        until the first ``mpk_begin``/``mpk_mprotect`` loads the group.
+        """
+        cache = self._require_init()
+        self._registry.verify(vkey)
+        if vkey in self._groups:
+            raise MpkVkeyInUse(f"vkey {vkey} already names a page group")
+        length = page_align_up(length)
+        base = self._kernel.sys_mmap(task, length, prot, flags, addr=addr)
+        group = PageGroup(vkey=vkey, base=base, length=length, prot=prot)
+        self._groups[vkey] = group
+        pkey = cache.assign_free(vkey)
+        if pkey is not None:
+            group.pkey = pkey
+            self._kernel_update_range(task, group, prot, pkey)
+            self._page_prots[vkey] = prot
+            self._quiesce_key(task, pkey)
+        else:
+            # No key available: revoke data access (keep EXEC, see
+            # _unload_group) until a begin/mprotect loads the group.
+            self._kernel_update_range(task, group, prot & PROT_EXEC,
+                                      DEFAULT_PKEY)
+        self._metadata.kernel_upsert(vkey, group.pkey, 0)
+        return base
+
+    def mpk_adopt(self, task: "Task", vkey: int, addr: int,
+                  length: int, prot: int) -> None:
+        """Create a page group from an *existing* mapping.
+
+        The paper's one-key-per-page JIT port dedicates a key to a code
+        page "when it is first time re-protected via mprotect()" — the
+        page already exists in the code cache and must not move.  This
+        entry point registers such a range as a page group; a hardware
+        key is attached lazily by the first mpk_begin/mpk_mprotect.
+        """
+        self._require_init()
+        self._registry.verify(vkey)
+        if vkey in self._groups:
+            raise MpkVkeyInUse(f"vkey {vkey} already names a page group")
+        length = page_align_up(length)
+        group = PageGroup(vkey=vkey, base=addr, length=length, prot=prot)
+        self._groups[vkey] = group
+        self._metadata.kernel_upsert(vkey, None, 0)
+
+    def mpk_disown(self, task: "Task", vkey: int, prot: int) -> None:
+        """Dissolve a page group *without* unmapping its pages.
+
+        The inverse of :meth:`mpk_adopt`: the group's metadata and key
+        binding are released and the pages become a plain mapping with
+        ``prot`` under the default key.  A JIT uses this to return cold
+        code pages to the undedicated pool (freeing their virtual keys)
+        while the code itself stays mapped and executable.
+        """
+        cache = self._require_init()
+        self._registry.verify(vkey)
+        group = self._lookup_group(vkey)
+        if group.pinned:
+            raise MpkError(
+                f"mpk_disown: vkey {vkey} is pinned by threads "
+                f"{sorted(group.pinned_by)}")
+        if group.exec_only:
+            self._leave_exec_only(vkey)
+        elif group.cached:
+            cache.release(vkey)
+        self._kernel_update_range(task, group, prot, DEFAULT_PKEY)
+        self._metadata.kernel_remove(vkey)
+        self._groups.pop(vkey)
+        self._heaps.pop(vkey, None)
+        self._models.pop(vkey, None)
+        self._page_prots.pop(vkey, None)
+
+    def mpk_munmap(self, task: "Task", vkey: int) -> None:
+        """Destroy ``vkey``'s page group and unmap all of its pages.
+
+        libmpk tracks the group→pages mapping precisely so destruction
+        never scans the whole page table (§4.1).
+        """
+        cache = self._require_init()
+        group = self._lookup_group(vkey)
+        if group.pinned:
+            raise MpkError(
+                f"mpk_munmap: vkey {vkey} is pinned by threads "
+                f"{sorted(group.pinned_by)}")
+        if group.exec_only:
+            self._leave_exec_only(vkey)
+        elif group.cached:
+            cache.release(vkey)
+        self._kernel.sys_munmap(task, group.base, group.length)
+        self._metadata.kernel_remove(vkey)
+        self._groups.pop(vkey)
+        self._heaps.pop(vkey, None)
+        self._models.pop(vkey, None)
+        self._page_prots.pop(vkey, None)
+
+    # ------------------------------------------------------------------
+    # mpk_begin / mpk_end — domain-based thread-local isolation.
+    # ------------------------------------------------------------------
+
+    def mpk_begin(self, task: "Task", vkey: int, prot: int) -> None:
+        """Grant the *calling thread* ``prot`` access to the group.
+
+        Always maps the virtual key to a hardware key (evicting an
+        unpinned LRU key on a miss); raises
+        :class:`~repro.errors.MpkKeyExhaustion` when every key is
+        pinned, letting the caller decide how to wait (§4.2).
+        """
+        cache = self._require_init()
+        self._charge(self._kernel.costs.mpk_cache_lookup)
+        self._registry.verify(vkey)
+        group = self._lookup_group(vkey)
+        if group.exec_only:
+            raise MpkError(
+                f"mpk_begin: vkey {vkey} is execute-only; change it "
+                "with mpk_mprotect first")
+        pkey = cache.lookup(vkey)
+        if pkey is None:
+            pkey = self._load_group(task, group, group.prot)
+            self._quiesce_key(task, pkey)
+        elif self._models.get(vkey) == _MODEL_GLOBAL:
+            # The group is moving from mprotect semantics (all threads
+            # hold its rights) to domain isolation: revoke the global
+            # grants so only begin/end windows open it from here on.
+            self._quiesce_key(task, pkey)
+        group.pinned_by.add(task.tid)
+        self._models[vkey] = _MODEL_DOMAIN
+        with task.trusted_gate():
+            task.pkey_set(pkey, rights_for_prot(prot))
+        self._metadata.kernel_upsert(vkey, pkey, len(group.pinned_by))
+
+    def mpk_begin_wait(self, task: "Task", vkey: int, prot: int,
+                       on_wait, max_attempts: int = 64) -> int:
+        """mpk_begin that handles key exhaustion by waiting.
+
+        The paper leaves exhaustion to the caller ("mpk_begin() raises
+        an exception and lets the calling thread handle it (e.g.,
+        sleeps until a key is available)"); this helper packages the
+        obvious strategy: on :class:`~repro.errors.MpkKeyExhaustion`,
+        invoke ``on_wait(attempt)`` — which must make progress, e.g. by
+        completing other work that ends a domain — and retry.  Returns
+        the number of attempts taken; raises after ``max_attempts``.
+        """
+        for attempt in range(1, max_attempts + 1):
+            try:
+                self.mpk_begin(task, vkey, prot)
+                return attempt
+            except MpkKeyExhaustion:
+                self._charge(self._kernel.costs.context_switch)
+                on_wait(attempt)
+        raise MpkKeyExhaustion(
+            f"mpk_begin_wait: no hardware key freed after "
+            f"{max_attempts} attempts")
+
+    def mpk_end(self, task: "Task", vkey: int) -> None:
+        """Release the calling thread's access to the group."""
+        self._require_init()
+        self._charge(self._kernel.costs.mpk_cache_lookup)
+        self._registry.verify(vkey)
+        group = self._lookup_group(vkey)
+        if task.tid not in group.pinned_by:
+            raise MpkError(
+                f"mpk_end: thread {task.tid} has no open mpk_begin on "
+                f"vkey {vkey}")
+        with task.trusted_gate():
+            task.pkey_set(group.pkey, KEY_RIGHTS_NONE)
+        group.pinned_by.discard(task.tid)
+        self._metadata.kernel_upsert(vkey, group.pkey, len(group.pinned_by))
+
+    @contextmanager
+    def domain(self, task: "Task", vkey: int, prot: int):
+        """``with lib.domain(task, vkey, prot): ...`` sugar around
+        mpk_begin/mpk_end."""
+        self.mpk_begin(task, vkey, prot)
+        try:
+            yield
+        finally:
+            self.mpk_end(task, vkey)
+
+    # ------------------------------------------------------------------
+    # mpk_mprotect — global permission change with mprotect semantics.
+    # ------------------------------------------------------------------
+
+    def mpk_mprotect(self, task: "Task", vkey: int, prot: int) -> None:
+        """Change the group's permission *for every thread*.
+
+        Hit: a WRPKRU for the caller plus lazy PKRU synchronization of
+        the siblings — no page-table or TLB work, independent of the
+        group's size.  Miss: evict the LRU key or fall back to plain
+        mprotect, per the configured eviction rate.  A ``PROT_EXEC``
+        request routes to the reserved execute-only key.
+        """
+        cache = self._require_init()
+        self._charge(self._kernel.costs.mpk_cache_lookup)
+        self._registry.verify(vkey)
+        group = self._lookup_group(vkey)
+
+        if prot == PROT_EXEC:
+            self._make_group_exec_only(task, group)
+            return
+        if group.exec_only:
+            # Leaving execute-only: scrub the reserved key out of the
+            # PTEs immediately — otherwise these pages would silently
+            # rejoin a *future* exec-only group that reuses the key.
+            self._leave_exec_only(vkey)
+            group.pkey = None
+            self._kernel_update_range(task, group, prot, DEFAULT_PKEY)
+            group.current_prot = prot
+            self._models[vkey] = _MODEL_GLOBAL
+            self._metadata.kernel_upsert(vkey, None,
+                                         len(group.pinned_by))
+            return
+
+        pkey = cache.lookup(vkey)
+        if pkey is not None:
+            self._mprotect_hit(task, group, pkey, prot)
+        elif cache.should_evict_on_miss():
+            pkey = self._load_group(task, group, prot)
+            self._apply_rights_globally(task, pkey, rights_for_prot(prot))
+        else:
+            # Fallback: enforce with page bits, process-wide by nature.
+            self._kernel.sys_mprotect(task, group.base, group.length, prot)
+        group.current_prot = prot
+        self._models[vkey] = _MODEL_GLOBAL
+        self._metadata.kernel_upsert(vkey, group.pkey,
+                                     len(group.pinned_by))
+
+    def _mprotect_hit(self, task: "Task", group: PageGroup, pkey: int,
+                      prot: int) -> None:
+        """Fast path: adjust PKRU rights; widen page bits only if the
+        request needs bits the PTEs do not yet carry (e.g. adding EXEC)."""
+        page_prot = self._page_prots.get(group.vkey, group.prot)
+        if prot & ~page_prot:
+            widened = page_prot | prot
+            self._kernel_update_range(task, group, widened, pkey)
+            self._page_prots[group.vkey] = widened
+        self._apply_rights_globally(task, pkey, rights_for_prot(prot))
+
+    # ------------------------------------------------------------------
+    # mpk_malloc / mpk_free — the per-group heap.
+    # ------------------------------------------------------------------
+
+    def mpk_malloc(self, task: "Task", vkey: int, size: int) -> int:
+        """Allocate ``size`` bytes inside ``vkey``'s page group."""
+        self._require_init()
+        self._charge(self._kernel.costs.mpk_metadata_op)
+        self._registry.verify(vkey)
+        group = self._lookup_group(vkey)
+        heap = self._heaps.get(vkey)
+        if heap is None:
+            heap = GroupHeap(group.base, group.length)
+            self._heaps[vkey] = heap
+        return heap.malloc(size)
+
+    def mpk_free(self, task: "Task", vkey: int, addr: int) -> None:
+        """Free an ``mpk_malloc`` allocation."""
+        self._require_init()
+        self._charge(self._kernel.costs.mpk_metadata_op)
+        self._registry.verify(vkey)
+        heap = self._heaps.get(vkey)
+        if heap is None:
+            raise MpkError(f"vkey {vkey} has no heap allocations")
+        heap.free(addr)
+
+    # ------------------------------------------------------------------
+    # Introspection (used by tests, benchmarks, and applications).
+    # ------------------------------------------------------------------
+
+    def group(self, vkey: int) -> PageGroup:
+        return self._lookup_group(vkey)
+
+    def groups(self) -> dict[int, PageGroup]:
+        return dict(self._groups)
+
+    def heap(self, vkey: int) -> GroupHeap | None:
+        return self._heaps.get(vkey)
+
+    @property
+    def cache(self) -> KeyCache:
+        return self._require_init()
+
+    @property
+    def metadata(self) -> MetadataRegion:
+        if self._metadata is None:
+            raise MpkError("libmpk is not initialized (call mpk_init)")
+        return self._metadata
+
+    @property
+    def exec_only_pkey(self) -> int | None:
+        return self._xo_pkey
+
+    def memory_overhead_bytes(self) -> int:
+        """Heap metadata (32 B per group) plus the metadata region."""
+        return (len(self._groups) * PageGroup.METADATA_BYTES
+                + self.metadata.capacity_bytes)
+
+    def stats(self) -> dict:
+        """A point-in-time summary of libmpk's internal state."""
+        cache = self._require_init()
+        groups = self._groups.values()
+        return {
+            "groups": len(self._groups),
+            "cached_groups": sum(1 for g in groups if g.cached),
+            "pinned_groups": sum(1 for g in groups if g.pinned),
+            "exec_only_groups": len(self._xo_groups),
+            "hardware_keys": cache.capacity,
+            "keys_in_use": cache.in_use,
+            "reserved_keys": len(cache.reserved_keys),
+            "cache_hits": cache.stats_hits,
+            "cache_misses": cache.stats_misses,
+            "evictions": cache.stats_evictions,
+            "mprotect_fallbacks": cache.stats_fallbacks,
+            "eviction_rate": cache.evict_rate,
+            "eviction_policy": cache.policy,
+            "memory_overhead_bytes": self.memory_overhead_bytes(),
+            "protected_bytes": sum(g.length for g in groups),
+        }
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+
+    def _require_init(self) -> KeyCache:
+        if self._cache is None:
+            raise MpkError("libmpk is not initialized (call mpk_init)")
+        return self._cache
+
+    def _lookup_group(self, vkey: int) -> PageGroup:
+        group = self._groups.get(vkey)
+        if group is None:
+            raise MpkUnknownVkey(f"vkey {vkey} has no page group")
+        return group
+
+    def _charge(self, cycles: float) -> None:
+        self._kernel.clock.charge(cycles)
+
+    def _kernel_update_range(self, task: "Task", group: PageGroup,
+                             prot: int, pkey: int,
+                             pte_prot: int | None = None) -> None:
+        """libmpk's kernel component rewriting a group's PTEs.
+
+        Charged like a pkey_mprotect syscall (Figure 6b shows the miss
+        path invoking mprotect), including the TLB shootdown; unlike the
+        userspace syscall it may legitimately reset keys to 0.
+        """
+        self._kernel._enter(task)
+        stats = self._process.mm.protect(group.base, group.length, prot,
+                                         pkey=pkey, pte_prot=pte_prot)
+        self._kernel._charge_protect(stats, pkey_variant=True)
+        self._kernel.scheduler.tlb_shootdown(self._process, task)
+
+    def _load_group(self, task: "Task", group: PageGroup,
+                    page_prot: int) -> int:
+        """Map ``group`` onto a hardware key, evicting the LRU unpinned
+        key when none is free.  Returns the key."""
+        cache = self._require_init()
+        pkey = cache.assign_free(group.vkey)
+        if pkey is None:
+            victim_vkey = cache.choose_victim(
+                lambda v: not self._groups[v].pinned)
+            pkey = cache.evict(victim_vkey)
+            self._unload_group(task, self._groups[victim_vkey])
+            cache.bind(group.vkey, pkey)
+        group.pkey = pkey
+        self._kernel_update_range(task, group, page_prot, pkey)
+        self._page_prots[group.vkey] = page_prot
+        return pkey
+
+    def _unload_group(self, task: "Task", group: PageGroup) -> None:
+        """Evict: reset the group's pages to key 0.
+
+        Domain-model groups lose their *data* permission entirely so no
+        thread can slip in while the group has no key (§4.2).  The EXEC
+        bit survives so an evicted JIT code page remains runnable; our
+        PTEs can express execute-only directly, standing in for routing
+        evicted executable groups through the reserved execute-only key
+        (x86 page bits cannot drop read while keeping exec).
+        Global-model groups keep their last requested permission
+        enforced by page bits, preserving mprotect semantics without a
+        hardware key.
+        """
+        model = self._models.get(group.vkey, _MODEL_DOMAIN)
+        if model == _MODEL_GLOBAL:
+            evicted_prot = group.current_prot
+        else:
+            evicted_prot = group.prot & PROT_EXEC
+        self._kernel_update_range(task, group, evicted_prot, DEFAULT_PKEY)
+        group.pkey = None
+        self._page_prots.pop(group.vkey, None)
+        self._metadata.kernel_upsert(group.vkey, None, len(group.pinned_by))
+
+    def _quiesce_key(self, task: "Task", pkey: int) -> None:
+        """Clear every thread's PKRU rights for a freshly (re)bound key
+        so stale grants from the key's previous tenant cannot leak into
+        the new group."""
+        with task.trusted_gate():
+            task.pkey_set(pkey, KEY_RIGHTS_NONE)
+        do_pkey_sync(self._kernel, task, pkey, KEY_RIGHTS_NONE)
+
+    def _apply_rights_globally(self, task: "Task", pkey: int,
+                               rights: int) -> None:
+        """The §4.4 global update: caller WRPKRUs itself, siblings get
+        lazy task_work updates plus rescheduling IPIs."""
+        with task.trusted_gate():
+            task.pkey_set(pkey, rights)
+        do_pkey_sync(self._kernel, task, pkey, rights)
+
+    # ------------------------------------------------------------------
+    # Execute-only groups (§4.2's reserved-key scheme).
+    # ------------------------------------------------------------------
+
+    def _make_group_exec_only(self, task: "Task", group: PageGroup) -> None:
+        cache = self._require_init()
+        self._charge(self._kernel.costs.mpk_metadata_op)
+        if self._xo_pkey is None:
+            self._xo_pkey = self._reserve_exec_only_key(task)
+        if group.cached and not group.exec_only:
+            # Leave the ordinary cache; the reserved key takes over.
+            cache.release(group.vkey)
+        self._kernel_update_range(task, group, PROT_EXEC, self._xo_pkey,
+                                  pte_prot=PROT_READ | PROT_EXEC)
+        group.pkey = self._xo_pkey
+        group.exec_only = True
+        group.current_prot = PROT_EXEC
+        self._xo_groups.add(group.vkey)
+        self._apply_rights_globally(task, self._xo_pkey, KEY_RIGHTS_NONE)
+        self._metadata.kernel_upsert(group.vkey, group.pkey,
+                                     len(group.pinned_by), flags=1)
+
+    def _reserve_exec_only_key(self, task: "Task") -> int:
+        """Reserve a key for execute-only groups, evicting the LRU
+        unpinned key if the pool is dry; the reserved key is never
+        evicted while execute-only pages exist."""
+        cache = self._require_init()
+        try:
+            return cache.reserve_free_key()
+        except MpkError:
+            victim_vkey = cache.choose_victim(
+                lambda v: not self._groups[v].pinned)
+            pkey = cache.evict(victim_vkey)
+            self._unload_group(task, self._groups[victim_vkey])
+            cache.reserve_key(pkey)
+            return pkey
+
+    def _leave_exec_only(self, vkey: int) -> None:
+        cache = self._require_init()
+        self._xo_groups.discard(vkey)
+        group = self._groups[vkey]
+        group.exec_only = False
+        if not self._xo_groups and self._xo_pkey is not None:
+            cache.unreserve(self._xo_pkey)
+            self._xo_pkey = None

@@ -1,0 +1,111 @@
+"""A first-fit heap over one page group (mpk_malloc / mpk_free).
+
+libmpk offers "a simple heap over each page group" so applications can
+place individual sensitive objects — OpenSSL private keys, Memcached
+items — inside a protected group without managing page-granular space
+themselves.
+
+Allocation metadata (free list, allocation sizes) lives outside the
+group's pages, in libmpk's own structures: the group's memory may be
+inaccessible (pkey permission ``--``) at malloc time, and keeping
+headers out-of-band also means a heap overflow inside the group cannot
+corrupt allocator state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MpkError
+
+ALIGNMENT = 16
+
+
+def _align_up(n: int) -> int:
+    return (n + ALIGNMENT - 1) & ~(ALIGNMENT - 1)
+
+
+@dataclass
+class _FreeChunk:
+    addr: int
+    size: int
+
+
+class GroupHeap:
+    """First-fit free-list allocator over ``[base, base+size)``."""
+
+    def __init__(self, base: int, size: int) -> None:
+        if size <= 0:
+            raise MpkError(f"heap size must be positive: {size}")
+        self.base = base
+        self.size = size
+        self._free: list[_FreeChunk] = [_FreeChunk(base, size)]
+        self._allocated: dict[int, int] = {}  # addr -> size
+
+    # ------------------------------------------------------------------
+
+    def malloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; raises :class:`MpkError` when the
+        group cannot satisfy the request."""
+        if size <= 0:
+            raise MpkError(f"allocation size must be positive: {size}")
+        need = _align_up(size)
+        for i, chunk in enumerate(self._free):
+            if chunk.size >= need:
+                addr = chunk.addr
+                if chunk.size == need:
+                    del self._free[i]
+                else:
+                    chunk.addr += need
+                    chunk.size -= need
+                self._allocated[addr] = need
+                return addr
+        raise MpkError(
+            f"page group heap exhausted: need {need} bytes, "
+            f"largest free chunk {self.largest_free_chunk()}")
+
+    def free(self, addr: int) -> None:
+        """Release an allocation; coalesces adjacent free chunks."""
+        size = self._allocated.pop(addr, None)
+        if size is None:
+            raise MpkError(f"mpk_free of unallocated address {addr:#x}")
+        self._insert_free(_FreeChunk(addr, size))
+
+    def _insert_free(self, chunk: _FreeChunk) -> None:
+        # Keep the free list address-sorted and coalesce neighbours.
+        lo, hi = 0, len(self._free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._free[mid].addr < chunk.addr:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._free.insert(lo, chunk)
+        # Coalesce with successor, then predecessor.
+        if lo + 1 < len(self._free):
+            nxt = self._free[lo + 1]
+            if chunk.addr + chunk.size == nxt.addr:
+                chunk.size += nxt.size
+                del self._free[lo + 1]
+        if lo > 0:
+            prev = self._free[lo - 1]
+            if prev.addr + prev.size == chunk.addr:
+                prev.size += chunk.size
+                del self._free[lo]
+
+    # ------------------------------------------------------------------
+
+    def allocation_size(self, addr: int) -> int | None:
+        return self._allocated.get(addr)
+
+    def allocated_bytes(self) -> int:
+        return sum(self._allocated.values())
+
+    def free_bytes(self) -> int:
+        return sum(c.size for c in self._free)
+
+    def largest_free_chunk(self) -> int:
+        return max((c.size for c in self._free), default=0)
+
+    def allocation_count(self) -> int:
+        return len(self._allocated)

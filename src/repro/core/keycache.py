@@ -1,0 +1,195 @@
+"""Protection-key virtualization: the vkey→pkey cache (§4.2, Figure 6).
+
+libmpk hides hardware keys behind virtual keys and schedules the 15
+usable hardware keys across an unbounded number of page groups like a
+cache:
+
+* **hit** — the virtual key already holds a hardware key; permission
+  changes cost only a WRPKRU plus bookkeeping.
+* **miss** — either *evict* the least-recently-used unpinned key and
+  hand it over, or skip eviction and fall back to ``mprotect`` on the
+  group's pages.  Which of the two happens is governed by the
+  *eviction rate* configured in ``mpk_init``.
+
+The eviction-rate decision is deterministic here (an error-diffusion
+counter rather than a random draw) so tests and benchmarks are exactly
+reproducible: a rate of 0.5 evicts on every second miss, 1.0 on every
+miss, 0.0 never.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import OrderedDict
+
+from repro.errors import MpkError, MpkKeyExhaustion
+
+
+#: Victim-selection policies.  The paper uses LRU; FIFO and RANDOM are
+#: provided for the ablation study in ``benchmarks/``.
+POLICIES = ("lru", "fifo", "random")
+
+
+class KeyCache:
+    """Scheduler for the mappings between virtual and hardware keys."""
+
+    def __init__(self, hardware_keys: list[int], evict_rate: float,
+                 policy: str = "lru", seed: int = 42) -> None:
+        if not hardware_keys:
+            raise MpkError("key cache needs at least one hardware key")
+        if not 0.0 <= evict_rate <= 1.0:
+            raise MpkError(f"eviction rate must be in [0, 1]: {evict_rate}")
+        if policy not in POLICIES:
+            raise MpkError(f"unknown eviction policy: {policy!r}")
+        self._free: list[int] = sorted(hardware_keys, reverse=True)
+        self._all = frozenset(hardware_keys)
+        # Insertion/refresh order doubles as LRU order: oldest first.
+        # Under the FIFO policy lookups do not refresh, so the same
+        # structure yields bind order instead.
+        self._lru: OrderedDict[int, int] = OrderedDict()  # vkey -> pkey
+        self.evict_rate = evict_rate
+        self.policy = policy
+        self._rng = random.Random(seed)
+        self._reserved: set[int] = set()
+        self._miss_count = 0
+        self.stats_hits = 0
+        self.stats_misses = 0
+        self.stats_evictions = 0
+        self.stats_fallbacks = 0
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return len(self._all)
+
+    @property
+    def in_use(self) -> int:
+        return len(self._lru)
+
+    def lookup(self, vkey: int) -> int | None:
+        """Return the cached hardware key for ``vkey`` (refreshing LRU
+        recency), or None on a miss."""
+        pkey = self._lru.get(vkey)
+        if pkey is None:
+            self.stats_misses += 1
+            return None
+        if self.policy == "lru":
+            self._lru.move_to_end(vkey)
+        self.stats_hits += 1
+        return pkey
+
+    def peek(self, vkey: int) -> int | None:
+        """lookup() without touching recency or statistics."""
+        return self._lru.get(vkey)
+
+    def cached_vkeys(self) -> list[int]:
+        return list(self._lru)
+
+    # ------------------------------------------------------------------
+    # Assignment and eviction.
+    # ------------------------------------------------------------------
+
+    def assign_free(self, vkey: int) -> int | None:
+        """Bind ``vkey`` to a free hardware key if one exists."""
+        if vkey in self._lru:
+            raise MpkError(f"vkey {vkey} is already cached")
+        if not self._free:
+            return None
+        pkey = self._free.pop()
+        self._lru[vkey] = pkey
+        return pkey
+
+    def choose_victim(self, is_evictable) -> int:
+        """LRU-order scan for the first vkey whose key may be evicted.
+
+        ``is_evictable(vkey)`` lets the caller veto pinned groups and
+        the reserved execute-only key.  Raises
+        :class:`MpkKeyExhaustion` when nothing can be evicted — the
+        situation where the paper says ``mpk_begin`` raises and lets the
+        thread decide (e.g. sleep until a key frees).
+        """
+        candidates = [vkey for vkey, pkey in self._lru.items()
+                      if pkey not in self._reserved and is_evictable(vkey)]
+        if not candidates:
+            raise MpkKeyExhaustion(
+                "all hardware protection keys are pinned or reserved")
+        if self.policy == "random":
+            return self._rng.choice(candidates)
+        # "lru" and "fifo" both take the oldest entry; they differ in
+        # whether lookup() refreshed recency above.
+        return candidates[0]
+
+    def evict(self, vkey: int) -> int:
+        """Remove ``vkey``'s binding; its key becomes immediately
+        reassignable by the caller (not returned to the free list)."""
+        try:
+            pkey = self._lru.pop(vkey)
+        except KeyError:
+            raise MpkError(f"vkey {vkey} is not cached") from None
+        self.stats_evictions += 1
+        return pkey
+
+    def bind(self, vkey: int, pkey: int) -> None:
+        """Bind ``vkey`` to a key obtained from :meth:`evict`."""
+        if pkey not in self._all:
+            raise MpkError(f"pkey {pkey} is not managed by this cache")
+        if vkey in self._lru:
+            raise MpkError(f"vkey {vkey} is already cached")
+        self._lru[vkey] = pkey
+
+    def release(self, vkey: int) -> int:
+        """Unbind ``vkey`` and return its key to the free pool
+        (mpk_munmap path)."""
+        pkey = self.evict(vkey)
+        self.stats_evictions -= 1  # not a capacity eviction
+        self._free.append(pkey)
+        return pkey
+
+    # ------------------------------------------------------------------
+    # Eviction-rate policy.
+    # ------------------------------------------------------------------
+
+    def should_evict_on_miss(self) -> bool:
+        """Deterministic eviction-rate gate for mpk_mprotect misses."""
+        self._miss_count += 1
+        before = math.floor((self._miss_count - 1) * self.evict_rate)
+        after = math.floor(self._miss_count * self.evict_rate)
+        decided = after > before
+        if not decided:
+            self.stats_fallbacks += 1
+        return decided
+
+    # ------------------------------------------------------------------
+    # Reservation (execute-only key, §4.2).
+    # ------------------------------------------------------------------
+
+    def reserve_free_key(self) -> int:
+        """Permanently reserve a free hardware key (never evicted)."""
+        if not self._free:
+            raise MpkKeyExhaustion("no free hardware key to reserve")
+        pkey = self._free.pop()
+        self._reserved.add(pkey)
+        return pkey
+
+    def reserve_key(self, pkey: int) -> None:
+        """Mark a key obtained via :meth:`evict` as reserved."""
+        if pkey not in self._all:
+            raise MpkError(f"pkey {pkey} is not managed by this cache")
+        if pkey in self._reserved:
+            raise MpkError(f"pkey {pkey} is already reserved")
+        self._reserved.add(pkey)
+
+    def unreserve(self, pkey: int) -> None:
+        """Return a reserved key to the pool (all exec-only pages gone)."""
+        if pkey not in self._reserved:
+            raise MpkError(f"pkey {pkey} is not reserved")
+        self._reserved.remove(pkey)
+        self._free.append(pkey)
+
+    @property
+    def reserved_keys(self) -> frozenset[int]:
+        return frozenset(self._reserved)

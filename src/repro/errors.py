@@ -1,0 +1,120 @@
+"""Exception hierarchy for the simulated machine, kernel, and libmpk.
+
+Faults raised by the simulated MMU subclass :class:`MachineFault`; kernel
+syscall failures subclass :class:`KernelError` and carry an errno-style
+code; libmpk API misuse subclasses :class:`MpkError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+# --------------------------------------------------------------------------
+# Hardware faults (delivered by the simulated MMU / CPU).
+# --------------------------------------------------------------------------
+
+class MachineFault(ReproError):
+    """An access violation detected by the simulated hardware."""
+
+    def __init__(self, message: str, *, addr: int | None = None,
+                 access: str | None = None) -> None:
+        super().__init__(message)
+        self.addr = addr
+        self.access = access
+
+
+class SegmentationFault(MachineFault):
+    """Page-permission (or unmapped-page) violation — SIGSEGV."""
+
+
+class PkeyFault(SegmentationFault):
+    """Access denied by PKRU rights for the page's protection key.
+
+    Linux reports these as SIGSEGV with ``si_code = SEGV_PKUERR``; we keep
+    a distinct subclass so tests can tell page faults from pkey faults.
+    """
+
+    def __init__(self, message: str, *, addr: int | None = None,
+                 access: str | None = None, pkey: int | None = None) -> None:
+        super().__init__(message, addr=addr, access=access)
+        self.pkey = pkey
+
+
+class GeneralProtectionFault(MachineFault):
+    """Malformed privileged/special instruction execution (e.g. WRPKRU
+    with non-zero ECX/EDX)."""
+
+
+# --------------------------------------------------------------------------
+# Kernel errors (syscall failures).
+# --------------------------------------------------------------------------
+
+class KernelError(ReproError):
+    """A syscall failed; ``errno`` mirrors the Linux error code name."""
+
+    def __init__(self, errno: str, message: str) -> None:
+        super().__init__(f"[{errno}] {message}")
+        self.errno = errno
+
+
+class InvalidArgument(KernelError):
+    def __init__(self, message: str) -> None:
+        super().__init__("EINVAL", message)
+
+
+class OutOfMemory(KernelError):
+    def __init__(self, message: str) -> None:
+        super().__init__("ENOMEM", message)
+
+
+class NoSpace(KernelError):
+    """All hardware protection keys are allocated (ENOSPC)."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__("ENOSPC", message)
+
+
+class PermissionDenied(KernelError):
+    def __init__(self, message: str) -> None:
+        super().__init__("EACCES", message)
+
+
+# --------------------------------------------------------------------------
+# libmpk errors.
+# --------------------------------------------------------------------------
+
+class MpkError(ReproError):
+    """libmpk API misuse or unsatisfiable request."""
+
+
+class MpkKeyExhaustion(MpkError):
+    """mpk_begin() could not map a hardware key: every key is pinned.
+
+    The paper specifies that mpk_begin() raises an exception in this case
+    and lets the calling thread handle it (e.g. sleep until a key frees).
+    """
+
+
+class MpkUnknownVkey(MpkError):
+    """The virtual key has no page group (not created via mpk_mmap())."""
+
+
+class MpkVkeyInUse(MpkError):
+    """mpk_mmap() was called with a virtual key that already has a group."""
+
+
+class MpkMetadataTampering(MpkError):
+    """Load-time/call-site verification rejected a libmpk invocation."""
+
+
+class SandboxViolation(ReproError):
+    """A WRPKRU executed outside a trusted call gate.
+
+    Models the §7 mitigation for control-flow hijacking: ERIM-style
+    binary scanning guarantees the only reachable WRPKRU instructions
+    sit behind libmpk's call gates, so a hijacked control flow cannot
+    mint itself pkey rights.
+    """

@@ -1,0 +1,31 @@
+"""Simulated x86-64 hardware with Intel Memory Protection Keys.
+
+Submodules
+----------
+cycles   calibrated cost model (Table 1 / Figures 2-3 constants) and clock
+pkru     the PKRU register value type (per-key AD/WD rights)
+phys     physical memory frames and the frame allocator
+paging   page-table entries carrying the 4-bit protection key field
+tlb      per-core TLB with flush accounting
+cpu      logical cores: WRPKRU/RDPKRU, the MMU permission check
+machine  a complete machine (cores + memory + clock)
+"""
+
+from repro.hw.cycles import Clock, CostModel
+from repro.hw.machine import Machine
+from repro.hw.pkru import PKRU, KEY_RIGHTS_ALL, KEY_RIGHTS_NONE, KEY_RIGHTS_READ
+from repro.hw.phys import PhysicalMemory
+from repro.hw.paging import PageTable, PageTableEntry
+
+__all__ = [
+    "Clock",
+    "CostModel",
+    "Machine",
+    "PKRU",
+    "KEY_RIGHTS_ALL",
+    "KEY_RIGHTS_NONE",
+    "KEY_RIGHTS_READ",
+    "PhysicalMemory",
+    "PageTable",
+    "PageTableEntry",
+]

@@ -1,0 +1,268 @@
+"""Logical cores (hyperthreads): PKRU instructions and the MMU check.
+
+Each :class:`Core` owns a PKRU register and a TLB.  Data accesses apply
+the Figure-1 rule — the effective permission is the *intersection* of the
+page's permission bits and the PKRU rights for the page's protection key
+— while instruction fetches consult only the page bits (MPK rights are
+orthogonal to execution, which is what enables execute-only memory).
+
+WRPKRU is modeled with its serialization side effect (Figure 2): the
+instruction drains the pipeline, so instructions issued right after it
+lose out-of-order overlap for a window of instructions.
+"""
+
+from __future__ import annotations
+
+from repro.consts import PAGE_SIZE, page_number
+from repro.errors import GeneralProtectionFault, PkeyFault, SegmentationFault
+from repro.hw.cycles import Clock, CostModel
+from repro.hw.paging import PageTable, PageTableEntry
+from repro.hw.pkru import PKRU
+from repro.hw.tlb import TLB, TlbEntry
+
+READ = "read"
+WRITE = "write"
+FETCH = "fetch"
+_ACCESS_KINDS = (READ, WRITE, FETCH)
+
+
+class Core:
+    """One logical core (hyperthread)."""
+
+    def __init__(self, core_id: int, clock: Clock, costs: CostModel,
+                 meltdown_mitigated: bool = False) -> None:
+        self.core_id = core_id
+        self.clock = clock
+        self.costs = costs
+        self.pkru = PKRU.deny_all_but_default()
+        self.tlb = TLB(clock, costs)
+        # Remaining instructions that execute without out-of-order overlap
+        # because a WRPKRU recently serialized the pipeline.
+        self._serial_shadow = 0
+        self._stall_pending = False
+        # Rogue-data-cache-load (Meltdown) susceptibility: pre-2018
+        # silicon checks PKRU after the data is already in flight (§7).
+        self.meltdown_mitigated = meltdown_mitigated
+        # Architectural event counters (benchmark reporting).
+        self.wrpkru_count = 0
+        self.rdpkru_count = 0
+        self.data_accesses = 0
+        self.instruction_fetches = 0
+
+    # ------------------------------------------------------------------
+    # PKRU instructions.
+    # ------------------------------------------------------------------
+
+    def wrpkru(self, value: int, ecx: int = 0, edx: int = 0) -> None:
+        """Execute WRPKRU: EAX=value, ECX and EDX must be zero.
+
+        Serializes the pipeline: subsequent instructions pay full latency
+        until the out-of-order window refills.
+        """
+        if ecx != 0 or edx != 0:
+            raise GeneralProtectionFault(
+                "WRPKRU requires ECX=0 and EDX=0 "
+                f"(got ecx={ecx:#x}, edx={edx:#x})")
+        # The measured 23.3 cycles already include WRPKRU's own pipeline
+        # drain; the serialization shadow it leaves behind penalizes the
+        # *following* instructions (Figure 2's W2 > W1).
+        self.clock.charge(self.costs.wrpkru)
+        self.wrpkru_count += 1
+        self.pkru = PKRU(value & 0xFFFF_FFFF)
+        self._serial_shadow = self.costs.serialization_window
+        self._stall_pending = True
+
+    def rdpkru(self, ecx: int = 0) -> int:
+        """Execute RDPKRU: ECX must be zero; returns PKRU in EAX."""
+        if ecx != 0:
+            raise GeneralProtectionFault(
+                f"RDPKRU requires ECX=0 (got ecx={ecx:#x})")
+        self._consume_serial_slot(self.costs.rdpkru)
+        self.rdpkru_count += 1
+        return self.pkru.value
+
+    def load_pkru(self, pkru: PKRU) -> None:
+        """Context-switch-in PKRU restore (XRSTOR path, not WRPKRU).
+
+        Costs are attributed to the scheduler's context-switch charge, so
+        this only replaces the architectural value.
+        """
+        self.pkru = pkru
+
+    # ------------------------------------------------------------------
+    # Simple ALU instructions (Figure 2 microbenchmark support).
+    # ------------------------------------------------------------------
+
+    def reset_pipeline(self) -> None:
+        """Clear serialization state (microbenchmark isolation between
+        measured sequences; a real harness achieves this with a long
+        warm-down of unrelated instructions)."""
+        self._serial_shadow = 0
+        self._stall_pending = False
+
+    def execute_adds(self, count: int) -> None:
+        """Execute ``count`` independent ADD instructions.
+
+        Without a recent WRPKRU they retire at 4/cycle; inside the
+        serialization shadow each costs a full cycle (plus a one-time
+        pipeline-drain stall on the first one).
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        for _ in range(count):
+            self._consume_serial_slot(self.costs.add_throughput,
+                                      serial_cost=self.costs.add_latency)
+
+    def execute_mov_reg(self) -> None:
+        self._consume_serial_slot(self.costs.mov_reg)
+
+    def execute_mov_xmm(self) -> None:
+        self._consume_serial_slot(self.costs.mov_xmm)
+
+    def _consume_serial_slot(self, normal_cost: float,
+                             serial_cost: float | None = None) -> None:
+        """Charge one instruction, honoring the serialization shadow."""
+        if self._serial_shadow > 0:
+            cost = normal_cost if serial_cost is None else serial_cost
+            if self._stall_pending:
+                cost += self.costs.serialization_stall
+                self._stall_pending = False
+            self._serial_shadow -= 1
+            self.clock.charge(cost)
+        else:
+            self.clock.charge(normal_cost)
+
+    # ------------------------------------------------------------------
+    # MMU: the Figure-1 permission check.
+    # ------------------------------------------------------------------
+
+    def check_access(self, page_table: PageTable, addr: int,
+                     kind: str) -> PageTableEntry:
+        """Translate one address and enforce permissions for ``kind``.
+
+        Returns the PTE on success; raises :class:`SegmentationFault` for
+        page-bit violations and :class:`PkeyFault` when the page bits
+        allow the access but the PKRU rights for the page's key deny it.
+        """
+        if kind not in _ACCESS_KINDS:
+            raise ValueError(f"unknown access kind: {kind!r}")
+        vpn = page_number(addr)
+        cached = self.tlb.lookup(vpn)
+        entry = page_table.lookup(vpn)
+        if entry is None:
+            # Stale TLB entries can outlive an unmap until a shootdown; a
+            # real machine would happily use them.  We model the paging
+            # structures as authoritative for mapping existence but keep
+            # permission bits from the TLB entry when present.
+            raise SegmentationFault(
+                f"{kind} of unmapped address {addr:#x}", addr=addr, access=kind)
+        if cached is None:
+            self.clock.charge(self.costs.tlb_miss_walk)
+            cached = TlbEntry(frame_number=entry.frame.number,
+                              prot=entry.prot, pkey=entry.pkey)
+            self.tlb.fill(vpn, cached)
+
+        prot, pkey = cached.prot, cached.pkey
+        self.clock.charge(self.costs.mem_access)
+        if kind == FETCH:
+            self.instruction_fetches += 1
+        else:
+            self.data_accesses += 1
+
+        if kind == FETCH:
+            # Instruction fetch ignores PKRU entirely (Figure 1).
+            if not prot & 0x4:  # PROT_EXEC
+                raise SegmentationFault(
+                    f"fetch from non-executable page at {addr:#x}",
+                    addr=addr, access=kind)
+            return entry
+
+        page_ok = bool(prot & 0x1) if kind == READ else bool(prot & 0x2)
+        if not page_ok:
+            raise SegmentationFault(
+                f"{kind} denied by page permission at {addr:#x}",
+                addr=addr, access=kind)
+
+        pkey_ok = (self.pkru.can_read(pkey) if kind == READ
+                   else self.pkru.can_write(pkey))
+        if not pkey_ok:
+            raise PkeyFault(
+                f"{kind} denied by PKRU for pkey {pkey} at {addr:#x}",
+                addr=addr, access=kind, pkey=pkey)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Data transfer through the MMU.
+    # ------------------------------------------------------------------
+
+    def read(self, page_table: PageTable, addr: int, length: int) -> bytes:
+        """MMU-checked read of ``length`` bytes starting at ``addr``."""
+        return b"".join(
+            entry.frame.read(offset, chunk)
+            for entry, offset, chunk in self._walk(page_table, addr,
+                                                   length, READ))
+
+    def write(self, page_table: PageTable, addr: int, data: bytes) -> None:
+        """MMU-checked write of ``data`` starting at ``addr``."""
+        cursor = 0
+        for entry, offset, chunk in self._walk(page_table, addr,
+                                               len(data), WRITE):
+            entry.frame.write(offset, data[cursor:cursor + chunk])
+            cursor += chunk
+
+    def fetch(self, page_table: PageTable, addr: int, length: int) -> bytes:
+        """Instruction fetch (PKRU-exempt) of ``length`` bytes."""
+        return b"".join(
+            entry.frame.read(offset, chunk)
+            for entry, offset, chunk in self._walk(page_table, addr,
+                                                   length, FETCH))
+
+    # ------------------------------------------------------------------
+    # Rogue data cache load — the §7 Meltdown discussion.
+    # ------------------------------------------------------------------
+
+    def speculative_read(self, page_table: PageTable, addr: int,
+                         length: int) -> bytes | None:
+        """Model the rogue-data-cache-load transient window.
+
+        Vulnerable CPUs check PKRU "when checking the page permission at
+        the same pipeline phase" — *after* the load has executed
+        transiently — so the content of a present, page-readable page
+        leaks through the cache side channel even when its protection
+        key denies access.  Architecturally the access still faults;
+        this returns what the attacker recovers via the covert channel,
+        or None when nothing leaks (page absent, page bits deny, or
+        mitigated silicon).
+
+        Only already-populated pages can leak: an untouched
+        demand-paged page has no resident data to load transiently.
+        """
+        if self.meltdown_mitigated:
+            return None
+        vpn = page_number(addr)
+        entry = page_table.lookup_populated(vpn)
+        if entry is None:
+            return None  # no present translation -> nothing in flight
+        if not entry.prot & 0x1:
+            return None  # page bits deny: the load never issues
+        # PKRU-only denial: the transient load completes before the
+        # pkey check retires; the attacker reads the cache residue.
+        limit = min(length, PAGE_SIZE - addr % PAGE_SIZE)
+        self.clock.charge(self.costs.mem_access + self.costs.cache_line_fill)
+        return entry.frame.read(addr % PAGE_SIZE, limit)
+
+    def _walk(self, page_table: PageTable, addr: int, length: int,
+              kind: str):
+        """Yield (PTE, in-page offset, chunk length) per page touched,
+        permission-checking each page."""
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        remaining = length
+        cursor = addr
+        while remaining > 0:
+            entry = self.check_access(page_table, cursor, kind)
+            offset = cursor % PAGE_SIZE
+            chunk = min(remaining, PAGE_SIZE - offset)
+            yield entry, offset, chunk
+            cursor += chunk
+            remaining -= chunk

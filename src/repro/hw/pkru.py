@@ -1,0 +1,110 @@
+"""The PKRU register: per-protection-key access/write-disable rights.
+
+PKRU is a 32-bit register holding two bits per protection key: *access
+disable* (AD, bit ``2*key``) and *write disable* (WD, bit ``2*key + 1``).
+A thread's effective right to a page is the intersection of the page's
+permission bits and the PKRU rights for the page's key (Figure 1 of the
+paper); instruction fetches bypass PKRU entirely.
+
+The value type here is immutable: WRPKRU replaces the whole register, so
+callers build a new :class:`PKRU` and install it on a core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.consts import NUM_PKEYS, PKEY_DISABLE_ACCESS, PKEY_DISABLE_WRITE
+
+# Per-key rights values (the (AD, WD) pair packed as AD | WD<<1).
+KEY_RIGHTS_ALL = 0x0                    # read/write
+KEY_RIGHTS_READ = PKEY_DISABLE_WRITE    # read-only
+KEY_RIGHTS_NONE = PKEY_DISABLE_ACCESS   # no access (WD irrelevant)
+
+def _check_key(key: int) -> None:
+    if not 0 <= key < NUM_PKEYS:
+        raise ValueError(f"protection key out of range: {key}")
+
+
+def _check_rights(rights: int) -> None:
+    if rights & ~(PKEY_DISABLE_ACCESS | PKEY_DISABLE_WRITE):
+        raise ValueError(f"invalid pkey rights bits: {rights:#x}")
+
+
+@dataclass(frozen=True)
+class PKRU:
+    """Immutable PKRU register value.
+
+    ``value`` packs 16 two-bit fields; key *k*'s AD bit is ``2k`` and its
+    WD bit is ``2k + 1``, matching the hardware encoding.
+    """
+
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < (1 << 32):
+            raise ValueError(f"PKRU value out of 32-bit range: {self.value:#x}")
+
+    # ---- Constructors. ----
+
+    @classmethod
+    def allow_all(cls) -> "PKRU":
+        """Every key readable/writable (PKRU = 0)."""
+        return cls(0)
+
+    @classmethod
+    def deny_all_but_default(cls) -> "PKRU":
+        """Linux's initial PKRU: key 0 full access, keys 1-15 denied.
+
+        (The x86 init value 0x55555554: AD set for keys 1..15.)
+        """
+        value = 0
+        for key in range(1, NUM_PKEYS):
+            value |= PKEY_DISABLE_ACCESS << (2 * key)
+        return cls(value)
+
+    # ---- Queries. ----
+
+    def rights(self, key: int) -> int:
+        """The two-bit (AD | WD<<1) rights field for ``key``."""
+        _check_key(key)
+        return (self.value >> (2 * key)) & 0x3
+
+    def can_read(self, key: int) -> bool:
+        return not self.rights(key) & PKEY_DISABLE_ACCESS
+
+    def can_write(self, key: int) -> bool:
+        rights = self.rights(key)
+        return not rights & (PKEY_DISABLE_ACCESS | PKEY_DISABLE_WRITE)
+
+    # ---- Functional updates. ----
+
+    def with_rights(self, key: int, rights: int) -> "PKRU":
+        """A copy with ``key``'s rights replaced by ``rights``."""
+        _check_key(key)
+        _check_rights(rights)
+        cleared = self.value & ~(0x3 << (2 * key))
+        return PKRU(cleared | rights << (2 * key))
+
+    def __str__(self) -> str:
+        denied = [k for k in range(NUM_PKEYS) if not self.can_read(k)]
+        read_only = [k for k in range(NUM_PKEYS)
+                     if self.can_read(k) and not self.can_write(k)]
+        return (f"PKRU({self.value:#010x}, no-access={denied},"
+                f" read-only={read_only})")
+
+
+def rights_for_prot(prot: int) -> int:
+    """Translate ``PROT_*`` bits into the closest PKRU rights value.
+
+    PKRU can express read/write, read-only, and no-access; PROT_EXEC is
+    orthogonal (instruction fetch ignores PKRU), so only the read/write
+    bits matter here.
+    """
+    from repro.consts import PROT_READ, PROT_WRITE
+
+    if prot & PROT_WRITE:
+        return KEY_RIGHTS_ALL
+    if prot & PROT_READ:
+        return KEY_RIGHTS_READ
+    return KEY_RIGHTS_NONE

@@ -1,0 +1,90 @@
+"""Per-core TLB caching virtual-page translations.
+
+The TLB caches the PTE's frame, permission bits, and protection key.  It
+does *not* cache PKRU rights — PKRU is checked at access time on every
+reference, which is why MPK permission switches need no TLB flush (the
+paper's central performance argument).
+
+Statistics (hits, misses, flushes) are kept per TLB so benchmarks can
+report shootdown counts alongside cycle totals.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.hw.cycles import Clock, CostModel
+
+
+@dataclass(frozen=True)
+class TlbEntry:
+    """Cached translation: frame number + permission + pkey bits."""
+
+    frame_number: int
+    prot: int
+    pkey: int
+
+
+@dataclass
+class TlbStats:
+    hits: int = 0
+    misses: int = 0
+    full_flushes: int = 0
+    page_invalidations: int = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.full_flushes = 0
+        self.page_invalidations = 0
+
+
+class TLB:
+    """A set-associative-ish TLB modeled as an LRU cache of entries."""
+
+    def __init__(self, clock: Clock, costs: CostModel,
+                 capacity: int = 1536) -> None:
+        if capacity <= 0:
+            raise ValueError("TLB capacity must be positive")
+        self._clock = clock
+        self._costs = costs
+        self._capacity = capacity
+        self._entries: OrderedDict[int, TlbEntry] = OrderedDict()
+        self.stats = TlbStats()
+
+    def lookup(self, vpn: int) -> TlbEntry | None:
+        """Probe the TLB.  Charges nothing on hit (hidden in the access);
+        the *caller* charges the walk cost on a miss after consulting the
+        page table."""
+        entry = self._entries.get(vpn)
+        if entry is not None:
+            self._entries.move_to_end(vpn)
+            self.stats.hits += 1
+            self._clock.charge(self._costs.tlb_hit)
+            return entry
+        self.stats.misses += 1
+        return None
+
+    def fill(self, vpn: int, entry: TlbEntry) -> None:
+        """Install a translation after a page walk (caller charges walk)."""
+        if vpn in self._entries:
+            self._entries.move_to_end(vpn)
+        self._entries[vpn] = entry
+        if len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+
+    def flush(self) -> None:
+        """Full flush (e.g. after mprotect); charges the flush cost."""
+        self._entries.clear()
+        self.stats.full_flushes += 1
+        self._clock.charge(self._costs.tlb_flush_full)
+
+    def invalidate_page(self, vpn: int) -> None:
+        """INVLPG a single page; charges the per-page cost."""
+        self._entries.pop(vpn, None)
+        self.stats.page_invalidations += 1
+        self._clock.charge(self._costs.tlb_flush_page)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,21 @@
+"""Simulated Linux-like kernel: VMAs, mprotect, pkey syscalls, scheduler.
+
+The kernel reproduces the mechanisms the paper measures and critiques:
+
+* ``mprotect()`` walks and splits/merges VMAs, rewrites PTEs, and
+  performs TLB shootdowns — the linear-in-pages cost of Figure 3.
+* ``pkey_alloc()/pkey_free()`` manage a 16-bit key bitmap; ``pkey_free``
+  faithfully does *not* scrub PTEs, reproducing the
+  protection-key-use-after-free hazard of §3.1.
+* ``mprotect(PROT_EXEC)`` implements execute-only memory via an
+  implicitly allocated protection key, including the inter-thread
+  synchronization hole of §3.3.
+* tasks carry ``task_work`` callbacks run on return-to-user, the hook
+  that libmpk's ``do_pkey_sync()`` builds on (§4.4).
+"""
+
+from repro.kernel.kcore import Kernel, Process
+from repro.kernel.task import Task
+from repro.kernel.vma import VMA, VmaTree
+
+__all__ = ["Kernel", "Process", "Task", "VMA", "VmaTree"]

@@ -1,0 +1,234 @@
+"""The kernel facade: processes, syscalls, cost accounting, shootdowns.
+
+Syscall methods take the calling :class:`~repro.kernel.task.Task` as
+their first argument (the task must be running on a core) and charge:
+
+* the user→kernel→user round trip (``syscall_overhead``),
+* the handler body, itemized from :class:`~repro.hw.cycles.CostModel`
+  using the mechanics stats reported by :class:`~repro.kernel.mm.MM`,
+* TLB shootdown IPIs to every other core running a task of the same
+  process, for the calls that edit page tables.
+
+The pkey syscalls mirror Linux 4.14 semantics as the paper describes
+them, including the two sharp edges §3 critiques: ``pkey_free`` leaves
+stale keys in PTEs, and ``mprotect(PROT_EXEC)`` creates execute-only
+memory whose PKRU restriction applies to the *calling thread only*.
+"""
+
+from __future__ import annotations
+
+from repro.consts import (
+    DEFAULT_PKEY,
+    PROT_EXEC,
+    PROT_READ,
+    page_number,
+    pages_spanned,
+)
+from repro.errors import InvalidArgument
+from repro.hw.machine import Machine
+from repro.hw.pkru import KEY_RIGHTS_NONE
+from repro.kernel.mm import MM, ProtectStats
+from repro.kernel.pkey import PkeyAllocator
+from repro.kernel.sched import Scheduler
+from repro.kernel.task import Task
+
+
+class Process:
+    """A process: address space, pkey bitmap, and its tasks."""
+
+    _next_pid = 1
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.pid = Process._next_pid
+        Process._next_pid += 1
+        self.kernel = kernel
+        self.mm = MM(kernel.machine)
+        self.pkeys = PkeyAllocator()
+        self.tasks: list[Task] = []
+        self.main_task = self.spawn_task()
+
+    @property
+    def page_table(self):
+        return self.mm.page_table
+
+    def spawn_task(self) -> Task:
+        task = Task(self)
+        self.tasks.append(task)
+        return task
+
+    def exit_task(self, task: Task) -> None:
+        if task.running:
+            self.kernel.scheduler.unschedule(task)
+        task.state = "dead"
+        self.tasks.remove(task)
+
+    def live_tasks(self) -> list[Task]:
+        return [t for t in self.tasks if t.state != "dead"]
+
+
+class Kernel:
+    """Machine-wide kernel state and the syscall interface."""
+
+    def __init__(self, machine: Machine | None = None) -> None:
+        self.machine = machine or Machine()
+        self.scheduler = Scheduler(self.machine)
+        self.processes: list[Process] = []
+
+    @property
+    def costs(self):
+        return self.machine.costs
+
+    @property
+    def clock(self):
+        return self.machine.clock
+
+    def create_process(self, schedule_main: bool = True) -> Process:
+        process = Process(self)
+        self.processes.append(process)
+        if schedule_main:
+            self.scheduler.schedule(process.main_task, charge=False)
+        return process
+
+    # ------------------------------------------------------------------
+    # Syscalls: memory mapping.
+    # ------------------------------------------------------------------
+
+    def sys_mmap(self, task: Task, length: int, prot: int,
+                 flags: int = 0, addr: int | None = None) -> int:
+        self._enter(task)
+        address, stats = task.process.mm.mmap(length, prot, flags, addr)
+        self.clock.charge(self.costs.mmap_base
+                          + stats.pages_mapped * self.costs.mmap_per_page)
+        return address
+
+    def create_shared_object(self, name: str, size: int):
+        """memfd_create-style: a kernel-owned shared memory object."""
+        from repro.kernel.shm import SharedObject
+        return SharedObject(name=name, size=size)
+
+    def sys_mmap_shared(self, task: Task, shared, prot: int,
+                        addr: int | None = None) -> int:
+        """Map a shared object (MAP_SHARED) into the caller's space."""
+        self._enter(task)
+        base = task.process.mm.mmap_shared_object(shared, prot,
+                                                  addr=addr)
+        self.clock.charge(self.costs.mmap_base
+                          + shared.num_pages * self.costs.mmap_per_page)
+        return base
+
+    def sys_munmap(self, task: Task, addr: int, length: int) -> None:
+        self._enter(task)
+        stats = task.process.mm.munmap(addr, length)
+        self.clock.charge(self.costs.munmap_base
+                          + stats.pages_unmapped * self.costs.munmap_per_page)
+        self.scheduler.tlb_shootdown(task.process, task)
+
+    # ------------------------------------------------------------------
+    # Syscalls: protection.
+    # ------------------------------------------------------------------
+
+    def sys_mprotect(self, task: Task, addr: int, length: int,
+                     prot: int) -> None:
+        """mprotect(2), including the Linux-4.14 execute-only behaviour:
+        a PROT_EXEC-only request is implemented with a protection key and
+        is effective only for the calling thread (the §3.3 hole)."""
+        self._enter(task)
+        if prot == PROT_EXEC:
+            self._make_execute_only(task, addr, length)
+            return
+        stats = task.process.mm.protect(addr, length, prot)
+        self._charge_protect(stats)
+        self.scheduler.tlb_shootdown(task.process, task)
+
+    def sys_pkey_mprotect(self, task: Task, addr: int, length: int,
+                          prot: int, pkey: int) -> None:
+        """pkey_mprotect(2): mprotect + pkey assignment.
+
+        Per the paper's observation, a user thread may not reset a key to
+        zero (the default key of new pages); the key must be allocated.
+        """
+        self._enter(task)
+        if pkey == DEFAULT_PKEY:
+            raise InvalidArgument(
+                "pkey_mprotect cannot reset a protection key to 0")
+        if not task.process.pkeys.is_allocated(pkey):
+            raise InvalidArgument(f"pkey {pkey} is not allocated")
+        stats = task.process.mm.protect(addr, length, prot, pkey=pkey)
+        self._charge_protect(stats, pkey_variant=True)
+        self.scheduler.tlb_shootdown(task.process, task)
+
+    def _charge_protect(self, stats: ProtectStats,
+                        pkey_variant: bool = False) -> None:
+        cost = (self.costs.mprotect_base
+                + stats.vmas_found * self.costs.vma_find
+                + stats.splits * self.costs.vma_split
+                + stats.pages_updated * self.costs.pte_update)
+        if pkey_variant:
+            cost += self.costs.pkey_mprotect_extra
+        self.clock.charge(cost)
+
+    def _make_execute_only(self, task: Task, addr: int, length: int) -> None:
+        """Linux's MPK-backed execute-only memory.
+
+        x86 page bits cannot express execute-without-read, so the kernel
+        allocates a dedicated key, maps the pages readable+executable at
+        the PTE level with that key, and denies the key in the *calling
+        thread's* PKRU.  Sibling threads' PKRUs are untouched — the
+        synchronization gap the paper demonstrates.
+        """
+        process = task.process
+        xo_key = process.pkeys.reserve_execute_only()
+        stats = process.mm.protect(addr, length, PROT_EXEC, pkey=xo_key,
+                                   pte_prot=PROT_READ | PROT_EXEC)
+        self._charge_protect(stats, pkey_variant=True)
+        task.set_pkru_rights_from_kernel(xo_key, KEY_RIGHTS_NONE)
+        self.scheduler.tlb_shootdown(process, task)
+
+    # ------------------------------------------------------------------
+    # Syscalls: protection keys.
+    # ------------------------------------------------------------------
+
+    def sys_pkey_alloc(self, task: Task, flags: int = 0,
+                       init_rights: int = 0) -> int:
+        self._enter(task)
+        key = task.process.pkeys.alloc(flags, init_rights)
+        self.clock.charge(self.costs.pkey_alloc_kernel)
+        # The kernel installs the requested initial rights in the calling
+        # thread's PKRU before returning (an xstate write, part of the
+        # measured syscall cost, not a userspace WRPKRU).
+        task.set_pkru_rights_from_kernel(key, init_rights)
+        return key
+
+    def sys_pkey_free(self, task: Task, pkey: int) -> None:
+        """pkey_free(2).  Faithfully does NOT scrub PTEs or PKRUs: pages
+        still tagged with the freed key silently join whatever group the
+        key is next allocated for (§3.1)."""
+        self._enter(task)
+        task.process.pkeys.free(pkey)
+        self.clock.charge(self.costs.pkey_free_kernel)
+
+    # ------------------------------------------------------------------
+    # Kernel-internal helpers (used by libmpk's kernel component).
+    # ------------------------------------------------------------------
+
+    def ktask_work_add(self, target: Task, work) -> None:
+        """In-kernel task_work_add(): queue work on another task."""
+        target.task_work_add(work)
+        self.clock.charge(self.costs.task_work_add)
+
+    def kick(self, target: Task) -> bool:
+        """Send a rescheduling IPI; charge the caller's ack wait if the
+        target was actually running (lazy sync, Figure 7 steps 3-5)."""
+        sent = self.scheduler.send_resched_ipi(target)
+        if sent:
+            self.clock.charge(self.costs.resched_ack_wait)
+        return sent
+
+    # ------------------------------------------------------------------
+
+    def _enter(self, task: Task) -> None:
+        """Kernel entry: validate the caller and charge the round trip."""
+        if not task.running:
+            raise RuntimeError(
+                f"syscall from task {task.tid} which is not on a core")
+        self.clock.charge(self.costs.syscall_overhead())

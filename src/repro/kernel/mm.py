@@ -1,0 +1,263 @@
+"""mm_struct mechanics: mmap/munmap/mprotect over VMAs and page tables.
+
+This module implements the *mechanics* only (VMA surgery, PTE rewrites)
+and reports what it did via :class:`ProtectStats`; the syscall layer in
+:mod:`repro.kernel.kcore` translates those stats into cycle charges and
+performs the TLB shootdown.  Keeping mechanics and accounting separate
+makes both independently testable.
+
+Anonymous memory is **demand-paged**, as on Linux: ``mmap`` records a
+VMA but allocates no frames; the first touch of each page takes a minor
+fault (handled by :meth:`MM.handle_fault`, installed as the page
+table's fault handler) that allocates a zeroed frame and installs the
+PTE from the VMA's attributes.  Gigabyte mappings are therefore O(1)
+to create and physical memory is only consumed by pages actually used —
+which also means out-of-memory surfaces at *fault* time (overcommit),
+exactly as with the real kernel's default policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.consts import (
+    DEFAULT_PKEY,
+    MMAP_BASE,
+    PAGE_SIZE,
+    page_align_up,
+    page_number,
+)
+from repro.errors import InvalidArgument, OutOfMemory
+from repro.hw.machine import Machine
+from repro.hw.paging import PageTable, PageTableEntry
+from repro.kernel.vma import VMA, VmaTree
+
+
+@dataclass
+class ProtectStats:
+    """What one mprotect-style operation touched (for cost accounting).
+
+    ``pages_updated`` counts the pages of the *range* (that is what the
+    kernel's cost is proportional to); ``vpns`` lists only the pages
+    whose PTEs physically exist and were rewritten.
+    """
+
+    vmas_found: int = 0
+    splits: int = 0
+    merges: int = 0
+    pages_updated: int = 0
+    vpns: list[int] = field(default_factory=list)
+
+
+@dataclass
+class MapStats:
+    pages_mapped: int = 0
+
+
+@dataclass
+class UnmapStats:
+    vmas_found: int = 0
+    splits: int = 0
+    pages_unmapped: int = 0
+    frames_freed: int = 0
+    vpns: list[int] = field(default_factory=list)
+
+
+class MM:
+    """One process's address space: VMA tree + page table + frames."""
+
+    #: Ranges at least this many pages long use the page table's lazy
+    #: bulk-update path (simulated cost is identical; host cost is O(1)).
+    BULK_PTE_THRESHOLD = 512
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.page_table = PageTable()
+        self.page_table.fault_handler = self.handle_fault
+        self.vmas = VmaTree()
+        self._mmap_cursor = MMAP_BASE
+        self.minor_faults = 0
+
+    # ------------------------------------------------------------------
+    # Demand paging.
+    # ------------------------------------------------------------------
+
+    def handle_fault(self, vpn: int) -> PageTableEntry | None:
+        """Minor-fault path: populate ``vpn`` from its VMA, if any.
+
+        Returns the freshly installed PTE, or None when no VMA covers
+        the address (the access is a genuine segfault).  Raises
+        :class:`OutOfMemory` when physical frames are exhausted — the
+        overcommit bill arriving at first touch.
+
+        Shared mappings (created via :meth:`mmap_shared_object`) fault
+        in the *shared object's* frame for that offset, so every
+        process mapping the object sees the same bytes.
+        """
+        vma = self.vmas.find(vpn * PAGE_SIZE)
+        if vma is None:
+            return None
+        shared = getattr(vma, "shared_object", None)
+        if shared is not None:
+            offset_page = vma.shared_offset_pages + \
+                (vpn - page_number(vma.start))
+            frame = shared.frame_for(offset_page, self.machine)
+        else:
+            frame = self.machine.memory.alloc_frame()
+        entry = self.page_table.map(vpn, frame, vma.effective_pte_prot,
+                                    vma.pkey)
+        self.minor_faults += 1
+        self.machine.clock.charge(self.machine.costs.minor_fault)
+        return entry
+
+    def populate(self, addr: int, length: int) -> int:
+        """Eagerly fault in a range (MAP_POPULATE / mlock semantics).
+
+        Returns the number of pages populated."""
+        addr, end = self._check_range(addr, length)
+        populated = 0
+        for vpn in range(page_number(addr), page_number(end)):
+            if self.page_table.lookup_populated(vpn) is None:
+                if self.handle_fault(vpn) is None:
+                    raise InvalidArgument(
+                        f"populate of unmapped page {vpn * PAGE_SIZE:#x}")
+                populated += 1
+        return populated
+
+    # ------------------------------------------------------------------
+    # Mapping.
+    # ------------------------------------------------------------------
+
+    def mmap(self, length: int, prot: int, flags: int = 0,
+             addr: int | None = None) -> tuple[int, MapStats]:
+        """Create an anonymous mapping; returns (address, stats)."""
+        if length <= 0:
+            raise InvalidArgument(f"mmap length must be positive: {length}")
+        length = page_align_up(length)
+        if addr is None:
+            addr = self.vmas.gap_after(self._mmap_cursor, length)
+            self._mmap_cursor = addr + length
+        elif addr % PAGE_SIZE:
+            raise InvalidArgument(f"mmap hint not page-aligned: {addr:#x}")
+        vma = VMA(addr, addr + length, prot, DEFAULT_PKEY, flags)
+        self.vmas.insert(vma)
+        return addr, MapStats(pages_mapped=length // PAGE_SIZE)
+
+    def mmap_shared_object(self, shared, prot: int,
+                           addr: int | None = None) -> int:
+        """Map a :class:`~repro.kernel.shm.SharedObject` into this
+        address space with ``prot``; returns the base address."""
+        base, _ = self.mmap(shared.size, prot, addr=addr)
+        vma = self.vmas.find(base)
+        vma.shared_object = shared
+        return base
+
+    def munmap(self, addr: int, length: int) -> UnmapStats:
+        """Remove mappings covering ``[addr, addr+length)``."""
+        addr, end = self._check_range(addr, length)
+        stats = UnmapStats()
+        for vma in self.vmas.find_range(addr, end):
+            stats.vmas_found += 1
+            vma = self._clamp(vma, addr, end, stats)
+            self.vmas.remove(vma)
+            first = page_number(vma.start)
+            last = page_number(vma.end)
+            stats.pages_unmapped += last - first
+            shared = getattr(vma, "shared_object", None)
+            for vpn in self.page_table.populated_vpns_in_range(first,
+                                                               last):
+                entry = self.page_table.unmap(vpn)
+                if shared is None:
+                    # Shared frames stay alive in their object; private
+                    # frames return to the allocator.
+                    self.machine.memory.free_frame(entry.frame)
+                    stats.frames_freed += 1
+                stats.vpns.append(vpn)
+        return stats
+
+    # ------------------------------------------------------------------
+    # Protection.
+    # ------------------------------------------------------------------
+
+    def protect(self, addr: int, length: int, prot: int,
+                pkey: int | None = None,
+                pte_prot: int | None = None) -> ProtectStats:
+        """Change protection (and optionally the pkey) of a range.
+
+        ``prot`` is recorded in the VMA (what the user asked for);
+        ``pte_prot`` overrides the bits written to the PTEs when the two
+        differ — the execute-only path maps PROT_EXEC requests as
+        readable+executable PTEs gated by a protection key, since x86
+        page bits cannot express execute-only.
+
+        The range must be fully mapped (Linux returns ENOMEM otherwise).
+        """
+        addr, end = self._check_range(addr, length)
+        stats = ProtectStats()
+        covered = addr
+        for vma in self.vmas.find_range(addr, end):
+            if vma.start > covered:
+                raise OutOfMemory(
+                    f"mprotect range has unmapped hole at {covered:#x}")
+            stats.vmas_found += 1
+            vma = self._clamp(vma, addr, end, stats)
+            vma.prot = prot
+            vma.pte_prot = pte_prot
+            if pkey is not None:
+                vma.pkey = pkey
+            effective = prot if pte_prot is None else pte_prot
+            first = page_number(vma.start)
+            last = page_number(vma.end)
+            stats.pages_updated += last - first
+            if last - first >= self.BULK_PTE_THRESHOLD:
+                # Large range: record one overlay instead of touching
+                # every PTE.  The syscall layer still charges the
+                # per-page cost from pages_updated; only the host-side
+                # work is O(1).
+                self.page_table.bulk_update(first, last, prot=effective,
+                                            pkey=pkey)
+            else:
+                for vpn in self.page_table.populated_vpns_in_range(
+                        first, last):
+                    entry = self.page_table.lookup_populated(vpn)
+                    entry.set_prot(effective)
+                    if pkey is not None:
+                        entry.set_pkey(pkey)
+                    self.page_table.generation += 1
+                    stats.vpns.append(vpn)
+            covered = vma.end
+        if covered < end:
+            raise OutOfMemory(
+                f"mprotect range has unmapped tail at {covered:#x}")
+        stats.merges = self.vmas.merge_around(addr, end)
+        return stats
+
+    # ------------------------------------------------------------------
+    # Helpers.
+    # ------------------------------------------------------------------
+
+    def _clamp(self, vma: VMA, start: int, end: int, stats) -> VMA:
+        """Split ``vma`` so the returned VMA lies entirely in range."""
+        if vma.start < start:
+            _, vma = self.vmas.split(vma, start)
+            stats.splits += 1
+        if vma.end > end:
+            vma, _ = self.vmas.split(vma, end)
+            stats.splits += 1
+        return vma
+
+    @staticmethod
+    def _check_range(addr: int, length: int) -> tuple[int, int]:
+        if addr % PAGE_SIZE:
+            raise InvalidArgument(f"address not page-aligned: {addr:#x}")
+        if length <= 0:
+            raise InvalidArgument(f"length must be positive: {length}")
+        return addr, addr + page_align_up(length)
+
+    def total_mapped_pages(self) -> int:
+        """Pages covered by VMAs (mapped, populated or not)."""
+        return sum(vma.num_pages for vma in self.vmas)
+
+    def populated_pages(self) -> int:
+        """Pages with a physical frame behind them."""
+        return len(self.page_table)

@@ -1,0 +1,87 @@
+"""Protection-key allocation: the 16-bit bitmap and its sharp edges.
+
+``pkey_alloc()`` scans a per-process bitmap for a free key and marks it
+used; ``pkey_free()`` merely clears the bit.  Crucially — and faithfully
+to Linux — ``pkey_free()`` does **not** walk the page table to scrub the
+freed key out of PTEs.  A subsequent ``pkey_alloc()`` can hand the same
+key back while stale pages still carry it, silently joining those pages
+to the new owner's page group: the *protection-key-use-after-free*
+problem of §3.1.  ``tests/security`` and ``examples`` demonstrate it.
+"""
+
+from __future__ import annotations
+
+from repro.consts import (
+    NUM_PKEYS,
+    PKEY_DISABLE_ACCESS,
+    PKEY_DISABLE_WRITE,
+)
+from repro.errors import InvalidArgument, NoSpace
+
+_VALID_RIGHTS = PKEY_DISABLE_ACCESS | PKEY_DISABLE_WRITE
+
+
+class PkeyAllocator:
+    """Per-process protection-key bitmap (key 0 permanently reserved)."""
+
+    def __init__(self) -> None:
+        # Bit set = allocated.  Key 0 is the default key for every new
+        # mapping and can never be allocated or freed.
+        self._bitmap = 1 << 0
+        # The kernel lazily dedicates one key to execute-only memory; it
+        # is allocated through the same bitmap but owned by the kernel.
+        self.execute_only_pkey: int | None = None
+
+    # ------------------------------------------------------------------
+
+    def alloc(self, flags: int = 0, init_rights: int = 0) -> int:
+        """Allocate the lowest free key; raises ENOSPC when exhausted.
+
+        ``init_rights`` (PKEY_DISABLE_* bits) is validated here; the
+        syscall layer applies it to the calling thread's PKRU.
+        """
+        if flags != 0:
+            raise InvalidArgument(f"pkey_alloc flags must be 0, got {flags}")
+        if init_rights & ~_VALID_RIGHTS:
+            raise InvalidArgument(
+                f"invalid pkey access rights {init_rights:#x}")
+        for key in range(1, NUM_PKEYS):
+            if not self._bitmap & (1 << key):
+                self._bitmap |= 1 << key
+                return key
+        raise NoSpace("no free protection keys (16-key hardware limit)")
+
+    def free(self, key: int) -> None:
+        """Mark ``key`` free.  Deliberately does not touch any PTE or any
+        thread's PKRU — the use-after-free hazard is the point."""
+        self._check_key_range(key)
+        if key == self.execute_only_pkey:
+            raise PermissionError(
+                "cannot free the kernel's execute-only pkey")
+        if not self._bitmap & (1 << key):
+            raise InvalidArgument(f"pkey {key} is not allocated")
+        self._bitmap &= ~(1 << key)
+
+    def is_allocated(self, key: int) -> bool:
+        if not 0 <= key < NUM_PKEYS:
+            return False
+        return bool(self._bitmap & (1 << key))
+
+    def allocated_keys(self) -> list[int]:
+        return [k for k in range(NUM_PKEYS) if self._bitmap & (1 << k)]
+
+    def free_key_count(self) -> int:
+        return NUM_PKEYS - 1 - (len(self.allocated_keys()) - 1)
+
+    # ------------------------------------------------------------------
+
+    def reserve_execute_only(self) -> int:
+        """Allocate (once) the kernel's execute-only key."""
+        if self.execute_only_pkey is None:
+            self.execute_only_pkey = self.alloc()
+        return self.execute_only_pkey
+
+    @staticmethod
+    def _check_key_range(key: int) -> None:
+        if not 1 <= key < NUM_PKEYS:
+            raise InvalidArgument(f"protection key out of range: {key}")

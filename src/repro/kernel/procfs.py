@@ -1,0 +1,80 @@
+"""/proc-style introspection of simulated processes.
+
+Mirrors the slices of procfs that matter for MPK work: ``smaps`` (VMA
+listing with protection, pkey — Linux exposes ``ProtectionKey:`` per
+mapping since 4.9 — and population counts) and a ``status`` summary.
+Purely observational: reading them charges nothing and changes nothing.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+
+from repro.consts import PAGE_SIZE, PROT_EXEC, PROT_READ, PROT_WRITE, \
+    page_number
+
+if typing.TYPE_CHECKING:
+    from repro.kernel.kcore import Process
+
+
+def _prot_string(prot: int) -> str:
+    return ("r" if prot & PROT_READ else "-") + \
+           ("w" if prot & PROT_WRITE else "-") + \
+           ("x" if prot & PROT_EXEC else "-")
+
+
+@dataclass(frozen=True)
+class SmapsEntry:
+    """One VMA as smaps would describe it."""
+
+    start: int
+    end: int
+    prot: int
+    pkey: int
+    size_kb: int
+    rss_kb: int        # populated pages
+
+    def __str__(self) -> str:
+        return (f"{self.start:016x}-{self.end:016x} "
+                f"{_prot_string(self.prot)}p "
+                f"Size:{self.size_kb:>8d} kB "
+                f"Rss:{self.rss_kb:>8d} kB "
+                f"ProtectionKey:{self.pkey:>4d}")
+
+
+def smaps(process: "Process") -> list[SmapsEntry]:
+    """The process's VMAs, with per-mapping residency and pkey."""
+    entries = []
+    page_table = process.page_table
+    for vma in process.mm.vmas:
+        populated = page_table.populated_vpns_in_range(
+            page_number(vma.start), page_number(vma.end))
+        entries.append(SmapsEntry(
+            start=vma.start,
+            end=vma.end,
+            prot=vma.prot,
+            pkey=vma.pkey,
+            size_kb=(vma.end - vma.start) // 1024,
+            rss_kb=len(populated) * PAGE_SIZE // 1024,
+        ))
+    return entries
+
+
+def status(process: "Process") -> dict:
+    """A /proc/<pid>/status-like summary."""
+    entries = smaps(process)
+    return {
+        "pid": process.pid,
+        "threads": len(process.live_tasks()),
+        "vmas": len(entries),
+        "vm_size_kb": sum(e.size_kb for e in entries),
+        "vm_rss_kb": sum(e.rss_kb for e in entries),
+        "pkeys_allocated": process.pkeys.allocated_keys(),
+        "execute_only_pkey": process.pkeys.execute_only_pkey,
+        "minor_faults": process.mm.minor_faults,
+    }
+
+
+def format_smaps(process: "Process") -> str:
+    return "\n".join(str(entry) for entry in smaps(process))

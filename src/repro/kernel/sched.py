@@ -1,0 +1,142 @@
+"""Deterministic scheduler: core assignment, context switches, IPIs.
+
+The simulator does not time-slice; tests and benchmarks place tasks on
+cores explicitly and the "concurrency" the paper depends on — which
+sibling threads are *currently running* when an mprotect needs a TLB
+shootdown or a do_pkey_sync needs rescheduling IPIs — is fully
+deterministic.
+
+Two IPI flavours matter for the paper's measurements:
+
+* **TLB-shootdown IPI** (used by mprotect): every other core running a
+  task of the same process must flush its TLB; cost grows with the
+  number of running threads (Figure 10's mprotect curves).
+* **Rescheduling IPI** (used by do_pkey_sync): forces a running task
+  through the kernel-exit path so its queued task_work — the PKRU
+  update — executes before any further userspace instruction.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.hw.machine import Machine
+
+if typing.TYPE_CHECKING:
+    from repro.kernel.kcore import Process
+    from repro.kernel.task import Task
+
+
+class Scheduler:
+    """Maps cores to running tasks and models switch/IPI costs."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self._core_task: dict[int, "Task"] = {}
+        self.ipis_sent = 0
+        self.context_switches = 0
+
+    # ------------------------------------------------------------------
+    # Placement.
+    # ------------------------------------------------------------------
+
+    def schedule(self, task: "Task", core_id: int | None = None,
+                 charge: bool = True) -> int:
+        """Place ``task`` on ``core_id`` (or the first free core).
+
+        Runs pending task_work (kernel exit path) and loads the task's
+        PKRU into the core, exactly as a real context switch would.
+        """
+        if task.running:
+            raise RuntimeError(f"{task!r} is already running")
+        if core_id is None:
+            core_id = self._first_free_core()
+        elif core_id in self._core_task:
+            raise RuntimeError(f"core {core_id} is busy")
+        if charge:
+            self.machine.clock.charge(self.machine.costs.context_switch)
+        self.context_switches += 1
+        self._core_task[core_id] = task
+        task.core_id = core_id
+        task.state = "running"
+        self._kernel_exit(task)
+        return core_id
+
+    def unschedule(self, task: "Task") -> None:
+        """Take ``task`` off its core (it becomes runnable again)."""
+        if not task.running:
+            raise RuntimeError(f"{task!r} is not running")
+        del self._core_task[task.core_id]
+        task.core_id = None
+        task.state = "runnable"
+
+    def running_tasks(self, process: "Process | None" = None) -> list["Task"]:
+        tasks = list(self._core_task.values())
+        if process is not None:
+            tasks = [t for t in tasks if t.process is process]
+        return sorted(tasks, key=lambda t: t.tid)
+
+    def _first_free_core(self) -> int:
+        for core_id in range(self.machine.num_cores):
+            if core_id not in self._core_task:
+                return core_id
+        raise RuntimeError("no free core")
+
+    # ------------------------------------------------------------------
+    # IPIs.
+    # ------------------------------------------------------------------
+
+    def send_resched_ipi(self, task: "Task") -> bool:
+        """Kick ``task`` through the kernel exit path if it is running.
+
+        Returns True when an IPI was actually sent.  The interrupted
+        task drains its task_work and reloads PKRU before it can touch
+        userspace memory again — the heart of lazy PKRU sync.
+        """
+        if not task.running:
+            return False
+        self.machine.clock.charge(self.machine.costs.resched_ipi)
+        self.ipis_sent += 1
+        self._kernel_exit(task)
+        return True
+
+    def tlb_shootdown(self, process: "Process", initiator: "Task | None",
+                      full: bool = True, vpns: list[int] | None = None) -> int:
+        """Flush TLBs on every core running a task of ``process``.
+
+        The initiating core flushes locally; each *other* core costs a
+        shootdown IPI.  Returns the number of remote IPIs sent.
+        """
+        remote = 0
+        for task in self.running_tasks(process):
+            core = self.machine.core(task.core_id)
+            if initiator is not None and task is initiator:
+                self._flush(core, full, vpns)
+                continue
+            self.machine.clock.charge(self.machine.costs.tlb_shootdown_ipi)
+            self.ipis_sent += 1
+            remote += 1
+            self._flush(core, full, vpns)
+        if initiator is not None and not initiator.running:
+            raise RuntimeError("shootdown initiator must be running")
+        return remote
+
+    @staticmethod
+    def _flush(core, full: bool, vpns: list[int] | None) -> None:
+        if full or vpns is None:
+            core.tlb.flush()
+        else:
+            for vpn in vpns:
+                core.tlb.invalidate_page(vpn)
+
+    # ------------------------------------------------------------------
+    # Kernel exit path (task_work + PKRU reload).
+    # ------------------------------------------------------------------
+
+    def _kernel_exit(self, task: "Task") -> None:
+        """Model the return-to-userspace path for ``task``."""
+        ran = task.run_task_works()
+        if ran:
+            self.machine.clock.charge(ran * self.machine.costs.task_work_run)
+        if task.running:
+            self.machine.core(task.core_id).load_pkru(task.pkru)

@@ -1,0 +1,59 @@
+"""Shared anonymous memory (memfd-style) between processes.
+
+A :class:`SharedObject` is a page-indexed set of frames owned by the
+kernel; any process can map it with its own protection (and its own
+protection keys — pkeys gate *mappings*, not frames).  Frames
+materialize lazily on the first fault from *any* mapper, and every
+mapper's PTE for a given offset points at the same frame, so writes
+are mutually visible.
+
+This is the substrate SDCG-style designs need: the JIT emitter process
+holds a writable mapping of the code cache while the engine process
+maps the same object read-execute.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from repro.consts import PAGE_SIZE, page_align_up
+from repro.errors import InvalidArgument
+
+if typing.TYPE_CHECKING:
+    from repro.hw.machine import Machine
+    from repro.hw.phys import Frame
+
+
+@dataclass
+class SharedObject:
+    """A kernel-owned, lazily populated run of shared frames."""
+
+    name: str
+    size: int
+    _frames: dict[int, "Frame"] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise InvalidArgument(
+                f"shared object size must be positive: {self.size}")
+        self.size = page_align_up(self.size)
+
+    @property
+    def num_pages(self) -> int:
+        return self.size // PAGE_SIZE
+
+    def frame_for(self, page_index: int, machine: "Machine") -> "Frame":
+        """The frame backing ``page_index``, allocating on first use."""
+        if not 0 <= page_index < self.num_pages:
+            raise InvalidArgument(
+                f"page {page_index} outside shared object "
+                f"{self.name!r} ({self.num_pages} pages)")
+        frame = self._frames.get(page_index)
+        if frame is None:
+            frame = machine.memory.alloc_frame()
+            self._frames[page_index] = frame
+        return frame
+
+    def populated_pages(self) -> int:
+        return len(self._frames)

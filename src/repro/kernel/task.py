@@ -1,0 +1,180 @@
+"""Tasks (threads) with per-thread PKRU state and task_work callbacks.
+
+Each task owns the architectural PKRU value it runs with; the scheduler
+loads it into the core at context-switch-in.  Tasks also carry a
+``task_work`` list — callbacks the kernel runs just before the task
+returns to userspace — which is the hook libmpk's ``do_pkey_sync()``
+uses for lazy inter-thread PKRU synchronization (§4.4, Figure 7).
+"""
+
+from __future__ import annotations
+
+import typing
+from collections import deque
+
+from repro.errors import MachineFault, SandboxViolation
+from repro.hw.pkru import PKRU
+
+
+class _TrustedGate:
+    """Context manager marking execution inside a libmpk call gate."""
+
+    def __init__(self, task: "Task") -> None:
+        self._task = task
+
+    def __enter__(self) -> None:
+        self._task._gate_depth += 1
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._task._gate_depth -= 1
+
+if typing.TYPE_CHECKING:
+    from repro.kernel.kcore import Kernel, Process
+
+
+class Task:
+    """One thread of a simulated process."""
+
+    _next_tid = 1
+
+    def __init__(self, process: "Process") -> None:
+        self.tid = Task._next_tid
+        Task._next_tid += 1
+        self.process = process
+        self.pkru = PKRU.deny_all_but_default()
+        self.core_id: int | None = None
+        self._task_works: deque[typing.Callable[["Task"], None]] = deque()
+        self.state = "runnable"
+        # WRPKRU call-gating (the §7 control-flow-hijack mitigation):
+        # when sandboxed, WRPKRU may only execute inside a trusted gate.
+        self.wrpkru_sandboxed = False
+        self._gate_depth = 0
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self.core_id is not None
+
+    @property
+    def kernel(self) -> "Kernel":
+        return self.process.kernel
+
+    def _core(self):
+        if self.core_id is None:
+            raise RuntimeError(
+                f"task {self.tid} is not running on any core")
+        return self.kernel.machine.core(self.core_id)
+
+    # ------------------------------------------------------------------
+    # task_work (kernel-side API).
+    # ------------------------------------------------------------------
+
+    def task_work_add(self, work: typing.Callable[["Task"], None]) -> None:
+        """Queue ``work`` to run at the task's next return to userspace."""
+        self._task_works.append(work)
+
+    def has_pending_task_work(self) -> bool:
+        return bool(self._task_works)
+
+    def run_task_works(self) -> int:
+        """Drain the task_work queue (kernel exit path).  Returns the
+        number of callbacks run; the scheduler charges their cost."""
+        count = 0
+        while self._task_works:
+            work = self._task_works.popleft()
+            work(self)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Userspace operations (require the task to be on a core).
+    # ------------------------------------------------------------------
+
+    def trusted_gate(self):
+        """Enter a trusted WRPKRU call gate (used by libmpk internals).
+
+        Models the binary-scan guarantee that the only executable
+        WRPKRU instructions live behind libmpk's entry points.
+        """
+        return _TrustedGate(self)
+
+    def wrpkru(self, value: int) -> None:
+        """Userspace WRPKRU — updates this thread's PKRU only."""
+        if self.wrpkru_sandboxed and self._gate_depth == 0:
+            raise SandboxViolation(
+                f"task {self.tid}: WRPKRU outside a trusted call gate")
+        core = self._core()
+        core.wrpkru(value)
+        self.pkru = core.pkru
+
+    def rdpkru(self) -> int:
+        return self._core().rdpkru()
+
+    def set_pkru_rights_from_kernel(self, pkey: int, rights: int) -> None:
+        """Kernel-side PKRU edit (xstate write, no WRPKRU charge): used
+        by pkey_alloc's initial-rights install and execute-only setup;
+        the cost is part of the syscall body."""
+        self.pkru = self.pkru.with_rights(pkey, rights)
+        if self.running:
+            self._core().load_pkru(self.pkru)
+
+    def pkey_set(self, pkey: int, rights: int) -> None:
+        """glibc pkey_set(): read-modify-write of this thread's PKRU."""
+        new = self._core().pkru.with_rights(pkey, rights)
+        self.wrpkru(new.value)
+
+    def pkey_get(self, pkey: int) -> int:
+        """glibc pkey_get(): RDPKRU and extract one key's rights."""
+        core = self._core()
+        value = core.rdpkru()
+        return (value >> (2 * pkey)) & 0x3
+
+    def set_fault_handler(self, handler) -> None:
+        """Install a SIGSEGV-handler analogue.
+
+        ``handler(task, fault) -> bool`` runs when a read/write faults;
+        returning True means "resolved, retry the access once" (the
+        lazy-unlock pattern: the handler opens the right domain), False
+        re-raises.  Fetches are not covered (a SIGSEGV on ifetch is not
+        recoverable this way on real hardware either).
+        """
+        self._fault_handler = handler
+
+    def _with_fault_handler(self, operation):
+        try:
+            return operation()
+        except MachineFault as fault:
+            handler = getattr(self, "_fault_handler", None)
+            if handler is None or not handler(self, fault):
+                raise
+            return operation()  # retry once after the handler fixed it
+
+    def read(self, addr: int, length: int) -> bytes:
+        """MMU-checked userspace load."""
+        return self._with_fault_handler(
+            lambda: self._core().read(self.process.page_table, addr,
+                                      length))
+
+    def write(self, addr: int, data: bytes) -> None:
+        """MMU-checked userspace store."""
+        self._with_fault_handler(
+            lambda: self._core().write(self.process.page_table, addr,
+                                       data))
+
+    def fetch(self, addr: int, length: int = 1) -> bytes:
+        """MMU-checked instruction fetch (PKRU-exempt)."""
+        return self._core().fetch(self.process.page_table, addr, length)
+
+    def try_read(self, addr: int, length: int) -> bytes | None:
+        """Read that returns None instead of faulting (attack probing)."""
+        try:
+            return self.read(addr, length)
+        except MachineFault:
+            return None
+
+    def __repr__(self) -> str:
+        where = f"core {self.core_id}" if self.running else self.state
+        return f"<Task tid={self.tid} {where}>"

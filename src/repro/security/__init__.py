@@ -1,0 +1,32 @@
+"""Attack harnesses for the paper's security evaluation (§3.1, §6.1)
+and the §7 discussion (Meltdown, WRPKRU control-flow hijacking)."""
+
+from repro.security.attacks import (
+    AttackResult,
+    arbitrary_read_sweep,
+    heartbleed_attack,
+    jit_race_attack,
+    meltdown_attack,
+    pkey_corruption_attack,
+    pkey_use_after_free_attack,
+    wrpkru_hijack_attack,
+)
+from repro.security.sandbox import (
+    install_wrpkru_sandbox,
+    remove_wrpkru_sandbox,
+    sandbox_process,
+)
+
+__all__ = [
+    "AttackResult",
+    "arbitrary_read_sweep",
+    "heartbleed_attack",
+    "jit_race_attack",
+    "meltdown_attack",
+    "pkey_corruption_attack",
+    "pkey_use_after_free_attack",
+    "wrpkru_hijack_attack",
+    "install_wrpkru_sandbox",
+    "remove_wrpkru_sandbox",
+    "sandbox_process",
+]

@@ -1,0 +1,286 @@
+"""Concrete attack harnesses against the simulated applications.
+
+Each harness plays the adversary of the paper's threat model — a
+corruptor of non-control user data holding arbitrary-read and/or
+arbitrary-write primitives — and reports whether the attack *leaked or
+corrupted* the target, or was *killed by a fault* (the paper's secured
+applications "crash with invalid memory access").
+
+The same harness runs against the insecure and hardened variants, so
+tests assert both directions: the attack must succeed against the
+baseline (the harness is a real attack) and must be blocked by libmpk.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+
+from repro.consts import PAGE_SIZE
+from repro.errors import MachineFault
+
+if typing.TYPE_CHECKING:
+    from repro.apps.jit.engine import JsEngine
+    from repro.apps.sslserver.httpd import HttpServer
+    from repro.kernel.kcore import Kernel
+    from repro.kernel.task import Task
+
+
+@dataclass
+class AttackResult:
+    succeeded: bool
+    detail: str
+    leaked: bytes = b""
+    fault: MachineFault | None = None
+
+
+# ---------------------------------------------------------------------------
+# Heartbleed (§6.1): over-read from the receive buffer into the key heap.
+# ---------------------------------------------------------------------------
+
+def heartbleed_attack(server: "HttpServer", task: "Task",
+                      overread_bytes: int = 2 * PAGE_SIZE) -> AttackResult:
+    """Send a malicious heartbeat claiming more bytes than it carried.
+
+    Against stock OpenSSL the response echoes heap memory beyond the
+    buffer — including private-key bytes when they are adjacent.
+    Against the libmpk-hardened library the over-read crosses into the
+    isolated key group and dies with a pkey fault.
+    """
+    payload = b"HB"  # 2 bytes sent, kilobytes claimed
+    try:
+        response = server.handle_heartbeat(task, payload,
+                                           len(payload) + overread_bytes)
+    except MachineFault as fault:
+        return AttackResult(succeeded=False, fault=fault,
+                            detail=f"killed by {type(fault).__name__}")
+    key_blob = _private_key_bytes(server, task)
+    if key_blob and key_blob[:16] in response:
+        return AttackResult(succeeded=True, leaked=response,
+                            detail="private key material leaked")
+    return AttackResult(succeeded=False, leaked=response,
+                        detail="over-read returned no key material")
+
+
+def _private_key_bytes(server: "HttpServer", task: "Task") -> bytes:
+    """Ground truth for the leak check (reads the frame directly —
+    the *oracle*, not part of the attack)."""
+    pkey = server.private_key
+    page_table = task.process.page_table
+    out = []
+    addr, remaining = pkey.addr, pkey.size
+    while remaining > 0:
+        entry = page_table.lookup(addr >> 12)
+        chunk = min(remaining, PAGE_SIZE - (addr % PAGE_SIZE))
+        out.append(entry.frame.read(addr % PAGE_SIZE, chunk))
+        addr += chunk
+        remaining -= chunk
+    return b"".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Arbitrary-read sweep: the generic information-leak primitive.
+# ---------------------------------------------------------------------------
+
+def arbitrary_read_sweep(task: "Task", start: int, length: int,
+                         needle: bytes) -> AttackResult:
+    """Scan ``[start, start+length)`` with an arbitrary-read primitive
+    looking for ``needle`` (e.g. a decoy secret)."""
+    leaked = bytearray()
+    cursor = start
+    end = start + length
+    while cursor < end:
+        chunk = min(PAGE_SIZE, end - cursor)
+        try:
+            leaked += task.read(cursor, chunk)
+        except MachineFault as fault:
+            return AttackResult(
+                succeeded=False, fault=fault, leaked=bytes(leaked),
+                detail=f"sweep killed at {cursor:#x} by "
+                       f"{type(fault).__name__}")
+        cursor += chunk
+    if needle in leaked:
+        return AttackResult(succeeded=True, leaked=bytes(leaked),
+                            detail="needle found in swept memory")
+    return AttackResult(succeeded=False, leaked=bytes(leaked),
+                        detail="needle not present in swept memory")
+
+
+# ---------------------------------------------------------------------------
+# JIT code-cache race (§6.1 / SDCG's attack).
+# ---------------------------------------------------------------------------
+
+SHELLCODE = b"\xcc\xcc\xcc\xcc"  # int3 sled stands in for shellcode
+
+
+def jit_race_attack(engine: "JsEngine",
+                    attacker_task: "Task") -> AttackResult:
+    """A compromised thread races the JIT compiler: whenever the
+    compiler opens a code page for writing, the attacker (armed with an
+    arbitrary-write primitive) tries to plant shellcode in it.
+
+    With mprotect-based W⊕X the page is writable *process-wide* during
+    the window, so the write lands.  With libmpk only the compiling
+    thread's PKRU grants write access; the attacker faults.
+    """
+    outcome: dict = {}
+
+    def racer(page_addr: int) -> None:
+        if "done" in outcome:
+            return
+        try:
+            attacker_task.write(page_addr, SHELLCODE)
+            outcome["done"] = AttackResult(
+                succeeded=True,
+                detail=f"shellcode written to code page {page_addr:#x}")
+        except MachineFault as fault:
+            outcome["done"] = AttackResult(
+                succeeded=False, fault=fault,
+                detail=f"race write killed by {type(fault).__name__}")
+
+    original_hook = getattr(engine.backend, "race_hook", None)
+    if hasattr(engine.backend, "race_hook"):
+        engine.backend.race_hook = racer
+        try:
+            engine.compile_function(128)
+        finally:
+            engine.backend.race_hook = original_hook
+        return outcome.get("done", AttackResult(
+            succeeded=False, detail="no writable window observed"))
+
+    # libmpk backends expose no process-wide writable window; the
+    # attacker simply attacks the page directly at any time.
+    addr = engine.compile_function(128)
+    try:
+        attacker_task.write(addr, SHELLCODE)
+        return AttackResult(succeeded=True,
+                            detail="direct write to code page landed")
+    except MachineFault as fault:
+        return AttackResult(succeeded=False, fault=fault,
+                            detail=f"write killed by {type(fault).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Protection-key corruption (§3.1) against raw-MPK applications.
+# ---------------------------------------------------------------------------
+
+def pkey_corruption_attack(kernel: "Kernel", task: "Task",
+                           key_variable_addr: int,
+                           victim_addr: int) -> AttackResult:
+    """The raw-MPK anti-pattern: the app stores its pkey in memory and
+    later passes it to pkey_set.  The attacker overwrites the stored
+    key so the app unwittingly unlocks the *victim's* key instead.
+
+    Returns success when the attacker-chosen key ends up granted.
+    """
+    from repro.hw.pkru import KEY_RIGHTS_ALL
+
+    # The attacker's arbitrary write corrupts the in-memory key value.
+    victim_entry = task.process.page_table.lookup(victim_addr >> 12)
+    victim_pkey = victim_entry.pkey
+    try:
+        task.write(key_variable_addr, bytes([victim_pkey]))
+    except MachineFault as fault:
+        return AttackResult(succeeded=False, fault=fault,
+                            detail=f"key variable is write-protected "
+                                   f"({type(fault).__name__})")
+    # The application later does: pkey_set(*(int *)key_variable, ALLOW).
+    stored = task.read(key_variable_addr, 1)[0]
+    task.pkey_set(stored, KEY_RIGHTS_ALL)
+    try:
+        leaked = task.read(victim_addr, 16)
+    except MachineFault as fault:
+        return AttackResult(succeeded=False, fault=fault,
+                            detail="victim region still inaccessible")
+    return AttackResult(succeeded=True, leaked=leaked,
+                        detail="corrupted key unlocked the victim region")
+
+
+# ---------------------------------------------------------------------------
+# Rogue data cache load — Meltdown against MPK (§7).
+# ---------------------------------------------------------------------------
+
+def meltdown_attack(task: "Task", target_addr: int,
+                    length: int = 16) -> AttackResult:
+    """Transiently read a PKRU-protected page via the cache side
+    channel (§7: "MPK is not an exception... attackers can infer the
+    content of a present page even when its protection key has no
+    access right").
+
+    Succeeds on vulnerable silicon when the page is present and only
+    PKRU denies; blocked on mitigated silicon, on absent pages, and on
+    pages whose *page bits* deny the read.
+    """
+    core = task._core()
+    leaked = core.speculative_read(task.process.page_table, target_addr,
+                                   length)
+    if leaked is None:
+        return AttackResult(
+            succeeded=False,
+            detail="transient window leaked nothing "
+                   "(mitigated silicon, absent page, or page-bit denial)")
+    return AttackResult(succeeded=True, leaked=leaked,
+                        detail="PKRU-protected bytes recovered via the "
+                               "cache side channel")
+
+
+# ---------------------------------------------------------------------------
+# WRPKRU control-flow hijacking (§7) and its call-gate mitigation.
+# ---------------------------------------------------------------------------
+
+def wrpkru_hijack_attack(task: "Task", target_addr: int) -> AttackResult:
+    """A hijacked control flow jumps straight to a WRPKRU gadget with
+    EAX = allow-everything, then reads the protected target.
+
+    Against an unsandboxed process this always works — the paper's §7
+    point that raw MPK offers no protection once control flow is gone.
+    With the ERIM-style call-gate sandbox installed, the stray WRPKRU
+    itself is the crash site.
+    """
+    from repro.errors import SandboxViolation
+    from repro.hw.pkru import PKRU
+
+    try:
+        task.wrpkru(PKRU.allow_all().value)   # the gadget
+    except SandboxViolation as violation:
+        return AttackResult(
+            succeeded=False,
+            detail=f"WRPKRU gadget blocked by call-gate sandbox "
+                   f"({violation})")
+    try:
+        leaked = task.read(target_addr, 16)
+    except MachineFault as fault:
+        return AttackResult(succeeded=False, fault=fault,
+                            detail="rights minted but target still "
+                                   "unreadable")
+    return AttackResult(succeeded=True, leaked=leaked,
+                        detail="gadget minted full pkey rights; "
+                               "protected data read")
+
+
+# ---------------------------------------------------------------------------
+# Protection-key use-after-free (§3.1) against raw MPK.
+# ---------------------------------------------------------------------------
+
+def pkey_use_after_free_attack(kernel: "Kernel", task: "Task",
+                               secret_addr: int,
+                               stale_pkey: int) -> AttackResult:
+    """After pkey_free(stale_pkey), a later pkey_alloc hands the same
+    key to new (possibly less-trusted) code; granting rights on the
+    "new" key silently unlocks the old pages still tagged with it."""
+    from repro.hw.pkru import KEY_RIGHTS_ALL
+
+    new_key = kernel.sys_pkey_alloc(task)
+    if new_key != stale_pkey:
+        return AttackResult(
+            succeeded=False,
+            detail=f"allocator returned key {new_key}, not the stale "
+                   f"{stale_pkey}")
+    task.pkey_set(new_key, KEY_RIGHTS_ALL)
+    try:
+        leaked = task.read(secret_addr, 16)
+    except MachineFault as fault:
+        return AttackResult(succeeded=False, fault=fault,
+                            detail="stale pages were scrubbed")
+    return AttackResult(succeeded=True, leaked=leaked,
+                        detail="reallocated key exposed stale pages")

@@ -1,0 +1,43 @@
+"""WRPKRU call-gating: the §7 control-flow-hijacking mitigation.
+
+The paper notes that WRPKRU (and pkey_mprotect) form a new attack
+surface once control flow is hijacked: the attacker jumps to any
+reachable WRPKRU and mints itself rights.  The suggested fix is
+sandboxing/binary-scanning (ERIM, XOM-Switch, NaCl-style) so the only
+executable WRPKRU instructions sit behind trusted call gates.
+
+:func:`install_wrpkru_sandbox` applies that guarantee to a simulated
+task: after installation, a direct ``wrpkru``/``pkey_set`` raises
+:class:`~repro.errors.SandboxViolation`, while libmpk's internal gates
+(entered via ``Task.trusted_gate``) continue to work.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import SandboxViolation
+
+if typing.TYPE_CHECKING:
+    from repro.kernel.kcore import Process
+    from repro.kernel.task import Task
+
+__all__ = ["install_wrpkru_sandbox", "remove_wrpkru_sandbox",
+           "sandbox_process", "SandboxViolation"]
+
+
+def install_wrpkru_sandbox(task: "Task") -> None:
+    """Scan-and-gate this task: WRPKRU only inside trusted gates."""
+    task.wrpkru_sandboxed = True
+
+
+def remove_wrpkru_sandbox(task: "Task") -> None:
+    task.wrpkru_sandboxed = False
+
+
+def sandbox_process(process: "Process") -> int:
+    """Sandbox every live task of ``process``; returns how many."""
+    tasks = process.live_tasks()
+    for task in tasks:
+        install_wrpkru_sandbox(task)
+    return len(tasks)

@@ -1,0 +1,212 @@
+"""Execution tracing: cycle-annotated event logs for the whole stack.
+
+``attach_tracer`` wraps a kernel's syscalls and/or a libmpk instance's
+APIs so every invocation records a :class:`TraceEvent` — operation
+name, summarized arguments, and the simulated cycles it consumed
+(inclusive of nested operations).  Tracing is non-invasive: the wrapped
+objects are patched per-instance and restored by ``detach``.
+
+Typical use::
+
+    tracer = attach_tracer(kernel, lib)
+    lib.mpk_begin(task, 100, PROT_READ)
+    ...
+    print(format_trace(tracer.events))
+    tracer.detach()
+
+The trace is the debugging companion to the cost model: when a
+benchmark number looks off, the trace shows exactly which operations
+were charged what.
+"""
+
+from __future__ import annotations
+
+import functools
+import typing
+from dataclasses import dataclass, field
+
+if typing.TYPE_CHECKING:
+    from repro.core.api import Libmpk
+    from repro.kernel.kcore import Kernel
+
+# Methods wrapped on each layer.
+KERNEL_OPS = (
+    "sys_mmap",
+    "sys_munmap",
+    "sys_mprotect",
+    "sys_pkey_mprotect",
+    "sys_pkey_alloc",
+    "sys_pkey_free",
+)
+LIBMPK_OPS = (
+    "mpk_init",
+    "mpk_mmap",
+    "mpk_adopt",
+    "mpk_munmap",
+    "mpk_begin",
+    "mpk_end",
+    "mpk_mprotect",
+    "mpk_malloc",
+    "mpk_free",
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced call."""
+
+    seq: int
+    layer: str          # "kernel" | "libmpk"
+    op: str
+    start_cycles: float
+    cycles: float       # inclusive of nested work
+    depth: int          # nesting level at entry
+    args: str           # human-readable argument summary
+
+    def __str__(self) -> str:
+        indent = "  " * self.depth
+        return (f"[{self.start_cycles:>12,.1f}] {indent}{self.layer}."
+                f"{self.op}({self.args}) -> {self.cycles:,.1f} cycles")
+
+
+@dataclass
+class Tracer:
+    """Collects events; attach/detach manages the monkey-patching."""
+
+    max_events: int = 10_000
+    events: list[TraceEvent] = field(default_factory=list)
+    dropped: int = 0
+    _seq: int = 0
+    _depth: int = 0
+    _restores: list = field(default_factory=list, repr=False)
+
+    # ------------------------------------------------------------------
+
+    def record(self, layer: str, op: str, clock, args: str):
+        """Context manager recording one call span."""
+        return _Span(self, layer, op, clock, args)
+
+    def _emit(self, event: TraceEvent) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    # ------------------------------------------------------------------
+
+    def wrap(self, target: object, layer: str, ops: tuple[str, ...],
+             clock) -> None:
+        """Patch ``ops`` bound methods on ``target`` to record spans."""
+        for name in ops:
+            original = getattr(target, name)
+
+            def make_wrapper(fn, op_name):
+                @functools.wraps(fn)
+                def wrapper(*args, **kwargs):
+                    summary = _summarize(args, kwargs)
+                    with self.record(layer, op_name, clock, summary):
+                        return fn(*args, **kwargs)
+                return wrapper
+
+            setattr(target, name, make_wrapper(original, name))
+            self._restores.append((target, name, original))
+
+    def detach(self) -> None:
+        """Undo all patches (idempotent)."""
+        while self._restores:
+            target, name, original = self._restores.pop()
+            setattr(target, name, original)
+
+    # ------------------------------------------------------------------
+
+    def total_cycles(self, layer: str | None = None,
+                     op: str | None = None) -> float:
+        """Sum of *top-level* event costs matching the filters."""
+        return sum(e.cycles for e in self.events
+                   if e.depth == 0
+                   and (layer is None or e.layer == layer)
+                   and (op is None or e.op == op))
+
+    def count(self, layer: str | None = None,
+              op: str | None = None) -> int:
+        return sum(1 for e in self.events
+                   if (layer is None or e.layer == layer)
+                   and (op is None or e.op == op))
+
+
+class _Span:
+    def __init__(self, tracer: Tracer, layer: str, op: str, clock,
+                 args: str) -> None:
+        self.tracer = tracer
+        self.layer = layer
+        self.op = op
+        self.clock = clock
+        self.args = args
+        self.start = 0.0
+        self.depth = 0
+
+    def __enter__(self) -> "_Span":
+        self.start = self.clock.snapshot()
+        self.depth = self.tracer._depth
+        self.tracer._depth += 1
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.tracer._depth -= 1
+        self.tracer._seq += 1
+        self.tracer._emit(TraceEvent(
+            seq=self.tracer._seq,
+            layer=self.layer,
+            op=self.op,
+            start_cycles=self.start,
+            cycles=self.clock.snapshot() - self.start,
+            depth=self.depth,
+            args=self.args,
+        ))
+
+
+def _summarize(args: tuple, kwargs: dict, limit: int = 60) -> str:
+    parts = []
+    for value in args:
+        parts.append(_fmt(value))
+    for key, value in kwargs.items():
+        parts.append(f"{key}={_fmt(value)}")
+    text = ", ".join(parts)
+    return text if len(text) <= limit else text[:limit - 3] + "..."
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, int) and value > 0xFFFF:
+        return hex(value)
+    cls = type(value).__name__
+    if cls == "Task":
+        return f"tid{value.tid}"
+    if isinstance(value, (int, float, str, bytes, bool)) or value is None:
+        return repr(value)
+    return cls
+
+
+def attach_tracer(kernel: "Kernel | None" = None,
+                  lib: "Libmpk | None" = None,
+                  max_events: int = 10_000) -> Tracer:
+    """Create a tracer and attach it to a kernel and/or libmpk."""
+    if kernel is None and lib is None:
+        raise ValueError("attach_tracer needs a kernel and/or a Libmpk")
+    tracer = Tracer(max_events=max_events)
+    if kernel is not None:
+        tracer.wrap(kernel, "kernel", KERNEL_OPS, kernel.clock)
+    if lib is not None:
+        clock = lib._kernel.clock
+        tracer.wrap(lib, "libmpk", LIBMPK_OPS, clock)
+    return tracer
+
+
+def format_trace(events: typing.Iterable[TraceEvent]) -> str:
+    """Render events as an indented, time-stamped listing.
+
+    Events are emitted at completion (children before parents); the
+    listing re-orders them by start time with parents first, so nested
+    work reads top-down.
+    """
+    ordered = sorted(events, key=lambda e: (e.start_cycles, e.depth))
+    return "\n".join(str(event) for event in ordered)

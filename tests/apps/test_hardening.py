@@ -1,0 +1,141 @@
+"""ERIM-style components and the shadow stack as libmpk clients."""
+
+import pytest
+
+from repro.consts import PAGE_SIZE, PROT_READ, PROT_WRITE
+from repro.errors import MachineFault, MpkError, SandboxViolation
+from repro import Libmpk
+from repro.apps.hardening import (
+    ReturnAddressCorrupted,
+    ShadowStack,
+    TrustedComponent,
+)
+from repro.security import install_wrpkru_sandbox
+
+RW = PROT_READ | PROT_WRITE
+
+
+class TestTrustedComponent:
+    def test_secret_roundtrip_through_the_gate(self, lib, task):
+        component = TrustedComponent(lib, task, vkey=900, size=PAGE_SIZE)
+        handle = component.store(task, b"session key")
+        assert component.read(task, handle, 11) == b"session key"
+        assert task.try_read(handle, 11) is None
+
+    def test_untrusted_code_cannot_reach_the_secret(self, lib, kernel,
+                                                    process, task):
+        component = TrustedComponent(lib, task, vkey=900, size=PAGE_SIZE)
+        handle = component.store(task, b"session key")
+        # Untrusted sibling: no gate, no access.
+        sibling = process.spawn_task()
+        kernel.scheduler.schedule(sibling, charge=False)
+        assert sibling.try_read(handle, 1) is None
+        with pytest.raises(MachineFault):
+            sibling.write(handle, b"X")
+
+    def test_sandboxed_untrusted_code_cannot_self_elevate(self, lib,
+                                                          kernel,
+                                                          process, task):
+        """The full ERIM story: with the WRPKRU sandbox on, the only
+        path to the component is the call gate."""
+        component = TrustedComponent(lib, task, vkey=900, size=PAGE_SIZE)
+        handle = component.store(task, b"session key")
+        install_wrpkru_sandbox(task)
+        from repro.hw.pkru import PKRU
+        with pytest.raises(SandboxViolation):
+            task.wrpkru(PKRU.allow_all().value)
+        # The gate still works.
+        assert component.read(task, handle, 11) == b"session key"
+
+    def test_many_components_exceeding_hardware_keys(self, lib, task):
+        """ERIM on raw MPK is limited to 15 regions; on libmpk, as many
+        as needed (§8's scalable-key-management claim)."""
+        components = []
+        for i in range(30):
+            component = TrustedComponent(lib, task, vkey=900 + i,
+                                         size=PAGE_SIZE)
+            handle = component.store(task, b"secret-%02d" % i)
+            components.append((component, handle))
+        for i, (component, handle) in enumerate(components):
+            assert component.read(task, handle, 9) == b"secret-%02d" % i
+            assert task.try_read(handle, 1) is None
+
+    def test_exceptions_in_trusted_fn_close_the_gate(self, lib, task):
+        component = TrustedComponent(lib, task, vkey=900, size=PAGE_SIZE)
+        handle = component.store(task, b"x")
+        with pytest.raises(RuntimeError):
+            component.call(task, lambda t: (_ for _ in ()).throw(
+                RuntimeError("trusted bug")))
+        assert not lib.group(900).pinned
+        assert task.try_read(handle, 1) is None
+
+    def test_wipe_zeroes_before_freeing(self, lib, task):
+        component = TrustedComponent(lib, task, vkey=900, size=PAGE_SIZE)
+        handle = component.store(task, b"ephemeral")
+        component.wipe(task, handle)
+        # Reallocate the same slot: it must read back zeroed.
+        again = component.store(task, b"\x00" * 9)
+        assert again == handle
+        with pytest.raises(MpkError):
+            component.wipe(task, 0xDEAD)
+
+    def test_gate_call_counting(self, lib, task):
+        component = TrustedComponent(lib, task, vkey=900, size=PAGE_SIZE)
+        handle = component.store(task, b"k")       # 1 gate call
+        component.read(task, handle, 1)             # 2
+        assert component.gate_calls == 2
+
+
+class TestShadowStack:
+    @pytest.fixture
+    def shadow(self, lib, kernel, task):
+        return ShadowStack(lib, kernel, task, vkey=950)
+
+    def test_balanced_calls_return_correctly(self, shadow, task):
+        addresses = [0x400000 + 16 * i for i in range(20)]
+        for addr in addresses:
+            shadow.push(task, addr)
+        for addr in reversed(addresses):
+            assert shadow.pop(task) == addr
+        assert shadow.depth == 0
+
+    def test_detects_smashed_return_address(self, shadow, task):
+        """The attack: an arbitrary write overwrites the on-stack
+        return address; the epilogue catches it."""
+        shadow.push(task, 0x401000)
+        import struct
+        task.write(shadow.stack_slot_addr(0),
+                   struct.pack("<Q", 0xBADC0DE))  # attacker's gadget
+        with pytest.raises(ReturnAddressCorrupted):
+            shadow.pop(task)
+
+    def test_shadow_region_is_not_writable_by_the_attacker(self, shadow,
+                                                           task):
+        shadow.push(task, 0x401000)
+        with pytest.raises(MachineFault):
+            task.write(shadow.shadow_slot_addr(0), b"\xff" * 8)
+        # The legitimate epilogue still verifies fine.
+        assert shadow.pop(task) == 0x401000
+
+    def test_overflow_and_underflow_guarded(self, lib, kernel, task):
+        small = ShadowStack(lib, kernel, task, vkey=951, max_depth=2)
+        small.push(task, 1)
+        small.push(task, 2)
+        with pytest.raises(Exception):
+            small.push(task, 3)
+        small.pop(task)
+        small.pop(task)
+        with pytest.raises(Exception):
+            small.pop(task)
+
+    def test_deep_recursion_with_interleaved_attacks(self, shadow, task):
+        import struct
+        for depth in range(100):
+            shadow.push(task, 0x500000 + depth)
+        # Smash a mid-stack frame.
+        task.write(shadow.stack_slot_addr(50),
+                   struct.pack("<Q", 0xE71))
+        for depth in reversed(range(51, 100)):
+            assert shadow.pop(task) == 0x500000 + depth
+        with pytest.raises(ReturnAddressCorrupted):
+            shadow.pop(task)

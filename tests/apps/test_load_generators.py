@@ -1,0 +1,100 @@
+"""The load generators: ApacheBench and Twemperf mechanics."""
+
+import pytest
+
+from repro.consts import PROT_READ, PROT_WRITE
+from repro import Kernel, Libmpk
+from repro.apps.sslserver import ApacheBench, HttpServer, SslLibrary
+from repro.apps.sslserver.ab import CLOCK_HZ, BenchResult
+from repro.apps.kvstore import Memcached, Twemperf
+from repro.apps.kvstore.slab import SLAB_BYTES
+
+RW = PROT_READ | PROT_WRITE
+
+
+@pytest.fixture
+def server(kernel, process, task):
+    ssl = SslLibrary(kernel, process, task, mode="insecure")
+    return HttpServer(kernel, process, task, ssl)
+
+
+class TestBenchResult:
+    def test_derived_metrics(self):
+        result = BenchResult(requests=100, response_size=1 << 20,
+                             total_cycles=CLOCK_HZ)  # one second
+        assert result.cycles_per_request == pytest.approx(CLOCK_HZ / 100)
+        assert result.requests_per_second == pytest.approx(100)
+        assert result.throughput_mb_per_second == pytest.approx(100)
+
+
+class TestApacheBench:
+    def test_counts_every_request(self, server, task):
+        ab = ApacheBench(server)
+        result = ab.run(task, requests=37, response_size=100)
+        assert server.requests_served == 37
+        assert result.requests == 37
+
+    def test_multiple_requests_per_connection_amortize_setup(
+            self, server, task):
+        ab = ApacheBench(server)
+        single = ab.run(task, requests=40, response_size=100,
+                        requests_per_connection=1)
+        pooled = ab.run(task, requests=40, response_size=100,
+                        requests_per_connection=10)
+        assert pooled.cycles_per_request < single.cycles_per_request
+
+    def test_larger_responses_cost_more(self, server, task):
+        ab = ApacheBench(server)
+        small = ab.run(task, requests=20, response_size=1 << 10)
+        large = ab.run(task, requests=20, response_size=1 << 20)
+        assert large.cycles_per_request > small.cycles_per_request
+
+    def test_invalid_parameters(self, server, task):
+        ab = ApacheBench(server)
+        with pytest.raises(ValueError):
+            ab.run(task, requests=10, response_size=10, concurrency=0)
+
+
+class TestTwemperf:
+    def _store(self, kernel):
+        process = kernel.create_process()
+        task = process.main_task
+        store = Memcached(kernel, process, task, mode="none",
+                          slab_bytes=2 * SLAB_BYTES,
+                          hash_buckets=1 << 10)
+        return store, task
+
+    def test_connection_cost_is_stable_across_samples(self, kernel):
+        store, task = self._store(kernel)
+        perf = Twemperf(store)
+        a = perf.measure_connection_cost(task, sample_connections=4)
+        b = perf.measure_connection_cost(task, sample_connections=4)
+        assert a == pytest.approx(b, rel=0.05)
+
+    def test_unhandled_connections_appear_beyond_capacity(self, kernel):
+        store, task = self._store(kernel)
+        perf = Twemperf(store)
+        result = perf.run(task, conns_per_sec=10 ** 9)  # absurd offer
+        assert result.unhandled_conns_per_sec > 0
+        assert result.handled_conns_per_sec < 10 ** 9
+
+    def test_throughput_proportional_to_handled(self, kernel):
+        store, task = self._store(kernel)
+        perf = Twemperf(store, value_size=2048,
+                        requests_per_connection=10)
+        result = perf.run(task, conns_per_sec=100)
+        expected = (result.handled_conns_per_sec * 10 * 2048) / (1 << 20)
+        assert result.throughput_mb_per_sec == pytest.approx(expected)
+
+    def test_worker_validation(self, kernel):
+        store, task = self._store(kernel)
+        with pytest.raises(ValueError):
+            Twemperf(store, workers=0)
+
+    def test_reads_verify_writes(self, kernel):
+        """The generator actually round-trips its data through the
+        protected store (it would raise if a value went missing)."""
+        store, task = self._store(kernel)
+        perf = Twemperf(store)
+        perf.run(task, conns_per_sec=10, sample_connections=3)
+        assert store.item_count > 0

@@ -1,0 +1,100 @@
+"""The expression frontend and its tiered runtime."""
+
+import pytest
+
+from repro.apps.jit.minijs import (
+    JsSyntaxError,
+    MiniJsRuntime,
+    compile_expression,
+)
+from repro.apps.jit.minivm import MiniVm
+from tests.apps.test_jit import make_engine
+
+
+def evaluate_cold(source, variables=None):
+    engine = make_engine("none")
+    vm = MiniVm(engine)
+    fn, _ = compile_expression("t", source, variables)
+    return vm.interpret(fn)
+
+
+class TestCompiler:
+    @pytest.mark.parametrize("source,expected", [
+        ("1+2", 3),
+        ("2*3+4", 10),
+        ("2+3*4", 14),
+        ("(2+3)*4", 20),
+        ("10-4-3", 3),
+        ("-5+8", 3),
+        ("2*(3+4)*5", 70),
+        ("-(2+3)", -5),
+    ])
+    def test_arithmetic(self, source, expected):
+        assert evaluate_cold(source) == expected
+
+    def test_variables(self):
+        assert evaluate_cold("x*x+y", {"x": 5, "y": 2}) == 27
+
+    def test_unbound_variable(self):
+        with pytest.raises(JsSyntaxError):
+            evaluate_cold("x+1")
+
+    @pytest.mark.parametrize("bad", ["", "1+", "(1", "1)", "1 $ 2",
+                                     "* 3"])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(JsSyntaxError):
+            evaluate_cold(bad)
+
+    def test_variable_sites_reported(self):
+        fn, sites = compile_expression("t", "x*x+y", {"x": 2, "y": 1})
+        assert len(sites["x"]) == 2
+        assert len(sites["y"]) == 1
+
+
+class TestTieredRuntime:
+    @pytest.mark.parametrize("backend", ["mprotect", "kpp", "kproc"])
+    def test_tiers_up_after_threshold(self, backend):
+        engine = make_engine(backend)
+        runtime = MiniJsRuntime(engine, hot_threshold=3)
+        for _ in range(2):
+            assert runtime.evaluate("f", "6*7") == 42
+            assert not runtime.is_compiled("f")
+        assert runtime.evaluate("f", "6*7") == 42
+        assert runtime.is_compiled("f")
+        assert runtime.evaluate("f", "6*7") == 42  # from the cache
+
+    def test_rebinding_patches_compiled_code(self):
+        engine = make_engine("kproc")
+        runtime = MiniJsRuntime(engine, hot_threshold=1)
+        assert runtime.evaluate("f", "x*x+1", {"x": 4}) == 17
+        assert runtime.is_compiled("f")
+        # New binding: the compiled code gets patched, not recompiled.
+        assert runtime.evaluate("f", "x*x+1", {"x": 10}) == 101
+        assert runtime.evaluate("f", "x*x+1", {"x": 10}) == 101
+
+    def test_patching_goes_through_wx_discipline(self):
+        engine = make_engine("kproc")
+        runtime = MiniJsRuntime(engine, hot_threshold=1)
+        runtime.evaluate("f", "x+1", {"x": 1})
+        emissions_before = engine.backend.emissions
+        runtime.evaluate("f", "x+1", {"x": 2})
+        assert engine.backend.emissions > emissions_before
+
+    def test_compiled_code_is_protected(self):
+        engine = make_engine("kproc")
+        runtime = MiniJsRuntime(engine, hot_threshold=1)
+        runtime.evaluate("f", "1+1")
+        compiled = runtime.vm.lookup("f")
+        from repro.errors import MachineFault
+        with pytest.raises(MachineFault):
+            engine.exec_task.write(compiled.addr, b"\xcc")
+
+    def test_many_hot_expressions_under_key_per_page(self):
+        """Twenty hot expressions = twenty code pages = twenty virtual
+        keys; correctness must survive the key churn."""
+        engine = make_engine("kpp", cache_pages=64)
+        runtime = MiniJsRuntime(engine, hot_threshold=1)
+        for i in range(20):
+            assert runtime.evaluate(f"f{i}", f"{i}*{i}") == i * i
+        for i in range(20):
+            assert runtime.evaluate(f"f{i}", f"{i}*{i}") == i * i

@@ -1,0 +1,169 @@
+"""The mini VM: interpretation vs JIT, patching, and cache integrity."""
+
+import pytest
+
+from repro.errors import MachineFault
+from repro.apps.jit.minivm import (
+    ADD,
+    DUP,
+    MUL,
+    PUSH,
+    RET,
+    SUB,
+    SWAP,
+    CompiledFunction,
+    MiniFunction,
+    MiniVm,
+    VmError,
+    assemble,
+    disassemble,
+)
+from tests.apps.test_jit import make_engine
+
+
+def fn(name, ops):
+    return MiniFunction.build(name, ops)
+
+
+SQUARE_PLUS_ONE = fn("sq1", [(PUSH, 7), DUP, MUL, (PUSH, 1), ADD, RET])
+ARITH = fn("arith", [(PUSH, 100), (PUSH, 58), SUB, (PUSH, 2), MUL, RET])
+SWAPPY = fn("swappy", [(PUSH, 3), (PUSH, 10), SWAP, SUB, RET])
+
+
+class TestEncoding:
+    def test_assemble_disassemble_roundtrip(self):
+        for case in (SQUARE_PLUS_ONE, ARITH, SWAPPY):
+            assert disassemble(assemble(case)) == case.ops
+
+    def test_functions_must_end_with_ret(self):
+        with pytest.raises(VmError):
+            assemble(fn("noret", [(PUSH, 1)]))
+
+    def test_invalid_opcode_rejected(self):
+        with pytest.raises(VmError):
+            disassemble(b"\xcc\xcc")
+
+    def test_truncated_push_rejected(self):
+        with pytest.raises(VmError):
+            disassemble(bytes([PUSH, 1, 2]))
+
+
+class TestExecution:
+    @pytest.mark.parametrize("backend", ["none", "mprotect", "kpp",
+                                         "kproc", "sdcg"])
+    def test_jit_result_matches_interpreter(self, backend):
+        engine = make_engine(backend)
+        vm = MiniVm(engine)
+        for case, expected in ((SQUARE_PLUS_ONE, 50), (ARITH, 84),
+                               (SWAPPY, 7)):
+            assert vm.interpret(case) == expected
+            compiled = vm.jit_compile(case)
+            assert vm.execute(compiled) == expected
+
+    def test_native_execution_is_cheaper_per_op(self):
+        engine = make_engine("none")
+        vm = MiniVm(engine)
+        compiled = vm.jit_compile(ARITH)
+        start = engine.kernel.clock.now
+        vm.interpret(ARITH)
+        interp = engine.kernel.clock.now - start
+        start = engine.kernel.clock.now
+        vm.execute(compiled)
+        native = engine.kernel.clock.now - start
+        assert native < interp
+
+    def test_runtime_errors_are_reported(self):
+        engine = make_engine("none")
+        vm = MiniVm(engine)
+        underflow = fn("uf", [ADD, RET])
+        with pytest.raises(VmError):
+            vm.interpret(underflow)
+
+    def test_lookup_registry(self):
+        engine = make_engine("none")
+        vm = MiniVm(engine)
+        compiled = vm.jit_compile(ARITH)
+        assert vm.lookup("arith") is compiled
+        assert vm.lookup("nope") is None
+
+
+class TestPatching:
+    @pytest.mark.parametrize("backend", ["mprotect", "kpp", "kproc"])
+    def test_patch_changes_the_result(self, backend):
+        engine = make_engine(backend)
+        vm = MiniVm(engine)
+        compiled = vm.jit_compile(SQUARE_PLUS_ONE)
+        assert vm.execute(compiled) == 50
+        vm.patch_push_constant(compiled, 0, 9)   # 7 -> 9
+        assert vm.execute(compiled) == 82         # 9*9 + 1
+
+    def test_patch_second_constant(self):
+        engine = make_engine("kproc")
+        vm = MiniVm(engine)
+        compiled = vm.jit_compile(SQUARE_PLUS_ONE)
+        vm.patch_push_constant(compiled, 1, 100)  # +1 -> +100
+        assert vm.execute(compiled) == 149
+
+    def test_patch_bounds_checked(self):
+        engine = make_engine("none")
+        vm = MiniVm(engine)
+        compiled = vm.jit_compile(ARITH)
+        with pytest.raises(VmError):
+            vm.patch_push_constant(compiled, 9, 1)
+
+
+class TestCacheIntegrity:
+    def test_attacker_write_faults_under_libmpk(self):
+        """Direct corruption attempt against compiled code: pkey fault."""
+        engine = make_engine("kproc")
+        vm = MiniVm(engine)
+        compiled = vm.jit_compile(ARITH)
+        attacker = engine.process.spawn_task()
+        engine.kernel.scheduler.schedule(attacker, charge=False)
+        with pytest.raises(MachineFault):
+            attacker.write(compiled.addr, b"\xcc")
+        assert vm.execute(compiled) == 84  # untouched
+
+    def test_race_corruption_visibly_changes_execution_under_mprotect(
+            self):
+        """The mprotect W⊕X race, end to end: the attacker's bytes land
+        during the writable window and the next execution *runs* them
+        (here: an invalid opcode the VM rejects)."""
+        engine = make_engine("mprotect")
+        vm = MiniVm(engine)
+        attacker = engine.process.spawn_task()
+        engine.kernel.scheduler.schedule(attacker, charge=False)
+
+        def racer(page_addr):
+            attacker.write(page_addr, b"\xcc\xcc\xcc\xcc")
+
+        engine.backend.race_hook = racer
+        compiled = vm.jit_compile(ARITH)
+        engine.backend.race_hook = None
+        with pytest.raises(VmError, match="invalid opcode"):
+            vm.execute(compiled)
+
+    def test_same_race_is_harmless_under_libmpk(self):
+        """The identical attack against the key-per-process backend:
+        the racer faults; compiled code is intact."""
+        engine = make_engine("kproc")
+        vm = MiniVm(engine)
+        attacker = engine.process.spawn_task()
+        engine.kernel.scheduler.schedule(attacker, charge=False)
+        outcome = {}
+
+        original_emit = engine.backend.emit
+
+        def emit_with_race(task, addr, data):
+            original_emit(task, addr, data)
+            try:
+                attacker.write(addr, b"\xcc\xcc\xcc\xcc")
+                outcome["landed"] = True
+            except MachineFault:
+                outcome["faulted"] = True
+
+        engine.backend.emit = emit_with_race
+        compiled = vm.jit_compile(ARITH)
+        engine.backend.emit = original_emit
+        assert outcome == {"faulted": True}
+        assert vm.execute(compiled) == 84

@@ -1,0 +1,77 @@
+"""The Octane-like profiles: each program stresses what it claims to."""
+
+import pytest
+
+from repro.apps.jit.octane import OCTANE_PROGRAMS, OctaneProgram
+from tests.apps.test_jit import make_engine
+
+
+BY_NAME = {program.name: program for program in OCTANE_PROGRAMS}
+
+
+class TestSuiteShape:
+    def test_eleven_programs_with_unique_names(self):
+        assert len(OCTANE_PROGRAMS) == 11
+        assert len(BY_NAME) == 11
+
+    def test_box2d_is_the_multi_page_stressor(self):
+        box2d = BY_NAME["Box2D"]
+        assert box2d.multi_page_updates > \
+            max(p.multi_page_updates for p in OCTANE_PROGRAMS
+                if p.name != "Box2D")
+
+    def test_splay_exceeds_the_hardware_key_budget(self):
+        assert BY_NAME["SplayLatency"].hot_functions > 15
+
+    def test_zlib_is_the_commit_stressor(self):
+        zlib = BY_NAME["zlib"]
+        assert zlib.committed_only_pages > 0
+        for program in OCTANE_PROGRAMS:
+            if program.name != "zlib":
+                assert program.committed_only_pages == 0
+
+
+class TestProgramExecution:
+    def test_emission_counts_match_the_profile(self):
+        """On the one-page-per-emit engine (ChakraCore + NoWx), the
+        backend must see exactly the emissions the profile implies."""
+        program = OctaneProgram(name="probe", hot_functions=6,
+                                function_size=100,
+                                patches_per_function=2,
+                                exec_iterations=3, interp_iterations=1,
+                                multi_page_updates=4)
+        engine = make_engine("none")
+        engine.run_program(program)
+        # compiles (6) + patches (12) + multis (4 events of 4 pages,
+        # NoWx emits per page -> 16).
+        assert engine.backend.emissions == 6 + 12 + 16
+
+    def test_spidermonkey_batches_fewer_emissions(self):
+        program = OctaneProgram(name="probe", hot_functions=8,
+                                function_size=100,
+                                patches_per_function=4,
+                                exec_iterations=1, interp_iterations=1)
+        cc = make_engine("mprotect", engine_name="chakracore")
+        cc.run_program(program)
+        sm = make_engine("mprotect", engine_name="spidermonkey")
+        sm.run_program(program)
+        assert sm.backend.emissions < cc.backend.emissions
+
+    def test_every_program_is_deterministic(self):
+        for program in OCTANE_PROGRAMS[:3]:
+            a = make_engine("mprotect").run_program(program)
+            b = make_engine("mprotect").run_program(program)
+            assert a == b, program.name
+
+    def test_compute_dominates_most_programs(self):
+        """The total deltas in Figure 12 are small *because* most
+        programs are compute-bound — verify that property holds."""
+        engine = make_engine("mprotect", cache_pages=256)
+        for program in OCTANE_PROGRAMS:
+            switch_before = engine.backend.switch_cycles
+            cycles = engine.run_program(program)
+            switch_share = (engine.backend.switch_cycles
+                            - switch_before) / cycles
+            if program.name in ("Box2D", "SplayLatency", "CodeLoad"):
+                continue  # the deliberate stressors
+            assert switch_share < 0.15, (program.name, switch_share)

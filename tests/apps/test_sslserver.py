@@ -1,0 +1,129 @@
+"""OpenSSL/httpd application model: crypto, key isolation, serving."""
+
+import pytest
+
+from repro.consts import PAGE_SIZE, PROT_READ, PROT_WRITE
+from repro import Kernel, Libmpk
+from repro.apps.sslserver import (
+    ApacheBench,
+    HttpServer,
+    SslLibrary,
+    ToyRSA,
+)
+from repro.apps.sslserver.crypto import _is_probable_prime
+
+RW = PROT_READ | PROT_WRITE
+
+
+@pytest.fixture
+def ssl_setup(kernel, process, task):
+    lib = Libmpk(process)
+    lib.mpk_init(task)
+    ssl = SslLibrary(kernel, process, task, mode="libmpk", lib=lib)
+    return ssl, lib
+
+
+class TestToyRsa:
+    def test_roundtrip(self):
+        public, blob = ToyRSA.generate()
+        message = 0x1122_3344_5566
+        assert ToyRSA.decrypt_with(blob, public.encrypt(message)) == message
+
+    def test_distinct_seeds_give_distinct_keys(self):
+        pub_a, _ = ToyRSA.generate(seed=0)
+        pub_b, _ = ToyRSA.generate(seed=1)
+        assert pub_a.n != pub_b.n
+
+    def test_serialization_roundtrip(self):
+        _, blob = ToyRSA.generate()
+        n, d = ToyRSA.deserialize_private(blob)
+        assert ToyRSA.serialize_private(n, d) == blob
+
+    def test_plaintext_out_of_range_rejected(self):
+        public, _ = ToyRSA.generate()
+        with pytest.raises(ValueError):
+            public.encrypt(public.n)
+
+    def test_primality_helper(self):
+        assert _is_probable_prime(2)
+        assert _is_probable_prime(97)
+        assert not _is_probable_prime(91)
+        assert not _is_probable_prime(1)
+
+
+class TestSslLibrary:
+    def test_key_is_isolated_outside_access_windows(self, ssl_setup, task):
+        ssl, _ = ssl_setup
+        pkey = ssl.load_private_key(task)
+        assert task.try_read(pkey.addr, 16) is None
+
+    def test_decrypt_works_through_the_domain(self, ssl_setup, task):
+        ssl, _ = ssl_setup
+        pkey = ssl.load_private_key(task)
+        message = 0xC0FFEE
+        assert ssl.pkey_rsa_decrypt(
+            task, pkey, pkey.public.encrypt(message)) == message
+        # And the key is sealed again afterwards.
+        assert task.try_read(pkey.addr, 16) is None
+
+    def test_insecure_mode_leaves_key_readable(self, kernel, process,
+                                               task):
+        ssl = SslLibrary(kernel, process, task, mode="insecure")
+        pkey = ssl.load_private_key(task)
+        assert task.read(pkey.addr, 16)  # no fault
+
+    def test_libmpk_mode_requires_lib(self, kernel, process, task):
+        with pytest.raises(ValueError):
+            SslLibrary(kernel, process, task, mode="libmpk")
+
+    def test_unknown_mode_rejected(self, kernel, process, task):
+        with pytest.raises(ValueError):
+            SslLibrary(kernel, process, task, mode="tls13")
+
+
+class TestHttpServer:
+    def test_serves_requests(self, ssl_setup, kernel, process, task):
+        ssl, _ = ssl_setup
+        server = HttpServer(kernel, process, task, ssl)
+        response = server.handle_request(task, response_size=1024)
+        assert response.startswith(b"\x17\x03\x03")
+        assert server.requests_served == 1
+        assert server.bytes_served == 1024
+
+    def test_apachebench_reports_throughput(self, ssl_setup, kernel,
+                                            process, task):
+        ssl, _ = ssl_setup
+        server = HttpServer(kernel, process, task, ssl)
+        result = ApacheBench(server).run(task, requests=40,
+                                         response_size=4096)
+        assert result.requests == 40
+        assert result.total_cycles > 0
+        assert result.requests_per_second > 0
+        assert result.throughput_mb_per_second > 0
+
+    def test_libmpk_overhead_is_below_one_percent(self, kernel):
+        """The Figure 11 claim, as a regression test."""
+        def throughput(mode):
+            k = Kernel()
+            p = k.create_process()
+            t = p.main_task
+            lib = None
+            if mode == "libmpk":
+                lib = Libmpk(p)
+                lib.mpk_init(t)
+            ssl = SslLibrary(k, p, t, mode=mode, lib=lib)
+            server = HttpServer(k, p, t, ssl)
+            return ApacheBench(server).run(
+                t, requests=100, response_size=8192).requests_per_second
+
+        insecure = throughput("insecure")
+        hardened = throughput("libmpk")
+        overhead = (insecure - hardened) / insecure
+        assert 0 <= overhead < 0.01
+
+    def test_bad_bench_parameters_rejected(self, ssl_setup, kernel,
+                                           process, task):
+        ssl, _ = ssl_setup
+        server = HttpServer(kernel, process, task, ssl)
+        with pytest.raises(ValueError):
+            ApacheBench(server).run(task, requests=0, response_size=1)

@@ -1,0 +1,145 @@
+"""TLS sessions: the protected session cache and resumption path."""
+
+import pytest
+
+from repro.consts import PROT_READ, PROT_WRITE
+from repro.errors import MpkError
+from repro import Libmpk
+from repro.apps.sslserver import SslLibrary
+from repro.apps.sslserver.session import (
+    MASTER_SECRET_BYTES,
+    SessionCache,
+    TlsHandshake,
+)
+
+RW = PROT_READ | PROT_WRITE
+
+
+@pytest.fixture
+def tls(kernel, process, task):
+    lib = Libmpk(process)
+    lib.mpk_init(task)
+    ssl = SslLibrary(kernel, process, task, mode="libmpk", lib=lib)
+    cache = SessionCache(ssl, capacity=4)
+    handshake = TlsHandshake(ssl, cache, ssl.load_private_key(task))
+    return ssl, cache, handshake
+
+
+class TestHandshake:
+    def test_full_then_resume_roundtrip(self, tls, task):
+        ssl, cache, handshake = tls
+        session = handshake.full_handshake(task)
+        secret = handshake.resume_handshake(task, session.session_id)
+        assert secret is not None
+        assert len(secret) == MASTER_SECRET_BYTES
+
+    def test_unknown_session_id_is_a_full_handshake_signal(self, tls,
+                                                           task):
+        ssl, cache, handshake = tls
+        assert handshake.resume_handshake(task, b"\x00" * 16) is None
+
+    def test_resumption_is_much_cheaper_than_full(self, tls, kernel,
+                                                  task):
+        ssl, cache, handshake = tls
+        start = kernel.clock.now
+        session = handshake.full_handshake(task)
+        full_cost = kernel.clock.now - start
+        start = kernel.clock.now
+        handshake.resume_handshake(task, session.session_id)
+        resume_cost = kernel.clock.now - start
+        assert resume_cost < full_cost / 10
+
+    def test_distinct_sessions_get_distinct_secrets(self, tls, task):
+        ssl, cache, handshake = tls
+        a = handshake.full_handshake(task)
+        b = handshake.full_handshake(task)
+        assert a.session_id != b.session_id
+        secret_a = handshake.resume_handshake(task, a.session_id)
+        secret_b = handshake.resume_handshake(task, b.session_id)
+        assert secret_a != secret_b
+
+
+class TestCacheProtection:
+    def test_secrets_unreadable_outside_windows(self, tls, task):
+        ssl, cache, handshake = tls
+        session = handshake.full_handshake(task)
+        addr = cache.session_addr(session.session_id)
+        assert task.try_read(addr, MASTER_SECRET_BYTES) is None
+
+    def test_eviction_wipes_the_secret(self, tls, kernel, process,
+                                       task):
+        ssl, cache, handshake = tls
+        session = handshake.full_handshake(task)
+        addr = cache.session_addr(session.session_id)
+        cache.evict(task, session.session_id)
+        # Oracle read of the raw frame: must be zeroed.
+        entry = process.page_table.lookup(addr >> 12)
+        assert entry.frame.read(addr % 4096, MASTER_SECRET_BYTES) == \
+            b"\x00" * MASTER_SECRET_BYTES
+
+    def test_lru_capacity_enforced_with_wipes(self, tls, task):
+        ssl, cache, handshake = tls
+        sessions = [handshake.full_handshake(task) for _ in range(6)]
+        assert len(cache) == 4
+        assert cache.stats_evictions == 2
+        # The two oldest are gone; the newest four resume fine.
+        assert handshake.resume_handshake(
+            task, sessions[0].session_id) is None
+        assert handshake.resume_handshake(
+            task, sessions[5].session_id) is not None
+
+    def test_insecure_mode_for_comparison(self, kernel, process, task):
+        ssl = SslLibrary(kernel, process, task, mode="insecure")
+        cache = SessionCache(ssl, capacity=4)
+        handshake = TlsHandshake(ssl, cache, ssl.load_private_key(task))
+        session = handshake.full_handshake(task)
+        addr = cache.session_addr(session.session_id)
+        # The whole point: insecure mode leaves secrets readable.
+        assert task.read(addr, MASTER_SECRET_BYTES)
+
+    def test_capacity_validation(self, tls):
+        ssl, cache, handshake = tls
+        with pytest.raises(MpkError):
+            SessionCache(ssl, capacity=0)
+
+    def test_bad_secret_size_rejected(self, tls, task):
+        ssl, cache, handshake = tls
+        with pytest.raises(MpkError):
+            cache.store(task, b"sid", b"short")
+
+
+class TestSessionAwareServer:
+    @pytest.fixture
+    def server(self, kernel, process, task):
+        from repro.apps.sslserver import HttpServer
+        lib = Libmpk(process)
+        lib.mpk_init(task)
+        ssl = SslLibrary(kernel, process, task, mode="libmpk", lib=lib)
+        server = HttpServer(kernel, process, task, ssl)
+        server.enable_sessions(capacity=8)
+        return server
+
+    def test_resumed_connections_are_cheaper(self, server, kernel,
+                                             task):
+        start = kernel.clock.now
+        sid = server.handle_tls_connection(task, 1024, requests=2)
+        full = kernel.clock.now - start
+        start = kernel.clock.now
+        sid2 = server.handle_tls_connection(task, 1024, requests=2,
+                                            session_id=sid)
+        resumed = kernel.clock.now - start
+        assert sid2 == sid
+        assert resumed < full / 2
+
+    def test_unknown_session_falls_back_to_full(self, server, task):
+        sid = server.handle_tls_connection(task, 512,
+                                           session_id=b"\x00" * 16)
+        assert sid != b"\x00" * 16
+        assert server.requests_served == 1
+
+    def test_requires_enable_sessions(self, kernel, process, task):
+        from repro.apps.sslserver import HttpServer
+        ssl = SslLibrary(kernel, process, task, mode="insecure")
+        bare = HttpServer(kernel, process, task, ssl)
+        with pytest.raises(RuntimeError):
+            bare.handle_tls_connection(task, 100)

@@ -1,0 +1,119 @@
+"""The benchmark harness itself: testbeds, measurement, reporting."""
+
+import pathlib
+
+import pytest
+
+from repro.consts import PAGE_SIZE, PROT_READ, PROT_WRITE
+from repro.bench import Reporter, TestBed, make_testbed
+from repro.bench.report import RESULTS_DIR
+
+RW = PROT_READ | PROT_WRITE
+
+
+class TestMakeTestbed:
+    def test_default_testbed(self):
+        bed = make_testbed()
+        assert bed.task.running
+        assert bed.siblings == []
+        assert bed.lib is not None
+        assert bed.lib.cache.capacity == 15
+
+    def test_thread_count(self):
+        bed = make_testbed(threads=4)
+        assert len(bed.siblings) == 3
+        assert all(s.running for s in bed.siblings)
+        running = bed.kernel.scheduler.running_tasks(bed.process)
+        assert len(running) == 4
+
+    def test_without_libmpk(self):
+        bed = make_testbed(with_libmpk=False)
+        assert bed.lib is None
+        # All keys remain available to the process.
+        assert bed.kernel.sys_pkey_alloc(bed.task) == 1
+
+    def test_eviction_rate_passthrough(self):
+        bed = make_testbed(evict_rate=0.25)
+        assert bed.lib.cache.evict_rate == 0.25
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            make_testbed(threads=0)
+
+    def test_beds_are_isolated(self):
+        a = make_testbed()
+        b = make_testbed()
+        before = b.kernel.clock.now
+        a.kernel.clock.charge(1000)
+        assert b.kernel.clock.now == before
+
+
+class TestMeasurement:
+    def test_measure_returns_elapsed_cycles(self):
+        bed = make_testbed()
+        elapsed = bed.measure(lambda: bed.clock.charge(123.0))
+        assert elapsed == pytest.approx(123.0)
+
+    def test_measure_avg(self):
+        bed = make_testbed()
+        counter = iter(range(1, 100))
+
+        def op():
+            bed.clock.charge(10.0)
+
+        assert bed.measure_avg(op, 10) == pytest.approx(10.0)
+
+    def test_measure_avg_rejects_zero_repeat(self):
+        bed = make_testbed()
+        with pytest.raises(ValueError):
+            bed.measure_avg(lambda: None, 0)
+
+    def test_measure_resets_pipeline_state(self):
+        bed = make_testbed(with_libmpk=False)
+        core = bed.kernel.machine.core(bed.task.core_id)
+        core.wrpkru(0)  # leaves a serialization shadow
+        elapsed = bed.measure(lambda: core.execute_adds(4))
+        # Full-throughput ADDs: the shadow was cleared.
+        assert elapsed == pytest.approx(1.0)
+
+
+class TestReporter:
+    def test_writes_archive_file(self):
+        reporter = Reporter("selftest_report")
+        reporter.header("Self test")
+        reporter.table(["a", "b"], [[1, 2], [30, 40]])
+        reporter.compare("metric", 1.0, 1.05)
+        reporter.flush()
+        archive = RESULTS_DIR / "selftest_report.txt"
+        try:
+            text = archive.read_text()
+            assert "Self test" in text
+            assert "30" in text
+            assert "metric" in text
+        finally:
+            archive.unlink(missing_ok=True)
+
+    def test_table_aligns_columns(self):
+        reporter = Reporter("selftest_align")
+        reporter.table(["col", "value"], [["x", 1], ["longer", 22]])
+        lines = reporter._lines
+        header, rule, *rows = lines
+        assert header.startswith("col")
+        assert all(len(row) <= len(rule) + 2 for row in rows)
+
+    def test_csv_export(self):
+        reporter = Reporter("selftest_csv")
+        reporter.table(["pages", "cycles"], [[1, "1,094"],
+                                             [10, "10,940 (*)"]])
+        path = reporter.write_csv()
+        try:
+            lines = path.read_text().splitlines()
+            assert lines[0] == "pages,cycles"
+            assert lines[1] == "1,1094"
+            assert lines[2] == "10,10940"
+        finally:
+            path.unlink(missing_ok=True)
+
+    def test_csv_before_table_rejected(self):
+        with pytest.raises(ValueError):
+            Reporter("selftest_csv2").write_csv()

@@ -1,0 +1,48 @@
+"""Shared fixtures: a fresh machine/kernel/process/libmpk per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Kernel, Libmpk, Machine
+
+
+@pytest.fixture
+def machine() -> Machine:
+    return Machine(num_cores=8)
+
+
+@pytest.fixture
+def kernel(machine: Machine) -> Kernel:
+    return Kernel(machine)
+
+
+@pytest.fixture
+def process(kernel: Kernel):
+    return kernel.create_process()
+
+
+@pytest.fixture
+def task(process):
+    return process.main_task
+
+
+@pytest.fixture
+def lib(process, task) -> Libmpk:
+    lib = Libmpk(process)
+    lib.mpk_init(task, evict_rate=1.0)
+    return lib
+
+
+@pytest.fixture
+def measure(kernel: Kernel):
+    """Measure simulated cycles of a callable, with pipeline isolation."""
+
+    def _measure(fn, *, task=None):
+        if task is not None and task.running:
+            kernel.machine.core(task.core_id).reset_pipeline()
+        start = kernel.clock.snapshot()
+        fn()
+        return kernel.clock.snapshot() - start
+
+    return _measure

@@ -1,0 +1,204 @@
+"""libmpk API basics: init, mmap/munmap, begin/end, malloc/free."""
+
+import pytest
+
+from repro.consts import NUM_PKEYS, PAGE_SIZE, PROT_READ, PROT_WRITE
+from repro.errors import (
+    MpkError,
+    MpkKeyExhaustion,
+    MpkUnknownVkey,
+    MpkVkeyInUse,
+    PkeyFault,
+    SegmentationFault,
+)
+from repro import Libmpk
+
+RW = PROT_READ | PROT_WRITE
+GROUP = 100
+
+
+class TestInit:
+    def test_init_grabs_all_hardware_keys(self, lib, process):
+        # All 15 allocatable keys belong to libmpk now.
+        assert lib.cache.capacity == NUM_PKEYS - 1
+        assert process.pkeys.free_key_count() == 0
+
+    def test_double_init_rejected(self, lib, task):
+        with pytest.raises(MpkError):
+            lib.mpk_init(task)
+
+    def test_api_before_init_rejected(self, process, task):
+        lib = Libmpk(process)
+        with pytest.raises(MpkError):
+            lib.mpk_mmap(task, GROUP, PAGE_SIZE, RW)
+
+    def test_default_eviction_rate_is_full(self, process, task):
+        lib = Libmpk(process)
+        lib.mpk_init(task)  # evict_rate=-1 -> 1.0
+        assert lib.cache.evict_rate == 1.0
+
+    def test_invalid_eviction_rate_rejected(self, process, task):
+        lib = Libmpk(process)
+        with pytest.raises(MpkError):
+            lib.mpk_init(task, evict_rate=1.5)
+
+
+class TestMmapMunmap:
+    def test_group_starts_inaccessible(self, lib, task):
+        """Figure 5: after mpk_mmap the pkey permission is '--'."""
+        addr = lib.mpk_mmap(task, GROUP, PAGE_SIZE, RW)
+        with pytest.raises(PkeyFault):
+            task.read(addr, 1)
+
+    def test_duplicate_vkey_rejected(self, lib, task):
+        lib.mpk_mmap(task, GROUP, PAGE_SIZE, RW)
+        with pytest.raises(MpkVkeyInUse):
+            lib.mpk_mmap(task, GROUP, PAGE_SIZE, RW)
+
+    def test_unknown_vkey_rejected(self, lib, task):
+        with pytest.raises(MpkUnknownVkey):
+            lib.mpk_begin(task, 999, RW)
+
+    def test_munmap_destroys_group_and_pages(self, lib, task):
+        addr = lib.mpk_mmap(task, GROUP, PAGE_SIZE, RW)
+        lib.mpk_munmap(task, GROUP)
+        with pytest.raises(SegmentationFault):
+            task.read(addr, 1)
+        with pytest.raises(MpkUnknownVkey):
+            lib.mpk_begin(task, GROUP, RW)
+
+    def test_munmap_frees_the_hardware_key(self, lib, task):
+        lib.mpk_mmap(task, GROUP, PAGE_SIZE, RW)
+        assert lib.cache.in_use == 1
+        lib.mpk_munmap(task, GROUP)
+        assert lib.cache.in_use == 0
+
+    def test_vkey_reusable_after_munmap(self, lib, task):
+        lib.mpk_mmap(task, GROUP, PAGE_SIZE, RW)
+        lib.mpk_munmap(task, GROUP)
+        addr = lib.mpk_mmap(task, GROUP, 2 * PAGE_SIZE, RW)
+        assert lib.group(GROUP).num_pages == 2
+
+    def test_munmap_of_pinned_group_rejected(self, lib, task):
+        lib.mpk_mmap(task, GROUP, PAGE_SIZE, RW)
+        lib.mpk_begin(task, GROUP, RW)
+        with pytest.raises(MpkError):
+            lib.mpk_munmap(task, GROUP)
+
+    def test_length_rounds_to_pages(self, lib, task):
+        lib.mpk_mmap(task, GROUP, 100, RW)
+        assert lib.group(GROUP).length == PAGE_SIZE
+
+
+class TestBeginEnd:
+    def test_begin_grants_only_requested_rights(self, lib, task):
+        addr = lib.mpk_mmap(task, GROUP, PAGE_SIZE, RW)
+        lib.mpk_begin(task, GROUP, PROT_READ)
+        assert task.read(addr, 1) == b"\x00"
+        with pytest.raises(PkeyFault):
+            task.write(addr, b"x")
+        lib.mpk_end(task, GROUP)
+
+    def test_end_revokes_access(self, lib, task):
+        addr = lib.mpk_mmap(task, GROUP, PAGE_SIZE, RW)
+        lib.mpk_begin(task, GROUP, RW)
+        task.write(addr, b"inside")
+        lib.mpk_end(task, GROUP)
+        with pytest.raises(PkeyFault):
+            task.read(addr, 1)
+
+    def test_end_without_begin_rejected(self, lib, task):
+        lib.mpk_mmap(task, GROUP, PAGE_SIZE, RW)
+        with pytest.raises(MpkError):
+            lib.mpk_end(task, GROUP)
+
+    def test_domain_context_manager(self, lib, task):
+        addr = lib.mpk_mmap(task, GROUP, PAGE_SIZE, RW)
+        with lib.domain(task, GROUP, RW):
+            task.write(addr, b"data")
+        assert task.try_read(addr, 4) is None
+
+    def test_domain_context_manager_releases_on_exception(self, lib, task):
+        addr = lib.mpk_mmap(task, GROUP, PAGE_SIZE, RW)
+        with pytest.raises(RuntimeError):
+            with lib.domain(task, GROUP, RW):
+                raise RuntimeError("app bug")
+        assert not lib.group(GROUP).pinned
+        assert task.try_read(addr, 1) is None
+
+    def test_isolation_is_thread_local(self, lib, kernel, process, task):
+        """The security core: a domain opened by one thread grants
+        nothing to its siblings (per-thread PKRU view)."""
+        sibling = process.spawn_task()
+        kernel.scheduler.schedule(sibling, charge=False)
+        addr = lib.mpk_mmap(task, GROUP, PAGE_SIZE, RW)
+        lib.mpk_begin(task, GROUP, RW)
+        task.write(addr, b"secret")
+        assert sibling.try_read(addr, 6) is None
+        assert task.read(addr, 6) == b"secret"
+        lib.mpk_end(task, GROUP)
+
+    def test_two_threads_can_hold_same_domain(self, lib, kernel, process,
+                                              task):
+        sibling = process.spawn_task()
+        kernel.scheduler.schedule(sibling, charge=False)
+        addr = lib.mpk_mmap(task, GROUP, PAGE_SIZE, RW)
+        lib.mpk_begin(task, GROUP, RW)
+        lib.mpk_begin(sibling, GROUP, PROT_READ)
+        task.write(addr, b"shared")
+        assert sibling.read(addr, 6) == b"shared"
+        lib.mpk_end(sibling, GROUP)
+        lib.mpk_end(task, GROUP)
+
+    def test_nested_begin_end_pin_counting(self, lib, kernel, process,
+                                           task):
+        sibling = process.spawn_task()
+        kernel.scheduler.schedule(sibling, charge=False)
+        lib.mpk_mmap(task, GROUP, PAGE_SIZE, RW)
+        lib.mpk_begin(task, GROUP, RW)
+        lib.mpk_begin(sibling, GROUP, RW)
+        lib.mpk_end(task, GROUP)
+        assert lib.group(GROUP).pinned  # sibling still inside
+        lib.mpk_end(sibling, GROUP)
+        assert not lib.group(GROUP).pinned
+
+
+class TestMallocFree:
+    def test_malloc_returns_addresses_inside_group(self, lib, task):
+        lib.mpk_mmap(task, GROUP, 4 * PAGE_SIZE, RW)
+        addr = lib.mpk_malloc(task, GROUP, 256)
+        group = lib.group(GROUP)
+        assert group.base <= addr < group.end
+
+    def test_allocations_do_not_overlap(self, lib, task):
+        lib.mpk_mmap(task, GROUP, 4 * PAGE_SIZE, RW)
+        chunks = [(lib.mpk_malloc(task, GROUP, 100), 100)
+                  for _ in range(20)]
+        spans = sorted((a, a + s) for a, s in chunks)
+        for (a_start, a_end), (b_start, b_end) in zip(spans, spans[1:]):
+            assert a_end <= b_start
+
+    def test_malloc_exhaustion_raises(self, lib, task):
+        lib.mpk_mmap(task, GROUP, PAGE_SIZE, RW)
+        lib.mpk_malloc(task, GROUP, PAGE_SIZE)
+        with pytest.raises(MpkError):
+            lib.mpk_malloc(task, GROUP, 16)
+
+    def test_free_enables_reuse(self, lib, task):
+        lib.mpk_mmap(task, GROUP, PAGE_SIZE, RW)
+        addr = lib.mpk_malloc(task, GROUP, PAGE_SIZE)
+        lib.mpk_free(task, GROUP, addr)
+        assert lib.mpk_malloc(task, GROUP, PAGE_SIZE) == addr
+
+    def test_heap_data_protected_by_domain(self, lib, task):
+        lib.mpk_mmap(task, GROUP, PAGE_SIZE, RW)
+        addr = lib.mpk_malloc(task, GROUP, 64)
+        with lib.domain(task, GROUP, RW):
+            task.write(addr, b"key material")
+        assert task.try_read(addr, 12) is None
+
+    def test_free_of_bogus_address_rejected(self, lib, task):
+        lib.mpk_mmap(task, GROUP, PAGE_SIZE, RW)
+        lib.mpk_malloc(task, GROUP, 64)
+        with pytest.raises(MpkError):
+            lib.mpk_free(task, GROUP, 0x1234)

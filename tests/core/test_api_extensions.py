@@ -1,0 +1,219 @@
+"""Extension surface: mpk_adopt, eviction policies, stats, model
+transitions, and eager sync."""
+
+import pytest
+
+from repro.consts import PAGE_SIZE, PROT_EXEC, PROT_READ, PROT_WRITE
+from repro.errors import MpkUnknownVkey, MpkVkeyInUse, PkeyFault
+from repro.hw.pkru import KEY_RIGHTS_READ
+from repro.core.sync import do_pkey_sync
+from repro import Libmpk
+
+RW = PROT_READ | PROT_WRITE
+RWX = RW | PROT_EXEC
+
+
+class TestAdopt:
+    def test_adopt_turns_a_mapping_into_a_group(self, lib, kernel,
+                                                task):
+        addr = kernel.sys_mmap(task, 2 * PAGE_SIZE, RW)
+        task.write(addr, b"pre-existing data")
+        lib.mpk_adopt(task, 77, addr, 2 * PAGE_SIZE, RW)
+        group = lib.group(77)
+        assert group.base == addr
+        assert not group.cached          # key attaches lazily
+        # First begin attaches the key and gates access.
+        with lib.domain(task, 77, PROT_READ):
+            assert task.read(addr, 17) == b"pre-existing data"
+        assert task.try_read(addr, 1) is None
+
+    def test_adopt_does_not_change_page_permissions(self, lib, kernel,
+                                                    task):
+        addr = kernel.sys_mmap(task, PAGE_SIZE, PROT_READ)
+        lib.mpk_adopt(task, 77, addr, PAGE_SIZE, PROT_READ)
+        # Still readable (no key yet, page bits unchanged).
+        assert task.read(addr, 1) == b"\x00"
+
+    def test_adopt_duplicate_vkey_rejected(self, lib, kernel, task):
+        addr = kernel.sys_mmap(task, PAGE_SIZE, RW)
+        lib.mpk_adopt(task, 77, addr, PAGE_SIZE, RW)
+        with pytest.raises(MpkVkeyInUse):
+            lib.mpk_adopt(task, 77, addr, PAGE_SIZE, RW)
+
+    def test_adopted_rwx_group_stays_executable_when_evicted(
+            self, lib, kernel, task):
+        """The JIT requirement: an evicted code page loses data access
+        but keeps executing."""
+        addr = kernel.sys_mmap(task, PAGE_SIZE, RWX)
+        task.write(addr, b"\xc3")
+        lib.mpk_adopt(task, 77, addr, PAGE_SIZE, RWX)
+        lib.mpk_begin(task, 77, RW)
+        lib.mpk_end(task, 77)
+        # Evict by pinning 15 other groups.
+        for i in range(15):
+            lib.mpk_mmap(task, 100 + i, PAGE_SIZE, RW)
+            lib.mpk_begin(task, 100 + i, RW)
+        assert not lib.group(77).cached
+        assert task.try_read(addr, 1) is None      # data sealed
+        assert task.fetch(addr, 1) == b"\xc3"      # still runs
+        for i in range(15):
+            lib.mpk_end(task, 100 + i)
+
+
+class TestEvictionPolicies:
+    def _churn(self, lib, task, accesses):
+        for vkey in accesses:
+            lib.mpk_begin(task, vkey, RW)
+            lib.mpk_end(task, vkey)
+
+    @pytest.mark.parametrize("policy", ["lru", "fifo", "random"])
+    def test_all_policies_preserve_correctness(self, process, task,
+                                               policy):
+        lib = Libmpk(process)
+        lib.mpk_init(task, policy=policy)
+        addrs = {}
+        for i in range(25):
+            vkey = 100 + i
+            addrs[vkey] = lib.mpk_mmap(task, vkey, PAGE_SIZE, RW)
+            with lib.domain(task, vkey, RW):
+                task.write(addrs[vkey], bytes([i]))
+        for i in range(25):
+            vkey = 100 + i
+            with lib.domain(task, vkey, PROT_READ):
+                assert task.read(addrs[vkey], 1) == bytes([i])
+            assert task.try_read(addrs[vkey], 1) is None
+
+    def test_lru_and_fifo_differ_on_refreshed_entries(self, kernel):
+        """A re-touched group survives under LRU but not under FIFO."""
+        def victim_after_refresh(policy):
+            process = kernel.create_process()
+            task = process.main_task
+            lib = Libmpk(process)
+            lib.mpk_init(task, policy=policy)
+            for i in range(15):
+                lib.mpk_mmap(task, 100 + i, PAGE_SIZE, RW)
+                lib.mpk_begin(task, 100 + i, RW)
+                lib.mpk_end(task, 100 + i)
+            # Refresh the oldest entry, then force one eviction.
+            lib.mpk_begin(task, 100, RW)
+            lib.mpk_end(task, 100)
+            lib.mpk_mmap(task, 999, PAGE_SIZE, RW)
+            lib.mpk_begin(task, 999, RW)
+            lib.mpk_end(task, 999)
+            return lib.group(100).cached
+
+        assert victim_after_refresh("lru") is True
+        assert victim_after_refresh("fifo") is False
+
+
+class TestStats:
+    def test_stats_snapshot(self, lib, task):
+        lib.mpk_mmap(task, 100, 2 * PAGE_SIZE, RW)
+        lib.mpk_begin(task, 100, RW)
+        stats = lib.stats()
+        assert stats["groups"] == 1
+        assert stats["cached_groups"] == 1
+        assert stats["pinned_groups"] == 1
+        assert stats["hardware_keys"] == 15
+        assert stats["protected_bytes"] == 2 * PAGE_SIZE
+        assert stats["eviction_policy"] == "lru"
+        lib.mpk_end(task, 100)
+        assert lib.stats()["pinned_groups"] == 0
+
+    def test_stats_track_fallbacks(self, process, task):
+        lib = Libmpk(process)
+        lib.mpk_init(task, evict_rate=0.0)
+        for i in range(16):
+            lib.mpk_mmap(task, 100 + i, PAGE_SIZE, RW)
+            lib.mpk_mprotect(task, 100 + i, RW)
+        assert lib.stats()["mprotect_fallbacks"] >= 1
+
+
+class TestEagerSync:
+    def test_eager_sync_has_same_semantics(self, kernel, process, task):
+        running = process.spawn_task()
+        kernel.scheduler.schedule(running, charge=False)
+        sleeping = process.spawn_task()
+        do_pkey_sync(kernel, task, 5, KEY_RIGHTS_READ, eager=True)
+        assert running.pkru.rights(5) == KEY_RIGHTS_READ
+        # Eager mode waits for sleeping threads too (wakes them).
+        assert sleeping.pkru.rights(5) == KEY_RIGHTS_READ
+
+    def test_eager_sync_costs_more(self, kernel, process, task,
+                                   measure):
+        for _ in range(3):
+            kernel.scheduler.schedule(process.spawn_task(),
+                                      charge=False)
+        lazy = measure(lambda: do_pkey_sync(kernel, task, 5,
+                                            KEY_RIGHTS_READ))
+        eager = measure(lambda: do_pkey_sync(kernel, task, 5,
+                                             KEY_RIGHTS_READ,
+                                             eager=True))
+        assert eager > lazy
+
+
+class TestBeginWait:
+    def _exhaust(self, lib, task):
+        for i in range(15):
+            lib.mpk_mmap(task, 100 + i, PAGE_SIZE, RW)
+            lib.mpk_begin(task, 100 + i, RW)
+
+    def test_succeeds_immediately_when_keys_free(self, lib, task):
+        lib.mpk_mmap(task, 50, PAGE_SIZE, RW)
+        attempts = lib.mpk_begin_wait(task, 50, RW,
+                                      on_wait=lambda n: None)
+        assert attempts == 1
+        lib.mpk_end(task, 50)
+
+    def test_waits_until_a_key_frees(self, lib, task):
+        self._exhaust(lib, task)
+        lib.mpk_mmap(task, 50, PAGE_SIZE, RW)
+        waits = []
+
+        def release_one(attempt):
+            waits.append(attempt)
+            if attempt == 2:
+                lib.mpk_end(task, 100)  # progress on the 2nd wait
+
+        attempts = lib.mpk_begin_wait(task, 50, RW, on_wait=release_one)
+        assert attempts == 3
+        assert waits == [1, 2]
+        lib.mpk_end(task, 50)
+        for i in range(1, 15):
+            lib.mpk_end(task, 100 + i)
+
+    def test_gives_up_after_max_attempts(self, lib, task):
+        from repro.errors import MpkKeyExhaustion
+        self._exhaust(lib, task)
+        lib.mpk_mmap(task, 50, PAGE_SIZE, RW)
+        with pytest.raises(MpkKeyExhaustion):
+            lib.mpk_begin_wait(task, 50, RW, on_wait=lambda n: None,
+                               max_attempts=3)
+        for i in range(15):
+            lib.mpk_end(task, 100 + i)
+
+
+class TestModelTransitions:
+    def test_global_to_domain_seals_siblings(self, lib, kernel,
+                                             process, task):
+        """The transition quiesce found by the property tests: begin on
+        a globally-readable group revokes the global grants."""
+        sibling = process.spawn_task()
+        kernel.scheduler.schedule(sibling, charge=False)
+        addr = lib.mpk_mmap(task, 100, PAGE_SIZE, RW)
+        lib.mpk_mprotect(task, 100, PROT_READ)
+        assert sibling.read(addr, 1) == b"\x00"
+        lib.mpk_begin(task, 100, RW)
+        assert sibling.try_read(addr, 1) is None
+        lib.mpk_end(task, 100)
+
+    def test_domain_to_global_grants_everyone(self, lib, kernel,
+                                              process, task):
+        sibling = process.spawn_task()
+        kernel.scheduler.schedule(sibling, charge=False)
+        addr = lib.mpk_mmap(task, 100, PAGE_SIZE, RW)
+        with lib.domain(task, 100, RW):
+            task.write(addr, b"published later")
+        assert sibling.try_read(addr, 1) is None
+        lib.mpk_mprotect(task, 100, PROT_READ)
+        assert sibling.read(addr, 15) == b"published later"

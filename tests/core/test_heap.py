@@ -1,0 +1,97 @@
+"""GroupHeap allocator: first-fit, alignment, coalescing."""
+
+import pytest
+
+from repro.core.heap import ALIGNMENT, GroupHeap
+from repro.errors import MpkError
+
+
+@pytest.fixture
+def heap():
+    return GroupHeap(base=0x1000, size=4096)
+
+
+class TestMalloc:
+    def test_allocations_are_aligned(self, heap):
+        for size in (1, 7, 15, 17, 100):
+            assert heap.malloc(size) % ALIGNMENT == 0
+
+    def test_first_fit_reuses_earliest_hole(self, heap):
+        a = heap.malloc(64)
+        b = heap.malloc(64)
+        heap.malloc(64)
+        heap.free(a)
+        heap.free(b)
+        assert heap.malloc(32) == a
+
+    def test_exact_fit_consumes_chunk(self, heap):
+        addr = heap.malloc(4096)
+        assert addr == 0x1000
+        assert heap.free_bytes() == 0
+        with pytest.raises(MpkError):
+            heap.malloc(1)
+
+    def test_zero_or_negative_size_rejected(self, heap):
+        with pytest.raises(MpkError):
+            heap.malloc(0)
+        with pytest.raises(MpkError):
+            heap.malloc(-5)
+
+    def test_exhaustion_message_is_actionable(self, heap):
+        heap.malloc(4000)
+        with pytest.raises(MpkError, match="exhausted"):
+            heap.malloc(200)
+
+
+class TestFree:
+    def test_double_free_rejected(self, heap):
+        addr = heap.malloc(64)
+        heap.free(addr)
+        with pytest.raises(MpkError):
+            heap.free(addr)
+
+    def test_free_of_unallocated_rejected(self, heap):
+        with pytest.raises(MpkError):
+            heap.free(0x1000)
+
+    def test_coalescing_restores_full_capacity(self, heap):
+        addrs = [heap.malloc(256) for _ in range(16)]
+        assert heap.free_bytes() == 0
+        for addr in addrs:
+            heap.free(addr)
+        assert heap.free_bytes() == 4096
+        assert heap.largest_free_chunk() == 4096
+        assert heap.malloc(4096) == 0x1000
+
+    def test_coalescing_out_of_order_frees(self, heap):
+        addrs = [heap.malloc(512) for _ in range(8)]
+        for addr in addrs[::2] + addrs[1::2]:
+            heap.free(addr)
+        assert heap.largest_free_chunk() == 4096
+
+
+class TestAccounting:
+    def test_allocated_bytes_tracks_aligned_sizes(self, heap):
+        heap.malloc(10)   # rounds to 16
+        heap.malloc(100)  # rounds to 112
+        assert heap.allocated_bytes() == 16 + 112
+        assert heap.allocation_count() == 2
+
+    def test_allocation_size_lookup(self, heap):
+        addr = heap.malloc(30)
+        assert heap.allocation_size(addr) == 32
+        assert heap.allocation_size(0xBAD) is None
+
+    def test_invariant_allocated_plus_free_is_total(self, heap):
+        import random
+        rng = random.Random(7)
+        live = []
+        for _ in range(200):
+            if live and rng.random() < 0.4:
+                heap.free(live.pop(rng.randrange(len(live))))
+            else:
+                try:
+                    live.append(heap.malloc(rng.randrange(1, 400)))
+                except MpkError:
+                    pass
+            assert heap.allocated_bytes() + heap.free_bytes() == 4096

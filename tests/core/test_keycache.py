@@ -1,0 +1,130 @@
+"""KeyCache unit behaviour (isolated from the rest of libmpk)."""
+
+import pytest
+
+from repro.core.keycache import KeyCache
+from repro.errors import MpkError, MpkKeyExhaustion
+
+
+@pytest.fixture
+def cache():
+    return KeyCache(hardware_keys=[1, 2, 3], evict_rate=1.0)
+
+
+class TestAssignLookup:
+    def test_assign_free_until_exhausted(self, cache):
+        assert cache.assign_free(10) == 1
+        assert cache.assign_free(11) == 2
+        assert cache.assign_free(12) == 3
+        assert cache.assign_free(13) is None
+
+    def test_lookup_hit_and_miss_stats(self, cache):
+        cache.assign_free(10)
+        assert cache.lookup(10) == 1
+        assert cache.lookup(99) is None
+        assert cache.stats_hits == 1
+        assert cache.stats_misses == 1
+
+    def test_peek_does_not_touch_stats_or_recency(self, cache):
+        cache.assign_free(10)
+        cache.assign_free(11)
+        cache.peek(10)
+        assert cache.stats_hits == 0
+        assert cache.choose_victim(lambda v: True) == 10  # still LRU
+
+    def test_double_assign_rejected(self, cache):
+        cache.assign_free(10)
+        with pytest.raises(MpkError):
+            cache.assign_free(10)
+
+
+class TestEviction:
+    def test_victim_is_lru(self, cache):
+        for vkey in (10, 11, 12):
+            cache.assign_free(vkey)
+        cache.lookup(10)  # 11 becomes LRU
+        assert cache.choose_victim(lambda v: True) == 11
+
+    def test_victim_respects_veto(self, cache):
+        for vkey in (10, 11, 12):
+            cache.assign_free(vkey)
+        assert cache.choose_victim(lambda v: v != 10) == 11
+
+    def test_all_vetoed_raises_exhaustion(self, cache):
+        cache.assign_free(10)
+        with pytest.raises(MpkKeyExhaustion):
+            cache.choose_victim(lambda v: False)
+
+    def test_evict_then_bind_transfers_key(self, cache):
+        cache.assign_free(10)
+        pkey = cache.evict(10)
+        cache.bind(20, pkey)
+        assert cache.lookup(20) == pkey
+        assert cache.lookup(10) is None
+
+    def test_release_returns_key_to_free_pool(self, cache):
+        cache.assign_free(10)
+        cache.assign_free(11)
+        cache.assign_free(12)
+        released = cache.release(11)
+        assert cache.assign_free(13) == released
+
+    def test_bind_of_foreign_key_rejected(self, cache):
+        with pytest.raises(MpkError):
+            cache.bind(20, 99)
+
+    def test_evict_uncached_rejected(self, cache):
+        with pytest.raises(MpkError):
+            cache.evict(42)
+
+
+class TestEvictionRate:
+    @pytest.mark.parametrize("rate,expected", [
+        (1.0, [True] * 8),
+        (0.0, [False] * 8),
+        (0.5, [False, True] * 4),
+        (0.25, [False, False, False, True] * 2),
+    ])
+    def test_deterministic_patterns(self, rate, expected):
+        cache = KeyCache([1], evict_rate=rate)
+        assert [cache.should_evict_on_miss() for _ in range(8)] == expected
+
+    def test_rate_validation(self):
+        with pytest.raises(MpkError):
+            KeyCache([1], evict_rate=-0.1)
+        with pytest.raises(MpkError):
+            KeyCache([1], evict_rate=1.01)
+
+    def test_fallback_stats(self):
+        cache = KeyCache([1], evict_rate=0.5)
+        for _ in range(10):
+            cache.should_evict_on_miss()
+        assert cache.stats_fallbacks == 5
+
+
+class TestReservation:
+    def test_reserved_key_never_chosen_as_victim(self, cache):
+        reserved = cache.reserve_free_key()
+        cache.assign_free(10)
+        cache.assign_free(11)
+        assert cache.assign_free(12) is None  # pool exhausted (1 reserved)
+        victim = cache.choose_victim(lambda v: True)
+        assert cache.peek(victim) != reserved
+
+    def test_unreserve_returns_key(self, cache):
+        reserved = cache.reserve_free_key()
+        cache.unreserve(reserved)
+        got = {cache.assign_free(v) for v in (10, 11, 12)}
+        assert reserved in got
+
+    def test_reserve_specific_key(self, cache):
+        cache.assign_free(10)
+        pkey = cache.evict(10)
+        cache.reserve_key(pkey)
+        assert pkey in cache.reserved_keys
+        with pytest.raises(MpkError):
+            cache.reserve_key(pkey)
+
+    def test_empty_key_list_rejected(self):
+        with pytest.raises(MpkError):
+            KeyCache([], evict_rate=1.0)

@@ -1,0 +1,152 @@
+"""Key virtualization: >15 groups, LRU eviction, pinning, exhaustion."""
+
+import pytest
+
+from repro.consts import NUM_PKEYS, PAGE_SIZE, PROT_READ, PROT_WRITE
+from repro.errors import MpkKeyExhaustion, PkeyFault
+
+RW = PROT_READ | PROT_WRITE
+HW_KEYS = NUM_PKEYS - 1  # 15
+
+
+def make_groups(lib, task, count, base_vkey=100):
+    addrs = {}
+    for i in range(count):
+        vkey = base_vkey + i
+        addrs[vkey] = lib.mpk_mmap(task, vkey, PAGE_SIZE, RW)
+    return addrs
+
+
+class TestScalability:
+    def test_far_more_groups_than_hardware_keys(self, lib, task):
+        """The headline scalability claim: 100 page groups on 15 keys."""
+        addrs = make_groups(lib, task, 100)
+        for vkey, addr in addrs.items():
+            with lib.domain(task, vkey, RW):
+                task.write(addr, vkey.to_bytes(4, "little"))
+        for vkey, addr in addrs.items():
+            with lib.domain(task, vkey, PROT_READ):
+                assert task.read(addr, 4) == vkey.to_bytes(4, "little")
+
+    def test_cache_never_exceeds_capacity(self, lib, task):
+        make_groups(lib, task, 40)
+        for vkey in range(100, 140):
+            lib.mpk_begin(task, vkey, RW)
+            lib.mpk_end(task, vkey)
+            assert lib.cache.in_use <= HW_KEYS
+
+    def test_evicted_group_is_fully_inaccessible(self, lib, task):
+        """Evicting a domain group revokes its page permission so no
+        thread can slip in while it has no key (§4.2)."""
+        addrs = make_groups(lib, task, HW_KEYS + 1)
+        # Cycle through all: the first group must get evicted.
+        for vkey in addrs:
+            lib.mpk_begin(task, vkey, RW)
+            lib.mpk_end(task, vkey)
+        evicted = next(v for v in addrs if not lib.group(v).cached)
+        assert task.try_read(addrs[evicted], 1) is None
+        # Even a thread with a fully permissive PKRU cannot read it.
+        from repro.hw.pkru import PKRU
+        task.wrpkru(PKRU.allow_all().value)
+        assert task.try_read(addrs[evicted], 1) is None
+
+    def test_reaccess_after_eviction_reloads_group(self, lib, task):
+        addrs = make_groups(lib, task, HW_KEYS + 2)
+        first = 100
+        with lib.domain(task, first, RW):
+            task.write(addrs[first], b"persist")
+        for vkey in list(addrs)[1:]:
+            lib.mpk_begin(task, vkey, RW)
+            lib.mpk_end(task, vkey)
+        assert not lib.group(first).cached
+        with lib.domain(task, first, PROT_READ):
+            assert task.read(addrs[first], 7) == b"persist"
+
+
+class TestLruPolicy:
+    def test_least_recently_used_key_is_evicted(self, lib, task):
+        addrs = make_groups(lib, task, HW_KEYS)
+        # Touch all groups in order; then touch 100 again so 101 is LRU.
+        for vkey in addrs:
+            lib.mpk_begin(task, vkey, RW)
+            lib.mpk_end(task, vkey)
+        lib.mpk_begin(task, 100, RW)
+        lib.mpk_end(task, 100)
+        lib.mpk_mmap(task, 900, PAGE_SIZE, RW)  # no free key -> uncached
+        lib.mpk_begin(task, 900, RW)            # must evict vkey 101
+        lib.mpk_end(task, 900)
+        assert not lib.group(101).cached
+        assert lib.group(100).cached
+
+    def test_pinned_groups_are_never_evicted(self, lib, task):
+        addrs = make_groups(lib, task, HW_KEYS)
+        lib.mpk_begin(task, 100, RW)  # pin the would-be LRU victim
+        lib.mpk_mmap(task, 900, PAGE_SIZE, RW)
+        lib.mpk_begin(task, 900, RW)  # evicts 101 instead
+        assert lib.group(100).cached
+        assert not lib.group(101).cached
+        assert task.try_read(addrs[100], 1) == b"\x00"  # still usable
+        lib.mpk_end(task, 900)
+        lib.mpk_end(task, 100)
+
+    def test_exhaustion_raises_when_all_keys_pinned(self, lib, kernel,
+                                                    process, task):
+        """§4.2: if all keys are actively used, mpk_begin raises and
+        lets the caller decide how to wait."""
+        make_groups(lib, task, HW_KEYS)
+        for vkey in range(100, 100 + HW_KEYS):
+            lib.mpk_begin(task, vkey, RW)
+        lib.mpk_mmap(task, 900, PAGE_SIZE, RW)
+        with pytest.raises(MpkKeyExhaustion):
+            lib.mpk_begin(task, 900, RW)
+        # Releasing one unblocks the caller.
+        lib.mpk_end(task, 100)
+        lib.mpk_begin(task, 900, RW)
+        lib.mpk_end(task, 900)
+        for vkey in range(101, 100 + HW_KEYS):
+            lib.mpk_end(task, vkey)
+
+
+class TestKeyRebindHygiene:
+    def test_stale_rights_do_not_leak_to_new_tenant(self, lib, kernel,
+                                                    process, task):
+        """When a hardware key moves between groups, rights a sibling
+        held for the old tenant must not open the new one — libmpk's
+        answer to protection-key use-after-free."""
+        sibling = process.spawn_task()
+        kernel.scheduler.schedule(sibling, charge=False)
+
+        addrs = make_groups(lib, task, HW_KEYS)
+        # Sibling legitimately opens group 100 and keeps rights alive...
+        lib.mpk_begin(sibling, 100, RW)
+        old_key = lib.group(100).pkey
+        lib.mpk_end(sibling, 100)
+        # ...then a rogue WRPKRU re-grants itself the raw key.
+        from repro.hw.pkru import KEY_RIGHTS_ALL
+        sibling.pkey_set(old_key, KEY_RIGHTS_ALL)
+
+        # Key 100's hardware key is reassigned to a brand-new group.
+        lib.mpk_mmap(task, 900, PAGE_SIZE, RW)
+        # Force group 100 to be the victim (it is LRU after the loop).
+        for vkey in range(101, 100 + HW_KEYS):
+            lib.mpk_begin(task, vkey, RW)
+            lib.mpk_end(task, vkey)
+        lib.mpk_begin(task, 900, RW)
+        new_addr = lib.group(900).base
+        task.write(new_addr, b"new tenant secret")
+        assert lib.group(900).pkey == old_key  # key actually moved
+        # The sibling's stale rights were quiesced at rebind time.
+        assert sibling.try_read(new_addr, 17) is None
+        lib.mpk_end(task, 900)
+
+    def test_virtual_keys_do_not_alias_after_reuse(self, lib, task):
+        """Protection-key-use-after-free, solved: destroying a group and
+        reusing its hardware key never exposes the old group's pages."""
+        a = lib.mpk_mmap(task, 100, PAGE_SIZE, RW)
+        with lib.domain(task, 100, RW):
+            task.write(a, b"old secret")
+        lib.mpk_munmap(task, 100)
+        b = lib.mpk_mmap(task, 200, PAGE_SIZE, RW)
+        with lib.domain(task, 200, RW):
+            # The new group contains only its own zeroed pages.
+            assert task.read(b, 10) == b"\x00" * 10

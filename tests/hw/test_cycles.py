@@ -1,0 +1,73 @@
+"""Clock, Region, and cost-model calibration identities."""
+
+import pytest
+
+from repro.hw.cycles import Clock, CostModel, DEFAULT_COST_MODEL, Region
+
+
+class TestClock:
+    def test_charge_accumulates(self):
+        clock = Clock()
+        clock.charge(10)
+        clock.charge(2.5)
+        assert clock.now == pytest.approx(12.5)
+        assert clock.events == 2
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            Clock().charge(-1)
+
+    def test_region_measures_delta(self):
+        clock = Clock()
+        clock.charge(5)
+        with Region(clock) as region:
+            clock.charge(7)
+        assert region.elapsed == pytest.approx(7)
+
+    def test_region_measures_zero_when_nothing_happens(self):
+        with Region(Clock()) as region:
+            pass
+        assert region.elapsed == 0.0
+
+
+class TestCalibration:
+    """The decompositions must reconstruct Table 1's totals exactly."""
+
+    c = DEFAULT_COST_MODEL
+
+    def test_syscall_overhead(self):
+        assert self.c.syscall_overhead() == pytest.approx(120.0)
+
+    def test_pkey_alloc_total(self):
+        total = self.c.syscall_overhead() + self.c.pkey_alloc_kernel
+        assert total == pytest.approx(186.3)
+
+    def test_pkey_free_total(self):
+        total = self.c.syscall_overhead() + self.c.pkey_free_kernel
+        assert total == pytest.approx(137.2)
+
+    def test_mprotect_one_page_total(self):
+        total = (self.c.syscall_overhead() + self.c.mprotect_base
+                 + self.c.vma_find + self.c.pte_update
+                 + self.c.tlb_flush_full)
+        assert total == pytest.approx(1094.0)
+
+    def test_pkey_mprotect_one_page_total(self):
+        total = (self.c.syscall_overhead() + self.c.mprotect_base
+                 + self.c.vma_find + self.c.pte_update
+                 + self.c.tlb_flush_full + self.c.pkey_mprotect_extra)
+        assert total == pytest.approx(1104.9)
+
+    def test_libmpk_hit_path_is_12x_faster_than_mprotect(self):
+        hit = (self.c.wrpkru + self.c.mpk_cache_lookup
+               + self.c.mpk_metadata_op)
+        assert 1094.0 / hit == pytest.approx(12.2, abs=0.1)
+
+    def test_cost_model_is_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COST_MODEL.wrpkru = 1.0
+
+    def test_custom_model_overrides(self):
+        model = CostModel(wrpkru=100.0)
+        assert model.wrpkru == 100.0
+        assert model.rdpkru == DEFAULT_COST_MODEL.rdpkru

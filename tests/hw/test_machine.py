@@ -1,0 +1,53 @@
+"""Machine construction, configuration, and measurement plumbing."""
+
+import pytest
+
+from repro.hw.cycles import CostModel
+from repro import Machine
+
+
+class TestConstruction:
+    def test_paper_testbed_defaults(self):
+        machine = Machine()
+        assert machine.num_cores == 40           # 2x Xeon Gold 5115
+        assert machine.memory.total_frames == (192 << 30) >> 12  # 192 GB
+
+    def test_invalid_core_count(self):
+        with pytest.raises(ValueError):
+            Machine(num_cores=0)
+
+    def test_cores_share_the_clock(self):
+        machine = Machine(num_cores=4)
+        machine.core(0).execute_adds(4)
+        before = machine.clock.now
+        machine.core(3).execute_adds(4)
+        assert machine.clock.now > before
+
+    def test_custom_cost_model_reaches_cores(self):
+        model = CostModel(wrpkru=1000.0)
+        machine = Machine(num_cores=1, costs=model)
+        before = machine.clock.now
+        machine.core(0).wrpkru(0)
+        assert machine.clock.now - before == pytest.approx(1000.0)
+
+    def test_meltdown_flag_reaches_cores(self):
+        hardened = Machine(num_cores=2, meltdown_mitigated=True)
+        assert all(core.meltdown_mitigated for core in hardened.cores)
+        legacy = Machine(num_cores=2)
+        assert not any(core.meltdown_mitigated for core in legacy.cores)
+
+
+class TestMeasurement:
+    def test_measure_context_manager(self):
+        machine = Machine(num_cores=1)
+        with machine.measure() as region:
+            machine.clock.charge(42.0)
+        assert region.elapsed == pytest.approx(42.0)
+
+    def test_perf_summary_shape(self):
+        machine = Machine(num_cores=2)
+        summary = machine.perf_summary()
+        assert set(summary) == {"cycles", "wrpkru", "rdpkru",
+                                "data_accesses", "instruction_fetches",
+                                "tlb_misses", "tlb_flushes"}
+        assert summary["wrpkru"] == 0

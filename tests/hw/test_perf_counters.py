@@ -1,0 +1,62 @@
+"""Architectural event counters on cores and the machine summary."""
+
+import pytest
+
+from repro.consts import PAGE_SIZE, PROT_READ, PROT_WRITE
+from repro import Kernel, Libmpk, Machine
+
+RW = PROT_READ | PROT_WRITE
+
+
+class TestCounters:
+    def test_wrpkru_and_rdpkru_counted(self, kernel, task):
+        core = kernel.machine.core(task.core_id)
+        before_w, before_r = core.wrpkru_count, core.rdpkru_count
+        task.wrpkru(0)
+        task.rdpkru()
+        task.pkey_set(3, 0x1)   # one more WRPKRU
+        assert core.wrpkru_count == before_w + 2
+        assert core.rdpkru_count == before_r + 1
+
+    def test_access_counters_split_data_and_fetch(self, kernel, task):
+        from repro.consts import PROT_EXEC
+        core = kernel.machine.core(task.core_id)
+        addr = kernel.sys_mmap(task, PAGE_SIZE, RW | PROT_EXEC)
+        d0, f0 = core.data_accesses, core.instruction_fetches
+        task.write(addr, b"abc")
+        task.read(addr, 3)
+        task.fetch(addr, 3)
+        assert core.data_accesses == d0 + 2
+        assert core.instruction_fetches == f0 + 1
+
+    def test_machine_summary_aggregates_cores(self):
+        kernel = Kernel(Machine(num_cores=4))
+        process = kernel.create_process()
+        a = process.main_task
+        b = process.spawn_task()
+        kernel.scheduler.schedule(b, charge=False)
+        a.wrpkru(0)
+        b.wrpkru(0)
+        summary = kernel.machine.perf_summary()
+        assert summary["wrpkru"] >= 2
+        assert summary["cycles"] == kernel.clock.now
+
+    def test_libmpk_hit_path_is_one_wrpkru(self, kernel, process,
+                                           task):
+        """The paper's claim made countable: a cached mpk_mprotect with
+        no siblings executes exactly one WRPKRU."""
+        lib = Libmpk(process)
+        lib.mpk_init(task)
+        lib.mpk_mmap(task, 100, PAGE_SIZE, RW)
+        lib.mpk_mprotect(task, 100, RW)
+        core = kernel.machine.core(task.core_id)
+        before = core.wrpkru_count
+        lib.mpk_mprotect(task, 100, PROT_READ)
+        assert core.wrpkru_count == before + 1
+
+    def test_mprotect_path_executes_no_wrpkru(self, kernel, task):
+        addr = kernel.sys_mmap(task, PAGE_SIZE, RW)
+        core = kernel.machine.core(task.core_id)
+        before = core.wrpkru_count
+        kernel.sys_mprotect(task, addr, PAGE_SIZE, PROT_READ)
+        assert core.wrpkru_count == before

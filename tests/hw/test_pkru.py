@@ -1,0 +1,101 @@
+"""PKRU register value semantics."""
+
+import pytest
+
+from repro.consts import NUM_PKEYS, PKEY_DISABLE_ACCESS, PKEY_DISABLE_WRITE
+from repro.consts import PROT_EXEC, PROT_NONE, PROT_READ, PROT_WRITE
+from repro.hw.pkru import (
+    KEY_RIGHTS_ALL,
+    KEY_RIGHTS_NONE,
+    KEY_RIGHTS_READ,
+    PKRU,
+    rights_for_prot,
+)
+
+
+class TestConstruction:
+    def test_allow_all_grants_everything(self):
+        pkru = PKRU.allow_all()
+        for key in range(NUM_PKEYS):
+            assert pkru.can_read(key)
+            assert pkru.can_write(key)
+
+    def test_default_denies_all_but_key_zero(self):
+        pkru = PKRU.deny_all_but_default()
+        assert pkru.can_read(0) and pkru.can_write(0)
+        for key in range(1, NUM_PKEYS):
+            assert not pkru.can_read(key)
+            assert not pkru.can_write(key)
+
+    def test_default_matches_linux_init_pkru(self):
+        # Linux initializes PKRU to 0x55555554.
+        assert PKRU.deny_all_but_default().value == 0x55555554
+
+    def test_value_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            PKRU(1 << 32)
+        with pytest.raises(ValueError):
+            PKRU(-1)
+
+
+class TestRights:
+    def test_write_disable_allows_read_only(self):
+        pkru = PKRU.allow_all().with_rights(3, KEY_RIGHTS_READ)
+        assert pkru.can_read(3)
+        assert not pkru.can_write(3)
+
+    def test_access_disable_blocks_everything(self):
+        pkru = PKRU.allow_all().with_rights(5, KEY_RIGHTS_NONE)
+        assert not pkru.can_read(5)
+        assert not pkru.can_write(5)
+
+    def test_with_rights_is_functional_update(self):
+        base = PKRU.allow_all()
+        updated = base.with_rights(1, KEY_RIGHTS_NONE)
+        assert base.can_read(1)          # original untouched
+        assert not updated.can_read(1)
+
+    def test_with_rights_only_touches_target_key(self):
+        pkru = PKRU.deny_all_but_default().with_rights(7, KEY_RIGHTS_ALL)
+        assert pkru.can_write(7)
+        assert not pkru.can_read(6)
+        assert not pkru.can_read(8)
+
+    def test_rights_roundtrip_every_key(self):
+        pkru = PKRU.allow_all()
+        for key in range(NUM_PKEYS):
+            for rights in (KEY_RIGHTS_ALL, KEY_RIGHTS_READ, KEY_RIGHTS_NONE):
+                assert pkru.with_rights(key, rights).rights(key) == rights
+
+    def test_bit_layout_matches_hardware_encoding(self):
+        # Key k's AD bit is 2k, WD bit is 2k+1.
+        pkru = PKRU.allow_all().with_rights(2, KEY_RIGHTS_NONE)
+        assert pkru.value == PKEY_DISABLE_ACCESS << 4
+        pkru = PKRU.allow_all().with_rights(2, KEY_RIGHTS_READ)
+        assert pkru.value == PKEY_DISABLE_WRITE << 4
+
+    def test_key_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            PKRU.allow_all().rights(16)
+        with pytest.raises(ValueError):
+            PKRU.allow_all().with_rights(-1, KEY_RIGHTS_ALL)
+
+    def test_invalid_rights_bits_rejected(self):
+        with pytest.raises(ValueError):
+            PKRU.allow_all().with_rights(0, 0x4)
+
+
+class TestRightsForProt:
+    def test_write_implies_full_rights(self):
+        assert rights_for_prot(PROT_READ | PROT_WRITE) == KEY_RIGHTS_ALL
+
+    def test_read_only(self):
+        assert rights_for_prot(PROT_READ) == KEY_RIGHTS_READ
+
+    def test_none(self):
+        assert rights_for_prot(PROT_NONE) == KEY_RIGHTS_NONE
+
+    def test_exec_is_orthogonal(self):
+        # PKRU cannot express exec; exec-only maps to no data access.
+        assert rights_for_prot(PROT_EXEC) == KEY_RIGHTS_NONE
+        assert rights_for_prot(PROT_READ | PROT_EXEC) == KEY_RIGHTS_READ

@@ -1,0 +1,76 @@
+"""TLB behaviour: caching, capacity, flush accounting."""
+
+import pytest
+
+from repro.hw.cycles import Clock, DEFAULT_COST_MODEL
+from repro.hw.tlb import TLB, TlbEntry
+
+
+@pytest.fixture
+def tlb():
+    return TLB(Clock(), DEFAULT_COST_MODEL, capacity=4)
+
+
+def entry(n):
+    return TlbEntry(frame_number=n, prot=0x3, pkey=0)
+
+
+class TestLookupFill:
+    def test_miss_then_hit(self, tlb):
+        assert tlb.lookup(1) is None
+        tlb.fill(1, entry(1))
+        assert tlb.lookup(1) == entry(1)
+        assert tlb.stats.misses == 1
+        assert tlb.stats.hits == 1
+
+    def test_capacity_evicts_lru(self, tlb):
+        for vpn in range(4):
+            tlb.fill(vpn, entry(vpn))
+        tlb.lookup(0)              # refresh vpn 0
+        tlb.fill(4, entry(4))      # evicts vpn 1 (LRU)
+        assert tlb.lookup(1) is None
+        assert tlb.lookup(0) is not None
+        assert tlb.lookup(4) is not None
+
+    def test_refill_same_vpn_replaces(self, tlb):
+        tlb.fill(1, entry(1))
+        tlb.fill(1, entry(99))
+        assert tlb.lookup(1).frame_number == 99
+        assert len(tlb) == 1
+
+
+class TestFlush:
+    def test_full_flush_empties_and_charges(self, tlb):
+        tlb.fill(1, entry(1))
+        clock_before = tlb._clock.now
+        tlb.flush()
+        assert len(tlb) == 0
+        assert tlb.stats.full_flushes == 1
+        assert tlb._clock.now - clock_before == pytest.approx(
+            DEFAULT_COST_MODEL.tlb_flush_full)
+
+    def test_invalidate_single_page(self, tlb):
+        tlb.fill(1, entry(1))
+        tlb.fill(2, entry(2))
+        tlb.invalidate_page(1)
+        assert tlb.lookup(1) is None
+        assert tlb.lookup(2) is not None
+        assert tlb.stats.page_invalidations == 1
+
+    def test_invalidate_absent_page_is_harmless(self, tlb):
+        tlb.invalidate_page(42)
+        assert tlb.stats.page_invalidations == 1
+
+    def test_stats_reset(self, tlb):
+        tlb.fill(1, entry(1))
+        tlb.lookup(1)
+        tlb.flush()
+        tlb.stats.reset()
+        assert tlb.stats.hits == 0
+        assert tlb.stats.full_flushes == 0
+
+
+class TestValidation:
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TLB(Clock(), DEFAULT_COST_MODEL, capacity=0)

@@ -1,0 +1,137 @@
+"""Failure injection: the stack must stay consistent when things break.
+
+Covers out-of-memory at fault time, exceptions escaping domains, heap
+exhaustion, metadata churn, and mid-operation application crashes.
+"""
+
+import pytest
+
+from repro.consts import PAGE_SIZE, PROT_READ, PROT_WRITE
+from repro.errors import (
+    MachineFault,
+    MpkError,
+    MpkKeyExhaustion,
+    OutOfMemory,
+)
+from repro import Kernel, Libmpk, Machine
+
+RW = PROT_READ | PROT_WRITE
+
+
+class TestOutOfMemory:
+    def test_oom_at_fault_time_leaves_machine_usable(self):
+        kernel = Kernel(Machine(num_cores=2, memory_bytes=64 * PAGE_SIZE))
+        process = kernel.create_process()
+        task = process.main_task
+        lib = Libmpk(process)
+        lib.mpk_init(task)  # consumes some frames for metadata
+        big = lib.mpk_mmap(task, 100, 1000 * PAGE_SIZE, RW)  # overcommit
+        with lib.domain(task, 100, RW):
+            with pytest.raises(OutOfMemory):
+                for page in range(1000):
+                    task.write(big + page * PAGE_SIZE, b"fill")
+        # The touched pages survived and stay consistent.
+        with lib.domain(task, 100, PROT_READ):
+            assert task.read(big, 4) == b"fill"
+
+    def test_freeing_groups_releases_frames_for_reuse(self):
+        kernel = Kernel(Machine(num_cores=2, memory_bytes=64 * PAGE_SIZE))
+        process = kernel.create_process()
+        task = process.main_task
+        lib = Libmpk(process)
+        lib.mpk_init(task)
+        for round_number in range(8):
+            vkey = 100 + round_number
+            addr = lib.mpk_mmap(task, vkey, 16 * PAGE_SIZE, RW)
+            with lib.domain(task, vkey, RW):
+                for page in range(16):
+                    task.write(addr + page * PAGE_SIZE, b"round")
+            lib.mpk_munmap(task, vkey)
+        # 8 rounds x 16 pages = 128 pages total, but never more than
+        # ~16 live at once: only possible if frames get recycled.
+
+
+class TestExceptionSafety:
+    def test_app_crash_inside_domain_does_not_leak_access(self, kernel,
+                                                          process, task):
+        lib = Libmpk(process)
+        lib.mpk_init(task)
+        addr = lib.mpk_mmap(task, 100, PAGE_SIZE, RW)
+
+        def buggy_handler():
+            with lib.domain(task, 100, RW):
+                task.write(addr, b"partial")
+                raise RuntimeError("application bug")
+
+        with pytest.raises(RuntimeError):
+            buggy_handler()
+        # The context manager released the domain; the group is sealed
+        # and unpinned (so it can still be evicted/unmapped).
+        assert task.try_read(addr, 7) is None
+        assert not lib.group(100).pinned
+        lib.mpk_munmap(task, 100)
+
+    def test_fault_mid_write_is_contained(self, kernel, process, task):
+        lib = Libmpk(process)
+        lib.mpk_init(task)
+        addr = lib.mpk_mmap(task, 100, PAGE_SIZE, RW)
+        with lib.domain(task, 100, RW):
+            # A write that starts in-group and runs off its end faults
+            # at the boundary...
+            with pytest.raises(MachineFault):
+                task.write(addr + PAGE_SIZE - 4, b"x" * 64)
+            # ...and the domain is still usable afterwards.
+            task.write(addr, b"still ok")
+            assert task.read(addr, 8) == b"still ok"
+
+    def test_heap_exhaustion_is_clean(self, kernel, process, task):
+        lib = Libmpk(process)
+        lib.mpk_init(task)
+        lib.mpk_mmap(task, 100, PAGE_SIZE, RW)
+        first = lib.mpk_malloc(task, 100, 3000)
+        with pytest.raises(MpkError):
+            lib.mpk_malloc(task, 100, 3000)
+        # The failed allocation did not corrupt the heap.
+        lib.mpk_free(task, 100, first)
+        assert lib.heap(100).free_bytes() == PAGE_SIZE
+
+
+class TestChurn:
+    def test_group_create_destroy_churn(self, kernel, process, task):
+        """Hundreds of create/use/destroy cycles: no metadata leaks,
+        no key leaks, the cache ends empty."""
+        lib = Libmpk(process)
+        lib.mpk_init(task)
+        for i in range(300):
+            vkey = 1000 + (i % 25)
+            addr = lib.mpk_mmap(task, vkey, PAGE_SIZE, RW)
+            with lib.domain(task, vkey, RW):
+                task.write(addr, i.to_bytes(2, "little"))
+            lib.mpk_munmap(task, vkey)
+        assert lib.groups() == {}
+        assert lib.cache.in_use == 0
+        assert lib.metadata.record_count() == 0
+
+    def test_interleaved_pin_unpin_churn(self, kernel, process, task):
+        lib = Libmpk(process)
+        lib.mpk_init(task)
+        vkeys = list(range(2000, 2020))
+        for vkey in vkeys:
+            lib.mpk_mmap(task, vkey, PAGE_SIZE, RW)
+        open_windows = []
+        for step in range(200):
+            vkey = vkeys[step % len(vkeys)]
+            group = lib.group(vkey)
+            if task.tid in group.pinned_by:
+                lib.mpk_end(task, vkey)
+                open_windows.remove(vkey)
+            else:
+                try:
+                    lib.mpk_begin(task, vkey, RW)
+                    open_windows.append(vkey)
+                except MpkKeyExhaustion:
+                    victim = open_windows.pop(0)
+                    lib.mpk_end(task, victim)
+        for vkey in list(open_windows):
+            lib.mpk_end(task, vkey)
+        assert not any(lib.group(v).pinned for v in vkeys)

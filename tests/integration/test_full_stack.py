@@ -1,0 +1,162 @@
+"""Cross-layer integration: multi-threaded workloads over libmpk.
+
+These tests exercise the whole stack at once — several threads, many
+page groups, mixed domain/global usage, key-cache churn — and verify
+the isolation invariants hold at every step.
+"""
+
+import pytest
+
+from repro.consts import PAGE_SIZE, PROT_NONE, PROT_READ, PROT_WRITE
+from repro.errors import MachineFault, MpkKeyExhaustion
+from repro import Kernel, Libmpk, Machine
+
+RW = PROT_READ | PROT_WRITE
+
+
+@pytest.fixture
+def stack():
+    kernel = Kernel(Machine(num_cores=16))
+    process = kernel.create_process()
+    workers = [process.main_task]
+    for _ in range(3):
+        task = process.spawn_task()
+        kernel.scheduler.schedule(task, charge=False)
+        workers.append(task)
+    lib = Libmpk(process)
+    lib.mpk_init(workers[0])
+    return kernel, process, workers, lib
+
+
+class TestPerThreadSessions:
+    """The paper's motivating server scenario: a page group per
+    session, opened only by the worker handling that session."""
+
+    def test_sessions_stay_isolated_across_workers(self, stack):
+        kernel, process, workers, lib = stack
+        session_addrs = {}
+        for i, worker in enumerate(workers):
+            vkey = 300 + i
+            session_addrs[vkey] = lib.mpk_mmap(worker, vkey,
+                                               2 * PAGE_SIZE, RW)
+            with lib.domain(worker, vkey, RW):
+                worker.write(session_addrs[vkey],
+                             b"session-%d-cookie" % i)
+        # No worker can read any *other* worker's session, even while
+        # holding its own open.
+        for i, worker in enumerate(workers):
+            vkey = 300 + i
+            lib.mpk_begin(worker, vkey, PROT_READ)
+            try:
+                for j in range(len(workers)):
+                    other = 300 + j
+                    if other == vkey:
+                        assert worker.read(session_addrs[vkey], 9)
+                    else:
+                        assert worker.try_read(session_addrs[other],
+                                               1) is None
+            finally:
+                lib.mpk_end(worker, vkey)
+
+    def test_more_sessions_than_keys_with_four_workers(self, stack):
+        kernel, process, workers, lib = stack
+        addrs = {}
+        for i in range(40):
+            vkey = 400 + i
+            worker = workers[i % len(workers)]
+            addrs[vkey] = lib.mpk_mmap(worker, vkey, PAGE_SIZE, RW)
+            with lib.domain(worker, vkey, RW):
+                worker.write(addrs[vkey], vkey.to_bytes(2, "little"))
+        # Every session's data survives the key churn and is readable
+        # only inside a domain.
+        for i in range(40):
+            vkey = 400 + i
+            worker = workers[(i + 1) % len(workers)]
+            assert worker.try_read(addrs[vkey], 2) is None
+            with lib.domain(worker, vkey, PROT_READ):
+                assert worker.read(addrs[vkey], 2) == \
+                    vkey.to_bytes(2, "little")
+
+
+class TestMixedModels:
+    def test_global_config_plus_private_sessions(self, stack):
+        """One mpk_mprotect-managed group (shared config, mostly
+        read-only) coexists with per-thread domains."""
+        kernel, process, workers, lib = stack
+        main = workers[0]
+        config = lib.mpk_mmap(main, 500, PAGE_SIZE, RW)
+        lib.mpk_mprotect(main, 500, RW)
+        main.write(config, b"config-v1")
+        lib.mpk_mprotect(main, 500, PROT_READ)
+
+        secret = lib.mpk_mmap(main, 501, PAGE_SIZE, RW)
+        with lib.domain(main, 501, RW):
+            main.write(secret, b"main-only")
+
+        for worker in workers:
+            assert worker.read(config, 9) == b"config-v1"
+            with pytest.raises(MachineFault):
+                worker.write(config, b"config-v2")
+            if worker is not main:
+                assert worker.try_read(secret, 1) is None
+
+        # A config update round-trip: writable for the updater thread
+        # only via domain, then read-only for all again.
+        with lib.domain(main, 500, RW):
+            main.write(config, b"config-v2")
+        # After the domain window the group needs re-publication.
+        lib.mpk_mprotect(main, 500, PROT_READ)
+        for worker in workers:
+            assert worker.read(config, 9) == b"config-v2"
+
+    def test_exhaustion_and_recovery_under_load(self, stack):
+        kernel, process, workers, lib = stack
+        main = workers[0]
+        vkeys = list(range(600, 615))
+        for vkey in vkeys:
+            lib.mpk_mmap(main, vkey, PAGE_SIZE, RW)
+            lib.mpk_begin(main, vkey, RW)   # pin all 15 keys
+        lib.mpk_mmap(main, 700, PAGE_SIZE, RW)
+        with pytest.raises(MpkKeyExhaustion):
+            lib.mpk_begin(workers[1], 700, RW)
+        # The caller handles the exception: waits for a key and retries
+        # (the paper's suggested strategy).
+        lib.mpk_end(main, vkeys[0])
+        lib.mpk_begin(workers[1], 700, RW)
+        workers[1].write(lib.group(700).base, b"recovered")
+        lib.mpk_end(workers[1], 700)
+        for vkey in vkeys[1:]:
+            lib.mpk_end(main, vkey)
+
+
+class TestClockDiscipline:
+    def test_simulated_time_is_monotonic_across_the_stack(self, stack):
+        kernel, process, workers, lib = stack
+        samples = [kernel.clock.now]
+        addr = lib.mpk_mmap(workers[0], 800, PAGE_SIZE, RW)
+        samples.append(kernel.clock.now)
+        with lib.domain(workers[0], 800, RW):
+            workers[0].write(addr, b"x")
+        samples.append(kernel.clock.now)
+        lib.mpk_mprotect(workers[0], 800, PROT_READ)
+        samples.append(kernel.clock.now)
+        lib.mpk_munmap(workers[0], 800)
+        samples.append(kernel.clock.now)
+        assert samples == sorted(samples)
+        assert samples[0] < samples[-1]
+
+    def test_sibling_sync_costs_scale_with_running_threads(self, stack):
+        kernel, process, workers, lib = stack
+        main = workers[0]
+        lib.mpk_mmap(main, 801, PAGE_SIZE, RW)
+        lib.mpk_mprotect(main, 801, RW)
+        start = kernel.clock.now
+        lib.mpk_mprotect(main, 801, PROT_READ)
+        with_siblings = kernel.clock.now - start
+        for worker in workers[1:]:
+            kernel.scheduler.unschedule(worker)
+            process.exit_task(worker)
+        start = kernel.clock.now
+        lib.mpk_mprotect(main, 801, RW)
+        alone = kernel.clock.now - start
+        assert alone < with_siblings

@@ -1,0 +1,179 @@
+"""Concurrency invariants checked across *all* interleavings.
+
+Each scenario builds a fresh machine per schedule (via ``setup``) and
+asserts its isolation invariant after every step of every possible
+interleaving of the thread scripts — the strongest statement the
+deterministic simulator can make about the §4 semantics.
+"""
+
+import pytest
+
+from repro.consts import PAGE_SIZE, PROT_NONE, PROT_READ, PROT_WRITE
+from repro import Kernel, Libmpk, Machine
+from repro.interleave import (
+    InterleavingFailure,
+    explore,
+    run_schedule,
+)
+
+RW = PROT_READ | PROT_WRITE
+G = 100
+
+
+def _fresh(context):
+    kernel = Kernel(Machine(num_cores=8))
+    process = kernel.create_process()
+    t0 = process.main_task
+    t1 = process.spawn_task()
+    kernel.scheduler.schedule(t1, charge=False)
+    lib = Libmpk(process)
+    lib.mpk_init(t0)
+    addr = lib.mpk_mmap(t0, G, PAGE_SIZE, RW)
+    context.data.update(kernel=kernel, lib=lib, t0=t0, t1=t1,
+                        addr=addr, in_domain=set(), global_prot=None)
+
+
+class TestDomainIsolationUnderAllInterleavings:
+    def test_outsider_never_reads_domain_data(self):
+        """Thread 0 cycles a begin/write/end window; thread 1 probes
+        throughout.  In no interleaving may thread 1 read the group."""
+
+        def owner(ctx):
+            d = ctx.data
+            d["lib"].mpk_begin(d["t0"], G, RW)
+            yield
+            d["t0"].write(d["addr"], b"secret")
+            yield
+            d["lib"].mpk_end(d["t0"], G)
+            yield
+
+        def prober(ctx):
+            d = ctx.data
+            for _ in range(3):
+                assert d["t1"].try_read(d["addr"], 1) is None
+                assert d["t1"].try_read(d["addr"] + 100, 1) is None
+                yield
+
+        result = explore([owner, prober], setup=_fresh)
+        assert result.exhaustive
+        assert result.schedules_run == 20  # C(6,3)
+
+    def test_two_owners_with_separate_groups(self):
+        """Each thread owns its own group; neither ever sees the
+        other's, regardless of interleaving."""
+
+        def setup(ctx):
+            _fresh(ctx)
+            d = ctx.data
+            d["addr2"] = d["lib"].mpk_mmap(d["t0"], G + 1, PAGE_SIZE, RW)
+
+        def thread0(ctx):
+            d = ctx.data
+            d["lib"].mpk_begin(d["t0"], G, RW)
+            yield
+            d["t0"].write(d["addr"], b"zero")
+            assert d["t0"].try_read(d["addr2"], 1) is None
+            yield
+            d["lib"].mpk_end(d["t0"], G)
+            yield
+
+        def thread1(ctx):
+            d = ctx.data
+            d["lib"].mpk_begin(d["t1"], G + 1, RW)
+            yield
+            d["t1"].write(d["addr2"], b"one")
+            assert d["t1"].try_read(d["addr"], 1) is None
+            yield
+            d["lib"].mpk_end(d["t1"], G + 1)
+            yield
+
+        result = explore([thread0, thread1], setup=setup)
+        assert result.exhaustive
+
+
+class TestGlobalSemanticsUnderAllInterleavings:
+    def test_mprotect_semantics_hold_at_every_step(self):
+        """Thread 0 toggles the group globally (rw -> none -> r);
+        thread 1 probes.  After every step, thread 1's access must
+        match the most recent global setting exactly."""
+
+        def toggler(ctx):
+            d = ctx.data
+            d["lib"].mpk_mprotect(d["t0"], G, RW)
+            d["global_prot"] = RW
+            ctx.data["global_prot"] = RW
+            yield
+            d["lib"].mpk_mprotect(d["t0"], G, PROT_NONE)
+            ctx.data["global_prot"] = PROT_NONE
+            yield
+            d["lib"].mpk_mprotect(d["t0"], G, PROT_READ)
+            ctx.data["global_prot"] = PROT_READ
+            yield
+
+        def prober(ctx):
+            d = ctx.data
+            for _ in range(3):
+                yield
+
+        def invariant(ctx):
+            d = ctx.data
+            prot = d.get("global_prot")
+            readable = d["t1"].try_read(d["addr"], 1) is not None
+            expected = prot is not None and bool(prot & PROT_READ)
+            assert readable == expected, (
+                f"global prot {prot}: outsider readable={readable}")
+
+        result = explore([toggler, prober], setup=_fresh,
+                         invariant=invariant)
+        assert result.exhaustive
+
+
+class TestExplorerMechanics:
+    def test_failure_reports_the_schedule(self):
+        def bad(ctx):
+            ctx.data["x"] = 1
+            yield
+            raise RuntimeError("boom")
+            yield  # pragma: no cover
+
+        def other(ctx):
+            yield
+
+        with pytest.raises(InterleavingFailure) as exc_info:
+            explore([bad, other], setup=lambda ctx: None)
+        assert exc_info.value.schedule
+        assert isinstance(exc_info.value.cause, RuntimeError)
+
+    def test_run_schedule_replays_exactly(self):
+        order = []
+
+        def a(ctx):
+            order.append("a1")
+            yield
+            order.append("a2")
+            yield
+
+        def b(ctx):
+            order.append("b1")
+            yield
+
+        run_schedule([a, b], (0, 1, 0))
+        assert order == ["a1", "b1", "a2"]
+
+    def test_overrun_schedule_rejected(self):
+        def a(ctx):
+            yield
+
+        with pytest.raises(ValueError):
+            run_schedule([a], (0, 0))
+
+    def test_large_spaces_fall_back_to_sampling(self):
+        def make(n):
+            def script(ctx):
+                for _ in range(n):
+                    yield
+            return script
+
+        result = explore([make(6), make(6)], max_schedules=50)
+        assert not result.exhaustive
+        assert result.schedules_run == 50

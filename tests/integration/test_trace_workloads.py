@@ -1,0 +1,59 @@
+"""Tracing on real workloads: accounting must reconcile with the clock."""
+
+import pytest
+
+from repro.consts import PAGE_SIZE, PROT_READ, PROT_WRITE
+from repro import Kernel, Libmpk
+from repro.trace import attach_tracer
+
+RW = PROT_READ | PROT_WRITE
+
+
+class TestTraceAccounting:
+    def test_top_level_costs_never_exceed_wall_clock(self, kernel,
+                                                     process, task):
+        lib = Libmpk(process)
+        lib.mpk_init(task)
+        tracer = attach_tracer(kernel=kernel, lib=lib)
+        start = kernel.clock.now
+        for i in range(10):
+            addr = lib.mpk_mmap(task, 100 + i, PAGE_SIZE, RW)
+            with lib.domain(task, 100 + i, RW):
+                task.write(addr, b"x")
+            lib.mpk_mprotect(task, 100 + i, PROT_READ)
+        elapsed = kernel.clock.now - start
+        tracer.detach()
+        assert tracer.total_cycles() <= elapsed
+        # Traced operations dominate this workload; the remainder is
+        # the writes' demand-paging minor faults and MMU access costs,
+        # which happen outside the API surface.
+        assert tracer.total_cycles() > 0.7 * elapsed
+
+    def test_trace_explains_where_miss_costs_go(self, kernel, process,
+                                                task):
+        """Drive the cache past capacity and confirm the trace shows
+        the expensive mpk_mprotect calls are the evicting ones."""
+        lib = Libmpk(process)
+        lib.mpk_init(task)
+        for i in range(20):
+            lib.mpk_mmap(task, 100 + i, PAGE_SIZE, RW)
+        tracer = attach_tracer(lib=lib)
+        for i in range(20):
+            lib.mpk_mprotect(task, 100 + i, RW)
+        tracer.detach()
+        costs = sorted(e.cycles for e in tracer.events
+                       if e.op == "mpk_mprotect")
+        # First 15 get free keys (cheap-ish); the last 5 evict (dear).
+        assert costs[-1] > 10 * costs[0]
+
+    def test_tracer_survives_workload_exceptions(self, kernel, process,
+                                                 task):
+        lib = Libmpk(process)
+        lib.mpk_init(task)
+        tracer = attach_tracer(kernel=kernel, lib=lib)
+        from repro.errors import MpkUnknownVkey
+        with pytest.raises(MpkUnknownVkey):
+            lib.mpk_begin(task, 424242, RW)
+        tracer.detach()
+        # The failed call is still recorded (with whatever it cost).
+        assert tracer.count("libmpk", "mpk_begin") == 1

@@ -1,0 +1,69 @@
+"""/proc-style introspection: smaps and status."""
+
+import pytest
+
+from repro.consts import PAGE_SIZE, PROT_EXEC, PROT_READ, PROT_WRITE
+from repro.kernel.procfs import format_smaps, smaps, status
+
+RW = PROT_READ | PROT_WRITE
+
+
+class TestSmaps:
+    def test_lists_every_vma(self, kernel, process, task):
+        a = kernel.sys_mmap(task, 2 * PAGE_SIZE, RW)
+        b = kernel.sys_mmap(task, PAGE_SIZE, PROT_READ)
+        entries = {e.start: e for e in smaps(process)}
+        assert entries[a].size_kb == 8
+        assert entries[a].prot == RW
+        assert entries[b].prot == PROT_READ
+
+    def test_rss_tracks_population(self, kernel, process, task):
+        addr = kernel.sys_mmap(task, 10 * PAGE_SIZE, RW)
+        entry = next(e for e in smaps(process) if e.start == addr)
+        assert entry.rss_kb == 0
+        task.write(addr, b"touch")
+        task.write(addr + 3 * PAGE_SIZE, b"touch")
+        entry = next(e for e in smaps(process) if e.start == addr)
+        assert entry.rss_kb == 8  # two populated pages
+
+    def test_shows_protection_keys(self, kernel, process, task):
+        key = kernel.sys_pkey_alloc(task)
+        addr = kernel.sys_mmap(task, PAGE_SIZE, RW)
+        kernel.sys_pkey_mprotect(task, addr, PAGE_SIZE, RW, key)
+        entry = next(e for e in smaps(process) if e.start == addr)
+        assert entry.pkey == key
+
+    def test_format_is_smaps_like(self, kernel, process, task):
+        addr = kernel.sys_mmap(task, PAGE_SIZE,
+                               PROT_READ | PROT_EXEC)
+        text = format_smaps(process)
+        assert "r-xp" in text
+        assert "ProtectionKey:" in text
+        assert f"{addr:016x}" in text
+
+    def test_observation_charges_nothing(self, kernel, process, task):
+        kernel.sys_mmap(task, PAGE_SIZE, RW)
+        before = kernel.clock.now
+        smaps(process)
+        status(process)
+        assert kernel.clock.now == before
+
+
+class TestStatus:
+    def test_summary_fields(self, kernel, process, task):
+        addr = kernel.sys_mmap(task, 4 * PAGE_SIZE, RW)
+        task.write(addr, b"x")
+        info = status(process)
+        assert info["pid"] == process.pid
+        assert info["threads"] == 1
+        assert info["vm_size_kb"] >= 16
+        assert info["vm_rss_kb"] >= 4
+        assert info["minor_faults"] >= 1
+        assert 0 in info["pkeys_allocated"]
+
+    def test_execute_only_key_visible(self, kernel, process, task):
+        addr = kernel.sys_mmap(task, PAGE_SIZE, RW)
+        kernel.sys_mprotect(task, addr, PAGE_SIZE, PROT_EXEC)
+        info = status(process)
+        assert info["execute_only_pkey"] == \
+            process.pkeys.execute_only_pkey

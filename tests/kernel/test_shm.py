@@ -1,0 +1,94 @@
+"""Shared memory objects: cross-process visibility, per-mapping prot."""
+
+import pytest
+
+from repro.consts import PAGE_SIZE, PROT_EXEC, PROT_READ, PROT_WRITE
+from repro.errors import InvalidArgument, SegmentationFault
+from repro.kernel.shm import SharedObject
+
+RW = PROT_READ | PROT_WRITE
+RX = PROT_READ | PROT_EXEC
+
+
+@pytest.fixture
+def two_processes(kernel):
+    a = kernel.create_process()
+    b = kernel.create_process()
+    return a.main_task, b.main_task
+
+
+class TestSharedObject:
+    def test_size_rounds_to_pages(self):
+        assert SharedObject("x", 100).size == PAGE_SIZE
+        assert SharedObject("x", 2 * PAGE_SIZE).num_pages == 2
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(InvalidArgument):
+            SharedObject("x", 0)
+
+    def test_frames_are_stable_per_page(self, machine):
+        shared = SharedObject("x", 4 * PAGE_SIZE)
+        frame = shared.frame_for(2, machine)
+        assert shared.frame_for(2, machine) is frame
+        assert shared.frame_for(3, machine) is not frame
+        assert shared.populated_pages() == 2
+
+    def test_out_of_range_page_rejected(self, machine):
+        shared = SharedObject("x", PAGE_SIZE)
+        with pytest.raises(InvalidArgument):
+            shared.frame_for(1, machine)
+
+
+class TestCrossProcessSharing:
+    def test_writes_are_mutually_visible(self, kernel, two_processes):
+        writer, reader = two_processes
+        shared = kernel.create_shared_object("buf", 2 * PAGE_SIZE)
+        w_base = kernel.sys_mmap_shared(writer, shared, RW)
+        r_base = kernel.sys_mmap_shared(reader, shared, PROT_READ)
+        writer.write(w_base + 100, b"hello across processes")
+        assert reader.read(r_base + 100, 22) == \
+            b"hello across processes"
+
+    def test_protection_is_per_mapping(self, kernel, two_processes):
+        writer, reader = two_processes
+        shared = kernel.create_shared_object("buf", PAGE_SIZE)
+        w_base = kernel.sys_mmap_shared(writer, shared, RW)
+        r_base = kernel.sys_mmap_shared(reader, shared, PROT_READ)
+        writer.write(w_base, b"data")
+        with pytest.raises(SegmentationFault):
+            reader.write(r_base, b"nope")
+
+    def test_sdcg_shape_rw_here_rx_there(self, kernel, two_processes):
+        """The two-process W^X split: emitter writes, engine executes;
+        neither can do the other."""
+        emitter, engine = two_processes
+        shared = kernel.create_shared_object("code", PAGE_SIZE)
+        e_base = kernel.sys_mmap_shared(emitter, shared, RW)
+        x_base = kernel.sys_mmap_shared(engine, shared, RX)
+        emitter.write(e_base, b"\x90\xc3")
+        assert engine.fetch(x_base, 2) == b"\x90\xc3"
+        with pytest.raises(SegmentationFault):
+            engine.write(x_base, b"\xcc")       # engine can't write
+        with pytest.raises(SegmentationFault):
+            emitter.fetch(e_base, 1)            # emitter can't exec
+
+    def test_munmap_does_not_destroy_shared_frames(self, kernel,
+                                                   two_processes):
+        writer, reader = two_processes
+        shared = kernel.create_shared_object("buf", PAGE_SIZE)
+        w_base = kernel.sys_mmap_shared(writer, shared, RW)
+        r_base = kernel.sys_mmap_shared(reader, shared, PROT_READ)
+        writer.write(w_base, b"persists")
+        kernel.sys_munmap(writer, w_base, PAGE_SIZE)
+        assert reader.read(r_base, 8) == b"persists"
+
+    def test_same_process_can_dual_map(self, kernel, process, task):
+        """The libmpk metadata pattern: one object, two views in one
+        address space."""
+        shared = kernel.create_shared_object("meta", PAGE_SIZE)
+        rw_view = kernel.sys_mmap_shared(task, shared, RW)
+        ro_view = kernel.sys_mmap_shared(task, shared, PROT_READ)
+        task.write(rw_view, b"via the writable view")
+        assert task.read(ro_view, 21) == b"via the writable view"
+        with pytest.raises(SegmentationFault):
+            task.write(ro_view, b"x")

@@ -1,0 +1,86 @@
+"""Syscall error paths: every rejection must be a clean, typed errno."""
+
+import pytest
+
+from repro.consts import PAGE_SIZE, PROT_READ, PROT_WRITE
+from repro.errors import InvalidArgument, KernelError, NoSpace, OutOfMemory
+
+RW = PROT_READ | PROT_WRITE
+
+
+class TestMmapErrors:
+    def test_zero_length(self, kernel, task):
+        with pytest.raises(InvalidArgument):
+            kernel.sys_mmap(task, 0, RW)
+
+    def test_negative_length(self, kernel, task):
+        with pytest.raises(InvalidArgument):
+            kernel.sys_mmap(task, -4096, RW)
+
+    def test_misaligned_fixed_address(self, kernel, task):
+        with pytest.raises(InvalidArgument):
+            kernel.sys_mmap(task, PAGE_SIZE, RW, addr=0x1234)
+
+    def test_overlapping_fixed_address(self, kernel, task):
+        addr = kernel.sys_mmap(task, PAGE_SIZE, RW)
+        with pytest.raises(Exception):
+            kernel.sys_mmap(task, PAGE_SIZE, RW, addr=addr)
+
+
+class TestMprotectErrors:
+    def test_unmapped_range_is_enomem(self, kernel, task):
+        with pytest.raises(OutOfMemory):
+            kernel.sys_mprotect(task, 0x7100_0000_0000, PAGE_SIZE,
+                                PROT_READ)
+
+    def test_hole_in_range_is_enomem(self, kernel, task):
+        a = kernel.sys_mmap(task, PAGE_SIZE, RW)
+        b = kernel.sys_mmap(task, PAGE_SIZE, RW,
+                            addr=a + 2 * PAGE_SIZE)  # gap at a+1 page
+        with pytest.raises(OutOfMemory):
+            kernel.sys_mprotect(task, a, 3 * PAGE_SIZE, PROT_READ)
+
+    def test_misaligned_address(self, kernel, task):
+        with pytest.raises(InvalidArgument):
+            kernel.sys_mprotect(task, 0x1001, PAGE_SIZE, PROT_READ)
+
+    def test_errors_carry_errno_names(self, kernel, task):
+        try:
+            kernel.sys_mprotect(task, 0x7100_0000_0000, PAGE_SIZE,
+                                PROT_READ)
+        except KernelError as exc:
+            assert exc.errno == "ENOMEM"
+            assert "ENOMEM" in str(exc)
+
+
+class TestPkeyErrors:
+    def test_sixteenth_alloc_is_enospc(self, kernel, task):
+        for _ in range(15):
+            kernel.sys_pkey_alloc(task)
+        with pytest.raises(NoSpace) as exc_info:
+            kernel.sys_pkey_alloc(task)
+        assert exc_info.value.errno == "ENOSPC"
+
+    def test_free_of_unallocated_key(self, kernel, task):
+        with pytest.raises(InvalidArgument):
+            kernel.sys_pkey_free(task, 9)
+
+    def test_free_of_out_of_range_key(self, kernel, task):
+        with pytest.raises(InvalidArgument):
+            kernel.sys_pkey_free(task, 16)
+        with pytest.raises(InvalidArgument):
+            kernel.sys_pkey_free(task, 0)
+
+    def test_alloc_rejects_unknown_flags(self, kernel, task):
+        with pytest.raises(InvalidArgument):
+            kernel.sys_pkey_alloc(task, flags=0x4)
+
+    def test_failed_syscalls_still_charge_entry_costs(self, kernel,
+                                                      task, measure):
+        """Even a rejected syscall crossed into the kernel."""
+        def failing():
+            with pytest.raises(InvalidArgument):
+                kernel.sys_pkey_free(task, 9)
+
+        elapsed = measure(failing, task=task)
+        assert elapsed >= kernel.costs.syscall_overhead()

@@ -1,0 +1,146 @@
+"""Syscall layer: mmap/mprotect semantics, costs, TLB shootdowns."""
+
+import pytest
+
+from repro.consts import (
+    PAGE_SIZE,
+    PROT_EXEC,
+    PROT_NONE,
+    PROT_READ,
+    PROT_WRITE,
+)
+from repro.errors import PkeyFault, SegmentationFault
+
+RW = PROT_READ | PROT_WRITE
+
+
+class TestMmapSyscall:
+    def test_mapped_memory_is_usable(self, kernel, task):
+        addr = kernel.sys_mmap(task, PAGE_SIZE, RW)
+        task.write(addr, b"hello world")
+        assert task.read(addr, 11) == b"hello world"
+
+    def test_new_pages_read_as_zero(self, kernel, task):
+        addr = kernel.sys_mmap(task, PAGE_SIZE, RW)
+        assert task.read(addr, 64) == b"\x00" * 64
+
+    def test_readonly_mapping_rejects_writes(self, kernel, task):
+        addr = kernel.sys_mmap(task, PAGE_SIZE, PROT_READ)
+        with pytest.raises(SegmentationFault):
+            task.write(addr, b"x")
+
+    def test_munmap_makes_memory_unreachable(self, kernel, task):
+        addr = kernel.sys_mmap(task, PAGE_SIZE, RW)
+        kernel.sys_munmap(task, addr, PAGE_SIZE)
+        with pytest.raises(SegmentationFault):
+            task.read(addr, 1)
+
+    def test_syscall_requires_running_task(self, kernel, process):
+        parked = process.spawn_task()
+        with pytest.raises(RuntimeError):
+            kernel.sys_mmap(parked, PAGE_SIZE, RW)
+
+
+class TestMprotectSyscall:
+    def test_revoking_write_faults_writers(self, kernel, task):
+        addr = kernel.sys_mmap(task, PAGE_SIZE, RW)
+        task.write(addr, b"before")
+        kernel.sys_mprotect(task, addr, PAGE_SIZE, PROT_READ)
+        assert task.read(addr, 6) == b"before"
+        with pytest.raises(SegmentationFault):
+            task.write(addr, b"after")
+
+    def test_mprotect_flushes_stale_tlb_permissions(self, kernel, task):
+        addr = kernel.sys_mmap(task, PAGE_SIZE, RW)
+        task.write(addr, b"warm the TLB")
+        kernel.sys_mprotect(task, addr, PAGE_SIZE, PROT_NONE)
+        with pytest.raises(SegmentationFault):
+            task.read(addr, 1)
+
+    def test_one_page_cost_matches_table1(self, kernel, task, measure):
+        addr = kernel.sys_mmap(task, PAGE_SIZE, RW)
+        elapsed = measure(
+            lambda: kernel.sys_mprotect(task, addr, PAGE_SIZE, PROT_READ),
+            task=task)
+        assert elapsed == pytest.approx(1094.0)
+
+    def test_cost_grows_linearly_with_pages(self, kernel, task, measure):
+        addr = kernel.sys_mmap(task, 100 * PAGE_SIZE, RW)
+        one = measure(
+            lambda: kernel.sys_mprotect(task, addr, PAGE_SIZE, PROT_READ),
+            task=task)
+        hundred = measure(
+            lambda: kernel.sys_mprotect(task, addr, 100 * PAGE_SIZE, RW),
+            task=task)
+        slope = (hundred - one) / 99
+        assert slope == pytest.approx(kernel.costs.pte_update, rel=0.2)
+
+    def test_remote_running_threads_cost_shootdown_ipis(
+            self, kernel, process, task, measure):
+        addr = kernel.sys_mmap(task, PAGE_SIZE, RW)
+        solo = measure(
+            lambda: kernel.sys_mprotect(task, addr, PAGE_SIZE, PROT_READ),
+            task=task)
+        for _ in range(3):
+            kernel.scheduler.schedule(process.spawn_task(), charge=False)
+        with_siblings = measure(
+            lambda: kernel.sys_mprotect(task, addr, PAGE_SIZE, RW),
+            task=task)
+        expected_extra = 3 * (kernel.costs.tlb_shootdown_ipi
+                              + kernel.costs.tlb_flush_full)
+        assert with_siblings - solo == pytest.approx(expected_extra)
+
+    def test_shootdown_reaches_sibling_cores(self, kernel, process, task):
+        sibling = process.spawn_task()
+        kernel.scheduler.schedule(sibling, charge=False)
+        addr = kernel.sys_mmap(task, PAGE_SIZE, RW)
+        sibling.read(addr, 1)  # warm sibling's TLB
+        sibling_tlb = kernel.machine.core(sibling.core_id).tlb
+        assert len(sibling_tlb) > 0
+        kernel.sys_mprotect(task, addr, PAGE_SIZE, PROT_NONE)
+        assert len(sibling_tlb) == 0
+        with pytest.raises(SegmentationFault):
+            sibling.read(addr, 1)
+
+
+class TestExecuteOnly:
+    """Linux's mprotect(PROT_EXEC) execute-only memory (§2.2, §3.3)."""
+
+    def test_caller_cannot_read_execute_only_memory(self, kernel, task):
+        addr = kernel.sys_mmap(task, PAGE_SIZE, RW)
+        task.write(addr, b"\x90\x90\xc3")  # code bytes
+        kernel.sys_mprotect(task, addr, PAGE_SIZE, PROT_EXEC)
+        with pytest.raises(PkeyFault):
+            task.read(addr, 1)
+
+    def test_execute_only_memory_remains_fetchable(self, kernel, task):
+        addr = kernel.sys_mmap(task, PAGE_SIZE, RW)
+        task.write(addr, b"\x90\x90\xc3")
+        kernel.sys_mprotect(task, addr, PAGE_SIZE, PROT_EXEC)
+        assert task.fetch(addr, 3) == b"\x90\x90\xc3"
+
+    def test_uses_a_dedicated_kernel_pkey(self, kernel, process, task):
+        addr = kernel.sys_mmap(task, PAGE_SIZE, RW)
+        kernel.sys_mprotect(task, addr, PAGE_SIZE, PROT_EXEC)
+        xo_key = process.pkeys.execute_only_pkey
+        assert xo_key is not None
+        from repro.consts import page_number
+        assert process.page_table.lookup(page_number(addr)).pkey == xo_key
+
+    def test_sibling_thread_with_permissive_pkru_can_still_read(
+            self, kernel, process, task):
+        """§3.3's semantic gap: the kernel only updates the *calling*
+        thread's PKRU, so a sibling that holds (or later sets) rights for
+        the execute-only key can read "execute-only" memory."""
+        sibling = process.spawn_task()
+        kernel.scheduler.schedule(sibling, charge=False)
+        from repro.hw.pkru import PKRU
+        sibling.wrpkru(PKRU.allow_all().value)  # legitimate userspace op
+
+        addr = kernel.sys_mmap(task, PAGE_SIZE, RW)
+        task.write(addr, b"secret code")
+        kernel.sys_mprotect(task, addr, PAGE_SIZE, PROT_EXEC)
+
+        with pytest.raises(PkeyFault):
+            task.read(addr, 11)                      # caller is blocked
+        assert sibling.read(addr, 11) == b"secret code"  # sibling is not

@@ -1,0 +1,128 @@
+"""Tasks, scheduler placement, task_work, and rescheduling IPIs."""
+
+import pytest
+
+from repro.consts import PAGE_SIZE, PROT_READ, PROT_WRITE
+from repro.hw.pkru import KEY_RIGHTS_NONE, KEY_RIGHTS_READ, PKRU
+
+RW = PROT_READ | PROT_WRITE
+
+
+class TestTaskPkru:
+    def test_tasks_start_with_default_deny(self, process):
+        task = process.spawn_task()
+        assert task.pkru.value == PKRU.deny_all_but_default().value
+
+    def test_wrpkru_updates_task_and_core(self, kernel, task):
+        task.wrpkru(0)
+        assert task.pkru.value == 0
+        assert kernel.machine.core(task.core_id).pkru.value == 0
+
+    def test_pkey_set_get_roundtrip(self, kernel, task):
+        task.pkey_set(4, KEY_RIGHTS_READ)
+        assert task.pkey_get(4) == KEY_RIGHTS_READ
+        task.pkey_set(4, KEY_RIGHTS_NONE)
+        assert task.pkey_get(4) == KEY_RIGHTS_NONE
+
+    def test_memory_ops_require_a_core(self, process):
+        parked = process.spawn_task()
+        with pytest.raises(RuntimeError):
+            parked.read(0x1000, 1)
+
+    def test_try_read_swallows_faults(self, kernel, task):
+        assert task.try_read(0xDEAD000, 8) is None
+
+
+class TestScheduler:
+    def test_schedule_loads_task_pkru_into_core(self, kernel, process):
+        task = process.spawn_task()
+        task.pkru = PKRU.allow_all()
+        kernel.scheduler.schedule(task)
+        assert kernel.machine.core(task.core_id).pkru.value == 0
+
+    def test_unschedule_frees_the_core(self, kernel, process):
+        task = process.spawn_task()
+        core_id = kernel.scheduler.schedule(task)
+        kernel.scheduler.unschedule(task)
+        assert not task.running
+        other = process.spawn_task()
+        assert kernel.scheduler.schedule(other, core_id=core_id) == core_id
+
+    def test_double_schedule_rejected(self, kernel, process, task):
+        with pytest.raises(RuntimeError):
+            kernel.scheduler.schedule(task)
+
+    def test_busy_core_rejected(self, kernel, process, task):
+        other = process.spawn_task()
+        with pytest.raises(RuntimeError):
+            kernel.scheduler.schedule(other, core_id=task.core_id)
+
+    def test_running_tasks_filters_by_process(self, kernel, process):
+        other_process = kernel.create_process()
+        assert kernel.scheduler.running_tasks(process) == [
+            process.main_task]
+        assert kernel.scheduler.running_tasks(other_process) == [
+            other_process.main_task]
+        assert len(kernel.scheduler.running_tasks()) == 2
+
+
+class TestTaskWork:
+    def test_work_runs_on_resched_ipi(self, kernel, process, task):
+        sibling = process.spawn_task()
+        kernel.scheduler.schedule(sibling, charge=False)
+        ran = []
+        sibling.task_work_add(lambda t: ran.append(t.tid))
+        assert kernel.scheduler.send_resched_ipi(sibling)
+        assert ran == [sibling.tid]
+        assert not sibling.has_pending_task_work()
+
+    def test_ipi_to_sleeping_task_is_a_noop(self, kernel, process):
+        sleeper = process.spawn_task()
+        sleeper.task_work_add(lambda t: None)
+        assert not kernel.scheduler.send_resched_ipi(sleeper)
+        assert sleeper.has_pending_task_work()  # runs at next schedule
+
+    def test_work_runs_at_schedule_in(self, kernel, process):
+        sleeper = process.spawn_task()
+        ran = []
+        sleeper.task_work_add(lambda t: ran.append("work"))
+        kernel.scheduler.schedule(sleeper)
+        assert ran == ["work"]
+
+    def test_pkru_edit_in_task_work_reaches_core(self, kernel, process):
+        """The do_pkey_sync pattern: task_work rewrites PKRU; the kernel
+        exit path loads it into the core."""
+        sibling = process.spawn_task()
+        kernel.scheduler.schedule(sibling, charge=False)
+
+        def grant(task):
+            task.pkru = task.pkru.with_rights(5, KEY_RIGHTS_READ)
+
+        sibling.task_work_add(grant)
+        kernel.scheduler.send_resched_ipi(sibling)
+        assert kernel.machine.core(sibling.core_id).pkru.can_read(5)
+
+    def test_works_run_in_fifo_order(self, kernel, process):
+        sleeper = process.spawn_task()
+        order = []
+        sleeper.task_work_add(lambda t: order.append(1))
+        sleeper.task_work_add(lambda t: order.append(2))
+        kernel.scheduler.schedule(sleeper)
+        assert order == [1, 2]
+
+
+class TestProcessLifecycle:
+    def test_exit_task_removes_from_process(self, kernel, process):
+        task = process.spawn_task()
+        kernel.scheduler.schedule(task)
+        process.exit_task(task)
+        assert task not in process.live_tasks()
+        assert not task.running
+
+    def test_processes_have_isolated_address_spaces(self, kernel):
+        p1 = kernel.create_process()
+        p2 = kernel.create_process()
+        addr = kernel.sys_mmap(p1.main_task, PAGE_SIZE, RW)
+        p1.main_task.write(addr, b"p1 data")
+        # Same numeric address is unmapped in p2.
+        assert p2.main_task.try_read(addr, 7) is None

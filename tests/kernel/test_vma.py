@@ -1,0 +1,124 @@
+"""VMA tree: insert/find/split/merge mechanics."""
+
+import pytest
+
+from repro.consts import PAGE_SIZE, PROT_READ, PROT_WRITE
+from repro.kernel.vma import VMA, VmaTree
+
+P = PAGE_SIZE
+RW = PROT_READ | PROT_WRITE
+
+
+def vma(start_pages, end_pages, prot=RW, pkey=0):
+    return VMA(start_pages * P, end_pages * P, prot, pkey)
+
+
+class TestVma:
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            VMA(1, P, RW)
+        with pytest.raises(ValueError):
+            VMA(0, P + 1, RW)
+
+    def test_empty_vma_rejected(self):
+        with pytest.raises(ValueError):
+            VMA(P, P, RW)
+
+    def test_contains_and_overlaps(self):
+        v = vma(1, 3)
+        assert v.contains(P)
+        assert v.contains(3 * P - 1)
+        assert not v.contains(3 * P)
+        assert v.overlaps(0, 2 * P)
+        assert not v.overlaps(3 * P, 4 * P)
+
+    def test_num_pages(self):
+        assert vma(2, 7).num_pages == 5
+
+    def test_merge_requires_identical_attributes(self):
+        assert vma(0, 1).can_merge_with(vma(1, 2))
+        assert not vma(0, 1).can_merge_with(vma(2, 3))       # gap
+        assert not vma(0, 1).can_merge_with(vma(1, 2, PROT_READ))
+        assert not vma(0, 1).can_merge_with(vma(1, 2, RW, pkey=5))
+
+
+class TestVmaTree:
+    def test_insert_and_find(self):
+        tree = VmaTree()
+        v = vma(1, 3)
+        tree.insert(v)
+        assert tree.find(P) is v
+        assert tree.find(2 * P) is v
+        assert tree.find(0) is None
+        assert tree.find(3 * P) is None
+
+    def test_overlapping_insert_rejected(self):
+        tree = VmaTree()
+        tree.insert(vma(1, 3))
+        with pytest.raises(ValueError):
+            tree.insert(vma(2, 4))
+        with pytest.raises(ValueError):
+            tree.insert(vma(0, 2))
+
+    def test_find_range(self):
+        tree = VmaTree()
+        a, b, c = vma(0, 2), vma(4, 6), vma(8, 10)
+        for v in (a, b, c):
+            tree.insert(v)
+        assert tree.find_range(P, 5 * P) == [a, b]
+        assert tree.find_range(6 * P, 8 * P) == []
+        assert tree.find_range(0, 10 * P) == [a, b, c]
+
+    def test_split(self):
+        tree = VmaTree()
+        tree.insert(vma(0, 4))
+        original = tree.find(0)
+        left, right = tree.split(original, 2 * P)
+        assert (left.start, left.end) == (0, 2 * P)
+        assert (right.start, right.end) == (2 * P, 4 * P)
+        assert len(tree) == 2
+
+    def test_split_point_must_be_interior(self):
+        tree = VmaTree()
+        v = vma(0, 2)
+        tree.insert(v)
+        with pytest.raises(ValueError):
+            tree.split(v, 0)
+        with pytest.raises(ValueError):
+            tree.split(v, 2 * P)
+
+    def test_merge_around_joins_identical_neighbors(self):
+        tree = VmaTree()
+        tree.insert(vma(0, 2))
+        tree.insert(vma(2, 4))
+        merges = tree.merge_around(0, 4 * P)
+        assert merges == 1
+        assert len(tree) == 1
+        assert tree.find(0).end == 4 * P
+
+    def test_merge_skips_different_attributes(self):
+        tree = VmaTree()
+        tree.insert(vma(0, 2))
+        tree.insert(vma(2, 4, PROT_READ))
+        assert tree.merge_around(0, 4 * P) == 0
+        assert len(tree) == 2
+
+    def test_merge_chains_across_three(self):
+        tree = VmaTree()
+        for i in range(3):
+            tree.insert(vma(i, i + 1))
+        assert tree.merge_around(0, 3 * P) == 2
+        assert len(tree) == 1
+
+    def test_gap_after_first_fit(self):
+        tree = VmaTree()
+        tree.insert(vma(0, 2))
+        tree.insert(vma(3, 5))
+        assert tree.gap_after(0, P) == 2 * P          # fits in the hole
+        assert tree.gap_after(0, 2 * P) == 5 * P      # skips to the end
+
+    def test_remove_foreign_vma_rejected(self):
+        tree = VmaTree()
+        tree.insert(vma(0, 1))
+        with pytest.raises(ValueError):
+            tree.remove(vma(0, 1))  # equal but not identical object

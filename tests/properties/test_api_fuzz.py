@@ -1,0 +1,118 @@
+"""API fuzzing: random call sequences must never corrupt libmpk state.
+
+Unlike the oracle machine (test_libmpk_properties), this fuzzer allows
+*invalid* calls too — double begins, ends without begins, unmaps of
+pinned groups, unknown vkeys — and checks that every failure is a
+clean, typed exception leaving the internal state consistent.
+"""
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.consts import NUM_PKEYS, PAGE_SIZE, PROT_NONE, PROT_READ, \
+    PROT_WRITE
+from repro.errors import MpkError, ReproError
+from repro import Kernel, Libmpk, Machine
+
+RW = PROT_READ | PROT_WRITE
+VKEYS = st.integers(90, 110)
+PROTS = st.sampled_from([PROT_NONE, PROT_READ, RW])
+
+
+class FuzzMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        kernel = Kernel(Machine(num_cores=4))
+        self.process = kernel.create_process()
+        self.task = self.process.main_task
+        self.lib = Libmpk(self.process)
+        self.lib.mpk_init(self.task, evict_rate=0.5)
+
+    def _attempt(self, fn):
+        try:
+            fn()
+        except MpkError:
+            pass  # clean, typed rejection is fine
+
+    @rule(vkey=VKEYS, pages=st.integers(1, 4), prot=PROTS)
+    def mmap(self, vkey, pages, prot):
+        self._attempt(lambda: self.lib.mpk_mmap(
+            self.task, vkey, pages * PAGE_SIZE, prot))
+
+    @rule(vkey=VKEYS)
+    def munmap(self, vkey):
+        self._attempt(lambda: self.lib.mpk_munmap(self.task, vkey))
+
+    @rule(vkey=VKEYS, prot=st.sampled_from([PROT_READ, RW]))
+    def begin(self, vkey, prot):
+        self._attempt(lambda: self.lib.mpk_begin(self.task, vkey, prot))
+
+    @rule(vkey=VKEYS)
+    def end(self, vkey):
+        self._attempt(lambda: self.lib.mpk_end(self.task, vkey))
+
+    @rule(vkey=VKEYS, prot=PROTS)
+    def mprotect(self, vkey, prot):
+        self._attempt(lambda: self.lib.mpk_mprotect(self.task, vkey,
+                                                    prot))
+
+    @rule(vkey=VKEYS, size=st.integers(1, 8192))
+    def malloc(self, vkey, size):
+        self._attempt(lambda: self.lib.mpk_malloc(self.task, vkey,
+                                                  size))
+
+    @rule(vkey=VKEYS, addr=st.integers(0, 1 << 48))
+    def free_bogus(self, vkey, addr):
+        self._attempt(lambda: self.lib.mpk_free(self.task, vkey, addr))
+
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def cache_is_consistent(self):
+        cache = self.lib.cache
+        assert cache.in_use <= cache.capacity
+        cached = set(cache.cached_vkeys())
+        groups = self.lib.groups()
+        # Every cached vkey has a group whose pkey matches the binding.
+        for vkey in cached:
+            assert vkey in groups
+            assert groups[vkey].pkey == cache.peek(vkey)
+        # Every cached group's binding is mirrored in the cache, and
+        # every pinned group is cached.
+        for vkey, group in groups.items():
+            if group.pkey is not None and not group.exec_only:
+                assert cache.peek(vkey) == group.pkey
+            if group.pinned:
+                assert group.cached
+
+    @invariant()
+    def metadata_mirrors_groups(self):
+        groups = self.lib.groups()
+        assert self.lib.metadata.record_count() == len(groups)
+        for vkey, group in groups.items():
+            record = self.lib.metadata.user_read_record(self.task, vkey)
+            assert record is not None
+            assert record[0] == vkey
+            assert record[1] == group.pkey
+            assert record[2] == len(group.pinned_by)
+
+    @invariant()
+    def no_two_groups_share_a_hardware_key(self):
+        keys = [g.pkey for g in self.lib.groups().values()
+                if g.pkey is not None and not g.exec_only]
+        assert len(keys) == len(set(keys))
+
+    @invariant()
+    def hardware_key_range_respected(self):
+        for group in self.lib.groups().values():
+            if group.pkey is not None:
+                assert 1 <= group.pkey < NUM_PKEYS
+
+
+TestFuzz = FuzzMachine.TestCase
+TestFuzz.settings = settings(max_examples=40, stateful_step_count=40,
+                             deadline=None)

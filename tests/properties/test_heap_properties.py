@@ -1,0 +1,88 @@
+"""Property-based tests for the GroupHeap allocator."""
+
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.heap import ALIGNMENT, GroupHeap
+from repro.errors import MpkError
+
+HEAP_BASE = 0x100000
+HEAP_SIZE = 1 << 16
+
+
+@given(st.lists(st.integers(min_value=1, max_value=2000), max_size=40))
+def test_live_allocations_never_overlap(sizes):
+    heap = GroupHeap(HEAP_BASE, HEAP_SIZE)
+    spans = []
+    for size in sizes:
+        try:
+            addr = heap.malloc(size)
+        except MpkError:
+            continue
+        spans.append((addr, addr + size))
+    spans.sort()
+    for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+        assert a1 <= b0
+
+
+@given(st.lists(st.integers(min_value=1, max_value=2000),
+                min_size=1, max_size=40))
+def test_free_all_restores_full_capacity(sizes):
+    heap = GroupHeap(HEAP_BASE, HEAP_SIZE)
+    addrs = []
+    for size in sizes:
+        try:
+            addrs.append(heap.malloc(size))
+        except MpkError:
+            pass
+    for addr in addrs:
+        heap.free(addr)
+    assert heap.free_bytes() == HEAP_SIZE
+    assert heap.largest_free_chunk() == HEAP_SIZE
+
+
+class HeapMachine(RuleBasedStateMachine):
+    """Stateful fuzz of malloc/free with conservation invariants."""
+
+    def __init__(self):
+        super().__init__()
+        self.heap = GroupHeap(HEAP_BASE, HEAP_SIZE)
+        self.live: list[int] = []
+
+    @rule(size=st.integers(min_value=1, max_value=4096))
+    def malloc(self, size):
+        try:
+            addr = self.heap.malloc(size)
+        except MpkError:
+            assert self.heap.largest_free_chunk() < \
+                (size + ALIGNMENT - 1) & ~(ALIGNMENT - 1)
+            return
+        assert HEAP_BASE <= addr < HEAP_BASE + HEAP_SIZE
+        assert addr % ALIGNMENT == 0
+        self.live.append(addr)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def free(self, data):
+        index = data.draw(st.integers(0, len(self.live) - 1))
+        self.heap.free(self.live.pop(index))
+
+    @invariant()
+    def conservation(self):
+        assert (self.heap.allocated_bytes()
+                + self.heap.free_bytes()) == HEAP_SIZE
+
+    @invariant()
+    def allocation_count_matches(self):
+        assert self.heap.allocation_count() == len(self.live)
+
+
+TestHeapMachine = HeapMachine.TestCase
+TestHeapMachine.settings = settings(max_examples=40,
+                                    stateful_step_count=30,
+                                    deadline=None)

@@ -1,0 +1,108 @@
+"""Property-based tests for the slab allocator and hash table."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Kernel
+from repro.apps.kvstore.hashtable import HashTable
+from repro.apps.kvstore.slab import SLAB_BYTES, SlabAllocator
+from repro.consts import PROT_READ, PROT_WRITE
+from repro.errors import MpkError
+
+RW = PROT_READ | PROT_WRITE
+
+
+# ---------------------------------------------------------------------------
+# Slab allocator.
+# ---------------------------------------------------------------------------
+
+sizes = st.lists(st.integers(min_value=1, max_value=200_000),
+                 min_size=1, max_size=60)
+
+
+@given(sizes)
+@settings(max_examples=50, deadline=None)
+def test_slab_chunks_never_overlap(item_sizes):
+    slab = SlabAllocator(0x10000000, 8 * SLAB_BYTES)
+    spans = []
+    for size in item_sizes:
+        try:
+            addr = slab.alloc(size)
+        except MpkError:
+            continue
+        spans.append((addr, addr + slab.chunk_size_of(addr)))
+    spans.sort()
+    for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+        assert a1 <= b0
+
+
+@given(sizes)
+@settings(max_examples=50, deadline=None)
+def test_slab_chunks_stay_in_region_and_fit(item_sizes):
+    base, region = 0x10000000, 8 * SLAB_BYTES
+    slab = SlabAllocator(base, region)
+    for size in item_sizes:
+        try:
+            addr = slab.alloc(size)
+        except MpkError:
+            continue
+        chunk = slab.chunk_size_of(addr)
+        assert chunk >= size
+        assert base <= addr and addr + chunk <= base + region
+
+
+@given(sizes, st.data())
+@settings(max_examples=50, deadline=None)
+def test_slab_free_then_alloc_reuses_class_chunks(item_sizes, data):
+    slab = SlabAllocator(0x10000000, 8 * SLAB_BYTES)
+    live = []
+    for size in item_sizes:
+        try:
+            live.append((slab.alloc(size), size))
+        except MpkError:
+            continue
+        if live and data.draw(st.booleans()):
+            addr, _ = live.pop(data.draw(
+                st.integers(0, len(live) - 1)))
+            slab.free(addr)
+    assert slab.allocated_chunks() == len(live)
+
+
+# ---------------------------------------------------------------------------
+# Hash table (over the real simulated memory).
+# ---------------------------------------------------------------------------
+
+kv_ops = st.lists(
+    st.tuples(st.sampled_from(["set", "get", "delete"]),
+              st.integers(0, 15),                       # key id
+              st.binary(min_size=0, max_size=300)),     # value
+    max_size=50,
+)
+
+
+@given(kv_ops)
+@settings(max_examples=40, deadline=None)
+def test_hashtable_matches_a_dict(ops):
+    kernel = Kernel()
+    process = kernel.create_process()
+    task = process.main_task
+    slab_base = kernel.sys_mmap(task, 2 * SLAB_BYTES, RW)
+    bucket_base = kernel.sys_mmap(task, 4096, RW)
+    slab = SlabAllocator(slab_base, 2 * SLAB_BYTES)
+    # Tiny bucket count to force chains.
+    table = HashTable(bucket_base, 4, slab)
+    model: dict[bytes, bytes] = {}
+    for op, key_id, value in ops:
+        key = b"key-%d" % key_id
+        if op == "set":
+            table.assoc_insert(task, key, value)
+            model[key] = value
+        elif op == "get":
+            assert table.assoc_find(task, key) == model.get(key)
+        else:
+            table.assoc_delete(task, key, missing_ok=True)
+            model.pop(key, None)
+    # Final audit.
+    for key, value in model.items():
+        assert table.assoc_find(task, key) == value
+    assert table.item_count == len(model)
+    assert slab.allocated_chunks() == len(model)

@@ -1,0 +1,124 @@
+"""Stateful property test: libmpk's visible protection state always
+matches an access-control oracle.
+
+The oracle tracks, per (thread, group), what the libmpk API history
+promises: domain grants from mpk_begin/mpk_end are thread-local;
+mpk_mprotect permissions are global; everything else is sealed.  After
+every step, actual MMU behaviour (reads and writes through each
+thread) must agree with the oracle exactly — both allowed accesses
+succeeding and denied accesses faulting.
+"""
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.consts import PAGE_SIZE, PROT_NONE, PROT_READ, PROT_WRITE
+from repro.errors import MachineFault, MpkKeyExhaustion
+from repro import Kernel, Libmpk, Machine
+
+RW = PROT_READ | PROT_WRITE
+GROUP_VKEYS = [100, 101, 102]
+N_THREADS = 2
+
+
+class LibmpkMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        kernel = Kernel(Machine(num_cores=8))
+        self.process = kernel.create_process()
+        self.tasks = [self.process.main_task]
+        for _ in range(N_THREADS - 1):
+            task = self.process.spawn_task()
+            kernel.scheduler.schedule(task, charge=False)
+            self.tasks.append(task)
+        self.lib = Libmpk(self.process)
+        self.lib.mpk_init(self.tasks[0], evict_rate=1.0)
+        self.addrs = {}
+        # Oracle state.
+        self.domain_grants = {}   # (tid, vkey) -> prot
+        self.global_prot = {}     # vkey -> prot (None = sealed)
+        for vkey in GROUP_VKEYS:
+            self.addrs[vkey] = self.lib.mpk_mmap(
+                self.tasks[0], vkey, PAGE_SIZE, RW)
+            self.global_prot[vkey] = None
+
+    # -- rules ----------------------------------------------------------
+
+    tids = st.integers(0, N_THREADS - 1)
+    vkeys = st.sampled_from(GROUP_VKEYS)
+    prots = st.sampled_from([PROT_READ, RW])
+
+    @rule(tid=tids, vkey=vkeys, prot=prots)
+    def begin(self, tid, vkey, prot):
+        task = self.tasks[tid]
+        if (task.tid, vkey) in self.domain_grants:
+            return  # no nested begin in this model
+        try:
+            self.lib.mpk_begin(task, vkey, prot)
+        except MpkKeyExhaustion:
+            return
+        self.domain_grants[(task.tid, vkey)] = prot
+        # Loading a group for domain use invalidates any global grant
+        # (page bits move to the group's creation prot; PKRU gates).
+        self.global_prot[vkey] = None
+
+    @rule(tid=tids, vkey=vkeys)
+    def end(self, tid, vkey):
+        task = self.tasks[tid]
+        if (task.tid, vkey) not in self.domain_grants:
+            return
+        self.lib.mpk_end(task, vkey)
+        del self.domain_grants[(task.tid, vkey)]
+
+    @rule(tid=tids, vkey=vkeys,
+          prot=st.sampled_from([PROT_NONE, PROT_READ, RW]))
+    def mprotect(self, tid, vkey, prot):
+        if any(g_vkey == vkey for _, g_vkey in self.domain_grants):
+            return  # pinned groups stay under domain control
+        self.lib.mpk_mprotect(self.tasks[tid], vkey, prot)
+        self.global_prot[vkey] = prot
+        # A global change supersedes stale thread-local grants.
+        for key in [k for k in self.domain_grants if k[1] == vkey]:
+            del self.domain_grants[key]
+
+    # -- the oracle check -----------------------------------------------
+
+    def _expected(self, task, vkey) -> tuple[bool, bool]:
+        """(can_read, can_write) per the API history."""
+        grant = self.domain_grants.get((task.tid, vkey))
+        if grant is not None:
+            return True, bool(grant & PROT_WRITE)
+        g = self.global_prot[vkey]
+        if g is None:
+            return False, False
+        return bool(g & PROT_READ), bool(g & PROT_WRITE)
+
+    @invariant()
+    def mmu_agrees_with_oracle(self):
+        for task in self.tasks:
+            for vkey in GROUP_VKEYS:
+                addr = self.addrs[vkey]
+                can_read, can_write = self._expected(task, vkey)
+                readable = task.try_read(addr, 1) is not None
+                assert readable == can_read, (
+                    f"tid={task.tid} vkey={vkey}: read "
+                    f"{'allowed' if readable else 'denied'}, oracle "
+                    f"says {'allowed' if can_read else 'denied'}")
+                try:
+                    task.write(addr, b"x")
+                    writable = True
+                except MachineFault:
+                    writable = False
+                assert writable == can_write, (
+                    f"tid={task.tid} vkey={vkey}: write mismatch")
+
+
+TestLibmpk = LibmpkMachine.TestCase
+TestLibmpk.settings = settings(max_examples=25,
+                               stateful_step_count=25,
+                               deadline=None)

@@ -1,0 +1,114 @@
+"""Property-based tests for the address space: VMA/PTE consistency."""
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.consts import (
+    PAGE_SIZE,
+    PROT_EXEC,
+    PROT_NONE,
+    PROT_READ,
+    PROT_WRITE,
+    page_number,
+)
+from repro.errors import KernelError
+from repro.hw.machine import Machine
+from repro.kernel.mm import MM
+
+PROTS = [PROT_NONE, PROT_READ, PROT_READ | PROT_WRITE,
+         PROT_READ | PROT_EXEC, PROT_READ | PROT_WRITE | PROT_EXEC]
+
+
+class AddressSpaceMachine(RuleBasedStateMachine):
+    """Random mmap/mprotect/munmap with a shadow model of each page."""
+
+    def __init__(self):
+        super().__init__()
+        self.mm = MM(Machine(num_cores=1, memory_bytes=1 << 26))
+        # Shadow model: vpn -> (prot, pkey).
+        self.model: dict[int, tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------
+
+    @rule(pages=st.integers(1, 8), prot=st.sampled_from(PROTS))
+    def mmap(self, pages, prot):
+        try:
+            addr, stats = self.mm.mmap(pages * PAGE_SIZE, prot)
+        except KernelError:
+            return
+        for i in range(pages):
+            self.model[page_number(addr) + i] = (prot, 0)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data(), prot=st.sampled_from(PROTS),
+          pkey=st.one_of(st.none(), st.integers(1, 15)))
+    def protect(self, data, prot, pkey):
+        vpns = sorted(self.model)
+        start = data.draw(st.sampled_from(vpns))
+        length = data.draw(st.integers(1, 4))
+        # Clip to a contiguously-mapped run (mprotect over holes is
+        # ENOMEM; we test the success path here).
+        run = [start]
+        for vpn in range(start + 1, start + length):
+            if vpn in self.model:
+                run.append(vpn)
+            else:
+                break
+        self.mm.protect(run[0] * PAGE_SIZE, len(run) * PAGE_SIZE, prot,
+                        pkey=pkey)
+        for vpn in run:
+            old_prot, old_pkey = self.model[vpn]
+            self.model[vpn] = (prot,
+                               old_pkey if pkey is None else pkey)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def munmap(self, data):
+        vpns = sorted(self.model)
+        start = data.draw(st.sampled_from(vpns))
+        length = data.draw(st.integers(1, 4))
+        run = [start]
+        for vpn in range(start + 1, start + length):
+            if vpn in self.model:
+                run.append(vpn)
+            else:
+                break
+        self.mm.munmap(run[0] * PAGE_SIZE, len(run) * PAGE_SIZE)
+        for vpn in run:
+            del self.model[vpn]
+
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def ptes_match_the_shadow_model(self):
+        assert self.mm.total_mapped_pages() == len(self.model)
+        for vpn, (prot, pkey) in self.model.items():
+            entry = self.mm.page_table.lookup(vpn)
+            assert entry is not None
+            assert entry.prot == prot, hex(vpn * PAGE_SIZE)
+            assert entry.pkey == pkey
+
+    @invariant()
+    def vmas_are_sorted_and_disjoint(self):
+        vmas = list(self.mm.vmas)
+        for left, right in zip(vmas, vmas[1:]):
+            assert left.end <= right.start
+
+    @invariant()
+    def vma_pages_are_exactly_the_mapped_pages(self):
+        covered = set()
+        for vma in self.mm.vmas:
+            for vpn in range(page_number(vma.start),
+                             page_number(vma.end)):
+                covered.add(vpn)
+        assert covered == set(self.model)
+
+TestAddressSpace = AddressSpaceMachine.TestCase
+TestAddressSpace.settings = settings(max_examples=30,
+                                     stateful_step_count=30,
+                                     deadline=None)

@@ -1,0 +1,66 @@
+"""Property-based tests for the PKRU value type."""
+
+from hypothesis import given, strategies as st
+
+from repro.consts import NUM_PKEYS
+from repro.hw.pkru import (
+    KEY_RIGHTS_ALL,
+    KEY_RIGHTS_NONE,
+    KEY_RIGHTS_READ,
+    PKRU,
+)
+
+keys = st.integers(min_value=0, max_value=NUM_PKEYS - 1)
+rights = st.sampled_from([KEY_RIGHTS_ALL, KEY_RIGHTS_READ,
+                          KEY_RIGHTS_NONE])
+pkru_values = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+@given(pkru_values, keys, rights)
+def test_with_rights_is_idempotent(value, key, r):
+    once = PKRU(value).with_rights(key, r)
+    assert once.with_rights(key, r) == once
+
+
+@given(pkru_values, keys, rights)
+def test_with_rights_sets_exactly_the_requested_rights(value, key, r):
+    assert PKRU(value).with_rights(key, r).rights(key) == r
+
+
+@given(pkru_values, keys, rights, keys, rights)
+def test_updates_to_distinct_keys_commute(value, k1, r1, k2, r2):
+    if k1 == k2:
+        return
+    a = PKRU(value).with_rights(k1, r1).with_rights(k2, r2)
+    b = PKRU(value).with_rights(k2, r2).with_rights(k1, r1)
+    assert a == b
+
+
+@given(pkru_values, keys, rights, keys)
+def test_update_leaves_other_keys_untouched(value, key, r, other):
+    if key == other:
+        return
+    before = PKRU(value)
+    after = before.with_rights(key, r)
+    assert after.rights(other) == before.rights(other)
+
+
+@given(pkru_values, keys)
+def test_write_implies_read(value, key):
+    pkru = PKRU(value)
+    if pkru.can_write(key):
+        assert pkru.can_read(key)
+
+
+@given(pkru_values)
+def test_value_roundtrips_through_rights(value):
+    pkru = PKRU(value)
+    rebuilt = PKRU(0)
+    for key in range(NUM_PKEYS):
+        rebuilt = rebuilt.with_rights(key, pkru.rights(key))
+    assert rebuilt == pkru
+
+
+@given(pkru_values, keys, rights)
+def test_result_stays_in_32_bits(value, key, r):
+    assert 0 <= PKRU(value).with_rights(key, r).value < (1 << 32)

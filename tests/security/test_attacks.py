@@ -1,0 +1,186 @@
+"""The §6.1 security evaluation, as executable proofs.
+
+Every attack is asserted in both directions: it *succeeds* against the
+insecure baseline (proving the harness is a real attack) and is
+*killed* by the hardened configuration (proving the defence).
+"""
+
+import pytest
+
+from repro.consts import PAGE_SIZE, PROT_READ, PROT_WRITE
+from repro.errors import PkeyFault
+from repro import Kernel, Libmpk
+from repro.apps.jit import ENGINES, JsEngine, KeyPerProcessWx, MprotectWx
+from repro.apps.sslserver import HttpServer, SslLibrary
+from repro.security import (
+    arbitrary_read_sweep,
+    heartbleed_attack,
+    jit_race_attack,
+    pkey_corruption_attack,
+    pkey_use_after_free_attack,
+)
+
+RW = PROT_READ | PROT_WRITE
+
+
+def build_server(mode):
+    kernel = Kernel()
+    process = kernel.create_process()
+    task = process.main_task
+    lib = None
+    if mode == "libmpk":
+        lib = Libmpk(process)
+        lib.mpk_init(task)
+    # Map the receive buffer first so the SSL key heap lands directly
+    # above it — the adjacency the over-read needs.
+    recv = kernel.sys_mmap(task, PAGE_SIZE, RW)
+    ssl = SslLibrary(kernel, process, task, mode=mode, lib=lib)
+    server = HttpServer(kernel, process, task, ssl,
+                        recv_buffer_addr=recv)
+    return server, task
+
+
+class TestHeartbleed:
+    def test_leaks_private_key_from_stock_openssl(self):
+        server, task = build_server("insecure")
+        result = heartbleed_attack(server, task)
+        assert result.succeeded, result.detail
+        assert result.leaked
+
+    def test_killed_by_libmpk_isolation(self):
+        """'OpenSSL hardened by libmpk crashes with invalid memory
+        access' — specifically a pkey fault at the group boundary."""
+        server, task = build_server("libmpk")
+        result = heartbleed_attack(server, task)
+        assert not result.succeeded
+        assert isinstance(result.fault, PkeyFault)
+
+    def test_normal_heartbeats_still_work_when_hardened(self):
+        server, task = build_server("libmpk")
+        response = server.handle_heartbeat(task, b"ping", 4)
+        assert response == b"ping"
+
+
+class TestArbitraryReadSweep:
+    def test_finds_decoy_in_unprotected_heap(self, kernel, process,
+                                             task):
+        region = kernel.sys_mmap(task, 4 * PAGE_SIZE, RW)
+        task.write(region + 2 * PAGE_SIZE + 100, b"DECOY-PRIVATE-KEY")
+        result = arbitrary_read_sweep(task, region, 4 * PAGE_SIZE,
+                                      b"DECOY-PRIVATE-KEY")
+        assert result.succeeded
+
+    def test_killed_at_group_boundary(self, lib, kernel, process, task):
+        region = kernel.sys_mmap(task, PAGE_SIZE, RW)
+        secret = lib.mpk_mmap(task, 77, PAGE_SIZE, RW, addr=region
+                              + PAGE_SIZE)
+        with lib.domain(task, 77, RW):
+            task.write(secret + 100, b"DECOY-PRIVATE-KEY")
+        result = arbitrary_read_sweep(task, region, 2 * PAGE_SIZE,
+                                      b"DECOY-PRIVATE-KEY")
+        assert not result.succeeded
+        assert isinstance(result.fault, PkeyFault)
+        assert b"DECOY-PRIVATE-KEY" not in result.leaked
+
+
+class TestJitRace:
+    def _engine(self, backend_name):
+        kernel = Kernel()
+        process = kernel.create_process()
+        task = process.main_task
+        if backend_name == "mprotect":
+            backend = MprotectWx(kernel)
+        else:
+            lib = Libmpk(process)
+            lib.mpk_init(task)
+            backend = KeyPerProcessWx(kernel, lib)
+        engine = JsEngine(kernel, process, ENGINES["chakracore"], backend)
+        attacker = process.spawn_task()
+        kernel.scheduler.schedule(attacker, charge=False)
+        return engine, attacker
+
+    def test_race_succeeds_against_mprotect_wx(self):
+        """SDCG's attack: during the writable window, a compromised
+        sibling plants shellcode in the code cache."""
+        engine, attacker = self._engine("mprotect")
+        result = jit_race_attack(engine, attacker)
+        assert result.succeeded, result.detail
+
+    def test_race_killed_by_libmpk_wx(self):
+        """'Both SpiderMonkey and ChakraCore crash with a segmentation
+        fault at the end' — the attacker thread never has write rights."""
+        engine, attacker = self._engine("libmpk")
+        result = jit_race_attack(engine, attacker)
+        assert not result.succeeded
+        assert isinstance(result.fault, PkeyFault)
+
+
+class TestPkeyCorruption:
+    def test_succeeds_against_raw_mpk(self, kernel, process, task):
+        """§3.1: with raw MPK the app keeps its pkey in writable
+        memory; corrupting it redirects a legitimate pkey_set."""
+        victim_key = kernel.sys_pkey_alloc(task)
+        victim = kernel.sys_mmap(task, PAGE_SIZE, RW)
+        kernel.sys_pkey_mprotect(task, victim, PAGE_SIZE, RW, victim_key)
+        task.write(victim, b"victim secret bytes!")
+        task.pkey_set(victim_key, 0x1)  # lock the victim region
+
+        app_key = kernel.sys_pkey_alloc(task)
+        key_var = kernel.sys_mmap(task, PAGE_SIZE, RW)
+        task.write(key_var, bytes([app_key]))
+
+        result = pkey_corruption_attack(kernel, task, key_var, victim)
+        assert result.succeeded, result.detail
+        assert result.leaked.startswith(b"victim secret")
+
+    def test_blocked_by_libmpk_hardcoded_vkeys(self, kernel, process,
+                                               task):
+        """libmpk never lets key material sit in writable memory: the
+        vkey is a hardcoded constant and the vkey→pkey map lives in the
+        read-only metadata page.  A corrupted vkey argument is rejected
+        at the call site."""
+        from repro.errors import MpkMetadataTampering
+
+        lib = Libmpk(process)
+        lib.mpk_init(task, static_vkeys=[100, 200])
+        victim = lib.mpk_mmap(task, 100, PAGE_SIZE, RW)
+        with lib.domain(task, 100, RW):
+            task.write(victim, b"victim secret bytes!")
+        corrupted_vkey = 0x41
+        with pytest.raises(MpkMetadataTampering):
+            lib.mpk_begin(task, corrupted_vkey, RW)
+        # And the metadata page itself cannot be overwritten.
+        record = lib.metadata.record_user_addr(100)
+        from repro.errors import SegmentationFault
+        with pytest.raises(SegmentationFault):
+            task.write(record, b"\xff" * 8)
+
+
+class TestPkeyUseAfterFree:
+    def test_succeeds_against_raw_mpk(self, kernel, process, task):
+        """§3.1: pkey_free + pkey_alloc silently joins stale pages to
+        the new key's group."""
+        key = kernel.sys_pkey_alloc(task)
+        secret = kernel.sys_mmap(task, PAGE_SIZE, RW)
+        kernel.sys_pkey_mprotect(task, secret, PAGE_SIZE, RW, key)
+        task.write(secret, b"old tenant's secret!")
+        task.pkey_set(key, 0x1)     # seal it
+        kernel.sys_pkey_free(task, key)
+
+        result = pkey_use_after_free_attack(kernel, task, secret, key)
+        assert result.succeeded, result.detail
+        assert result.leaked.startswith(b"old tenant")
+
+    def test_impossible_under_libmpk(self, lib, kernel, process, task):
+        """libmpk owns every hardware key and scrubs group state on
+        munmap, so key recycling never exposes stale pages."""
+        secret = lib.mpk_mmap(task, 100, PAGE_SIZE, RW)
+        with lib.domain(task, 100, RW):
+            task.write(secret, b"old tenant's secret!")
+        lib.mpk_munmap(task, 100)
+        # The address space no longer maps the page at all; any reuse
+        # of the hardware key cannot resurrect it.
+        assert task.try_read(secret, 8) is None
+        fresh = lib.mpk_mmap(task, 200, PAGE_SIZE, RW)
+        with lib.domain(task, 200, RW):
+            assert task.read(fresh, 20) == b"\x00" * 20

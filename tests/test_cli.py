@@ -1,0 +1,42 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestInfo:
+    def test_prints_calibration(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "libmpk-repro" in out
+        assert "USENIX ATC 2019" in out
+        assert "WRPKRU" in out
+        assert "1094.0" in out
+
+
+class TestResults:
+    def test_prints_archived_tables_when_present(self, capsys,
+                                                 tmp_path, monkeypatch):
+        import repro.__main__ as cli
+        monkeypatch.setattr(cli, "RESULTS_DIR", tmp_path)
+        (tmp_path / "fake.txt").write_text("ARCHIVED TABLE\n")
+        assert main(["results"]) == 0
+        assert "ARCHIVED TABLE" in capsys.readouterr().out
+
+    def test_fails_cleanly_when_empty(self, capsys, tmp_path,
+                                      monkeypatch):
+        import repro.__main__ as cli
+        monkeypatch.setattr(cli, "RESULTS_DIR", tmp_path / "missing")
+        assert main(["results"]) == 1
+        assert "python -m repro bench" in capsys.readouterr().err
+
+
+class TestParsing:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_command_is_required(self):
+        with pytest.raises(SystemExit):
+            main([])

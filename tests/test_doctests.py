@@ -1,0 +1,18 @@
+"""The executable examples embedded in docstrings must stay true."""
+
+import doctest
+
+import repro
+import repro.hw.cycles
+
+
+def test_package_quickstart_doctest():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.attempted >= 5
+    assert results.failed == 0
+
+
+def test_cycles_doctests():
+    results = doctest.testmod(repro.hw.cycles, verbose=False)
+    assert results.attempted >= 1
+    assert results.failed == 0

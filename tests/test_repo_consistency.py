@@ -1,0 +1,60 @@
+"""Meta-tests: the documentation and the repository must agree."""
+
+import pathlib
+import re
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+
+class TestDesignDocument:
+    def test_experiment_index_points_at_real_benchmarks(self):
+        design = (REPO / "DESIGN.md").read_text()
+        referenced = set(re.findall(r"benchmarks/(bench_\w+\.py)", design))
+        assert referenced, "DESIGN.md lost its experiment index"
+        for name in referenced:
+            assert (REPO / "benchmarks" / name).is_file(), name
+
+    def test_every_benchmark_is_documented_somewhere(self):
+        docs = ((REPO / "DESIGN.md").read_text()
+                + (REPO / "EXPERIMENTS.md").read_text()
+                + (REPO / "README.md").read_text())
+        for bench in (REPO / "benchmarks").glob("bench_*.py"):
+            assert bench.name in docs, (
+                f"{bench.name} is not mentioned in DESIGN/EXPERIMENTS/"
+                f"README")
+
+    def test_modules_named_in_design_exist(self):
+        design = (REPO / "DESIGN.md").read_text()
+        for dotted in set(re.findall(r"`(repro\.[a-z_.]+)`", design)):
+            parts = dotted.split(".")
+            base = REPO / "src" / pathlib.Path(*parts)
+            assert (base.with_suffix(".py").is_file()
+                    or (base / "__init__.py").is_file()), dotted
+
+
+class TestReadme:
+    def test_examples_table_matches_directory(self):
+        readme = (REPO / "README.md").read_text()
+        on_disk = {p.name for p in (REPO / "examples").glob("*.py")}
+        documented = set(re.findall(r"examples/(\w+\.py)", readme))
+        missing = on_disk - documented
+        assert not missing, f"examples not in README: {missing}"
+        phantom = documented - on_disk
+        assert not phantom, f"README mentions absent examples: {phantom}"
+
+    def test_quickstart_code_block_is_current_api(self):
+        readme = (REPO / "README.md").read_text()
+        assert "lib.mpk_init(task" in readme
+        assert "lib.domain(task" in readme
+
+
+class TestPackaging:
+    def test_every_package_directory_has_init(self):
+        for directory in (REPO / "src" / "repro").rglob("*"):
+            if directory.is_dir() and any(directory.glob("*.py")):
+                assert (directory / "__init__.py").exists(), directory
+
+    def test_version_is_consistent(self):
+        import repro
+        pyproject = (REPO / "pyproject.toml").read_text()
+        assert f'version = "{repro.__version__}"' in pyproject
