@@ -24,7 +24,7 @@ PAPER = {
 }
 
 
-def run_table1() -> dict[str, float]:
+def run_table1() -> tuple[dict[str, float], object]:
     bed = make_testbed(threads=1, with_libmpk=False)
     kernel, task = bed.kernel, bed.task
     core = kernel.machine.core(task.core_id)
@@ -59,17 +59,21 @@ def run_table1() -> dict[str, float]:
         core.execute_mov_reg, REPEAT)
     measured["MOVQ rdx->xmm [ref]"] = bed.measure_avg(
         core.execute_mov_xmm, REPEAT)
-    return measured
+    return measured, bed
 
 
 def test_table1(once):
-    measured = once(run_table1)
+    measured, bed = once(run_table1)
     reporter = Reporter("table1_primitives")
     reporter.header("Table 1: MPK primitive latencies (cycles)")
     rows = [[name, f"{PAPER[name]:.2f}", f"{measured[name]:.2f}"]
             for name in PAPER]
     reporter.table(["primitive", "paper", "measured"], rows)
+    reporter.cycle_breakdown(bed.kernel.machine.obs)
     reporter.flush()
+    # Every cycle the workload spent must be attributed to a site.
+    ok, delta = bed.kernel.machine.obs.audit()
+    assert ok, f"cycle attribution leak: {delta}"
     # The cost model is calibrated to Table 1: enforce close agreement.
     for name, value in PAPER.items():
         assert abs(measured[name] - value) <= max(1.0, 0.02 * value), name

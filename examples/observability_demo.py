@@ -1,17 +1,24 @@
 #!/usr/bin/env python3
-"""Observability: tracing libmpk and reading the process's smaps.
+"""Observability: cycle attribution, span profiles, traces, procfs.
 
-Attaches the cycle-annotated tracer to a kernel + libmpk pair, runs a
-small workload, and prints (a) the execution trace — every libmpk call
-with the kernel work nested inside it and its simulated cost — and
-(b) the /proc-style view of the address space, protection keys
-included, plus libmpk's own stats() counters.
+Runs a small libmpk workload and then asks the instrumentation spine
+(`machine.obs`) where the cycles went:
+
+* the per-site breakdown — every simulated cycle is charged to a
+  dotted ``layer.op.component`` site, and the conservation audit
+  proves none leaked;
+* the hierarchical span profile — inclusive vs. self cycles for each
+  libmpk API call and the kernel work nested inside it;
+* the classic execution trace (``attach_tracer`` is now a subscriber
+  on the same span stream);
+* the /proc-style views: smaps with protection keys, status, and the
+  machine-wide mpk_stats node.
 
 Run:  python examples/observability_demo.py
 """
 
 from repro import Kernel, Libmpk, PROT_READ, PROT_WRITE
-from repro.kernel.procfs import format_smaps, status
+from repro.kernel.procfs import format_mpk_stats, format_smaps, status
 from repro.trace import attach_tracer, format_trace
 
 RW = PROT_READ | PROT_WRITE
@@ -23,6 +30,8 @@ def main():
     task = process.main_task
     lib = Libmpk(process)
     lib.mpk_init(task)
+    obs = kernel.machine.obs
+    ring = obs.attach_ring_log(capacity=256)
 
     tracer = attach_tracer(kernel=kernel, lib=lib)
 
@@ -37,12 +46,32 @@ def main():
 
     tracer.detach()
 
+    print("== where the cycles went (by subsystem) ==")
+    print(obs.format_breakdown(depth=2))
+    print()
+    ok, delta = obs.audit()
+    print(f"conservation audit: attributed {obs.aggregator.total():,.1f}"
+          f" of {obs.clock.now:,.1f} clock cycles -> "
+          f"{'ok' if ok else f'LEAK {delta:.1f}'}")
+    print()
+
+    print("== span profile (calls, inclusive/self cycles) ==")
+    print(obs.format_profile())
+    print()
+
     print("== execution trace (simulated cycles, inclusive) ==")
     print(format_trace(tracer.events))
     print()
     print(f"{tracer.count('libmpk')} libmpk calls, "
           f"{tracer.count('kernel')} kernel syscalls; libmpk total "
           f"{tracer.total_cycles('libmpk'):,.1f} cycles")
+    print()
+
+    print("== last raw charges (ring log) ==")
+    for record in ring.events()[-5:]:
+        print(f"  [{record.now:>10,.1f}] {record.site:<32s} "
+              f"+{record.cycles:,.1f}")
+    print(f"  ({len(ring)} buffered, {ring.dropped} dropped)")
     print()
 
     print("== /proc/<pid>/smaps (with protection keys) ==")
@@ -52,6 +81,10 @@ def main():
     print("== /proc/<pid>/status ==")
     for key, value in status(process).items():
         print(f"  {key:>20s}: {value}")
+    print()
+
+    print("== /proc/mpk_stats ==")
+    print(format_mpk_stats(process, depth=1))
     print()
 
     print("== libmpk stats ==")

@@ -6,6 +6,8 @@ info       package, machine-model, and cost-model summary
 results    print every archived benchmark table (benchmarks/results/)
 bench      regenerate all tables/figures (pytest benchmarks/ …)
 examples   run every example script in sequence
+stats      run a sample workload, print per-site cycle attribution
+profile    run a sample workload, print the hierarchical span profile
 """
 
 from __future__ import annotations
@@ -90,6 +92,48 @@ def cmd_examples(_args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _sample_workload(threads: int):
+    """Drive a representative libmpk workload (mmap, domain switches,
+    group mprotect with sibling sync, eviction pressure) and return the
+    testbed so callers can read ``bed.kernel.machine.obs``."""
+    from repro.bench import make_testbed
+    from repro.consts import PROT_READ, PROT_WRITE
+
+    rw = PROT_READ | PROT_WRITE
+    bed = make_testbed(threads=threads, evict_rate=1.0)
+    lib, task = bed.lib, bed.task
+    buffers = []
+    for vkey in range(100, 120):  # > 15 groups forces cache eviction
+        buffers.append((vkey, lib.mpk_mmap(task, vkey, 8192, rw)))
+    for vkey, addr in buffers:
+        with lib.domain(task, vkey, rw):
+            task.write(addr, b"x" * 64)
+    lib.mpk_mprotect(task, buffers[0][0], PROT_READ)
+    lib.mpk_mprotect(task, buffers[0][0], rw)
+    return bed
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.kernel.procfs import format_mpk_stats
+
+    bed = _sample_workload(args.threads)
+    print(f"sample workload: 20 protection groups, {args.threads} "
+          "thread(s), full eviction pressure")
+    print()
+    print(format_mpk_stats(bed.process, depth=args.depth,
+                           limit=args.limit))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    bed = _sample_workload(args.threads)
+    print(f"sample workload: 20 protection groups, {args.threads} "
+          "thread(s), full eviction pressure")
+    print()
+    print(bed.kernel.machine.obs.format_profile())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -101,12 +145,26 @@ def main(argv: list[str] | None = None) -> int:
     bench = sub.add_parser("bench", help="regenerate tables/figures")
     bench.add_argument("--only", help="pytest -k filter", default=None)
     sub.add_parser("examples", help="run every example script")
+    stats = sub.add_parser("stats",
+                           help="per-site cycle attribution table")
+    stats.add_argument("--threads", type=int, default=4)
+    stats.add_argument("--depth", type=int, default=2,
+                       help="site-label components to group by "
+                            "(1=layer, 2=subsystem; 0=full labels)")
+    stats.add_argument("--limit", type=int, default=20)
+    profile = sub.add_parser("profile",
+                             help="hierarchical span profile")
+    profile.add_argument("--threads", type=int, default=4)
     args = parser.parse_args(argv)
+    if getattr(args, "depth", None) == 0:
+        args.depth = None
     handler = {
         "info": cmd_info,
         "results": cmd_results,
         "bench": cmd_bench,
         "examples": cmd_examples,
+        "stats": cmd_stats,
+        "profile": cmd_profile,
     }[args.command]
     return handler(args)
 

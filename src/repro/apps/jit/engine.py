@@ -120,7 +120,8 @@ class JsEngine:
         the engine's ``compile_batch`` windows (SpiderMonkey coalesces,
         ChakraCore writes one page at a time)."""
         self.kernel.clock.charge(
-            sum(sizes) * COMPILE_CYCLES_PER_BYTE)
+            sum(sizes) * COMPILE_CYCLES_PER_BYTE,
+            site="apps.jit.compile")
         addrs = [self.alloc_code_page() for _ in sizes]
         for addr in addrs:
             self.backend.commit_page(self.jit_task, addr)
@@ -159,11 +160,13 @@ class JsEngine:
             if code[:1] != self.CODE_STUB[:1]:
                 raise RuntimeError("executed uninitialized code cache")
         self.kernel.clock.charge(
-            iterations * size_bytes * NATIVE_CYCLES_PER_BYTE)
+            iterations * size_bytes * NATIVE_CYCLES_PER_BYTE,
+            site="apps.jit.native_exec")
 
     def interpret(self, size_bytes: int, iterations: int = 1) -> None:
         self.kernel.clock.charge(
-            iterations * size_bytes * INTERP_CYCLES_PER_BYTE)
+            iterations * size_bytes * INTERP_CYCLES_PER_BYTE,
+            site="apps.jit.interpret")
 
     # ------------------------------------------------------------------
     # Whole-program runs (Octane driver).

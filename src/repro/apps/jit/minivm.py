@@ -151,7 +151,8 @@ class MiniVm:
 
     def interpret(self, fn: MiniFunction) -> int:
         self.engine.kernel.clock.charge(
-            len(fn.ops) * INTERP_CYCLES_PER_OP)
+            len(fn.ops) * INTERP_CYCLES_PER_OP,
+            site="apps.jit.interpret")
         return _evaluate(fn.ops)
 
     # -- tier 1: JIT ------------------------------------------------------
@@ -173,7 +174,8 @@ class MiniVm:
         raw = self.engine.exec_task.fetch(compiled.addr, compiled.length)
         ops = disassemble(raw)
         self.engine.kernel.clock.charge(
-            len(ops) * NATIVE_CYCLES_PER_OP)
+            len(ops) * NATIVE_CYCLES_PER_OP,
+            site="apps.jit.native_exec")
         return _evaluate(ops)
 
     def patch_push_constant(self, compiled: CompiledFunction,

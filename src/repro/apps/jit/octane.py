@@ -71,7 +71,8 @@ class OctaneProgram:
         for i in range(self.multi_page_updates):
             engine.bulk_update(pages=4, start_index=4 * i)
         if self.extra_compute:
-            engine.kernel.clock.charge(self.extra_compute)
+            engine.kernel.clock.charge(self.extra_compute,
+                                       site="apps.jit.compute")
 
 
 # ---------------------------------------------------------------------------

@@ -216,8 +216,6 @@ class KeyPerPageWx(WxBackend):
         """Multiple pages change permission at once: the paper keeps
         plain mprotect for this case, "based on the observation that
         mostly only one page is updated at a time"."""
-        base = min(addrs)
-        length = max(addrs) + PAGE_SIZE - base
         # Dedicated pages in the span are rwx gated by their keys; a
         # blanket mprotect would destroy their pkey association, so the
         # writable window is opened for them through their groups while
@@ -351,7 +349,8 @@ class SdcgWx(WxBackend):
     def _ipc_emit(self, task: "Task", addrs: list[int],
                   data: bytes) -> None:
         self._timed(self.kernel,
-                    lambda: self.kernel.clock.charge(SDCG_IPC_CYCLES))
+                    lambda: self.kernel.clock.charge(
+                        SDCG_IPC_CYCLES, site="apps.jit.sdcg_ipc"))
         # The emitter writes through its own (writable) mapping of the
         # same shared frames — an ordinary MMU-checked store.
         for addr in addrs:

@@ -149,7 +149,8 @@ class Memcached:
         When the slab class is full, the least-recently-used items are
         evicted to make room, as Memcached does.
         """
-        self.kernel.clock.charge(REQUEST_BASE_CYCLES)
+        self.kernel.clock.charge(REQUEST_BASE_CYCLES,
+                                 site="apps.memcached.request")
         self.stats_requests += 1
         expires_at = (self.now_seconds() + ttl_seconds) if ttl_seconds \
             else 0
@@ -165,7 +166,8 @@ class Memcached:
         self._lru.move_to_end(key)
 
     def get(self, task: "Task", key: bytes) -> bytes | None:
-        self.kernel.clock.charge(REQUEST_BASE_CYCLES)
+        self.kernel.clock.charge(REQUEST_BASE_CYCLES,
+                                 site="apps.memcached.request")
         self.stats_requests += 1
         with self._secured(task):
             value = self.table.assoc_find(task, key,
@@ -179,7 +181,8 @@ class Memcached:
         return value
 
     def delete(self, task: "Task", key: bytes) -> bool:
-        self.kernel.clock.charge(REQUEST_BASE_CYCLES)
+        self.kernel.clock.charge(REQUEST_BASE_CYCLES,
+                                 site="apps.memcached.request")
         self.stats_requests += 1
         with self._secured(task):
             removed = self.table.assoc_delete(task, key, missing_ok=True)

@@ -53,7 +53,8 @@ class Twemperf:
 
     def _run_connection(self, task: "Task", conn_id: int) -> None:
         """One client connection: a mixed get/set request stream."""
-        self.store.kernel.clock.charge(CONNECTION_SETUP_CYCLES)
+        self.store.kernel.clock.charge(CONNECTION_SETUP_CYCLES,
+                                       site="apps.memcached.connect")
         value = bytes(self.value_size)
         warmup = min(4, self.requests_per_connection)
         for req in range(self.requests_per_connection):

@@ -73,14 +73,15 @@ class HttpServer:
         if self._handshake is None:
             raise RuntimeError("call enable_sessions() first")
         clock = self.kernel.clock
-        clock.charge(CONNECTION_SETUP_CYCLES)
+        clock.charge(CONNECTION_SETUP_CYCLES, site="apps.httpd.connect")
         resumed = None
         if session_id is not None:
             resumed = self._handshake.resume_handshake(task, session_id)
         if resumed is None:
             session_id = self._handshake.full_handshake(task).session_id
         for _ in range(requests):
-            clock.charge(PARSE_CYCLES + response_size * AES_PER_BYTE)
+            clock.charge(PARSE_CYCLES + response_size * AES_PER_BYTE,
+                         site="apps.httpd.request")
             self.requests_served += 1
             self.bytes_served += response_size
         return session_id
@@ -92,7 +93,7 @@ class HttpServer:
     def handle_request(self, task: "Task", response_size: int) -> bytes:
         """Serve one HTTPS request; returns the (simulated) response."""
         clock = self.kernel.clock
-        clock.charge(PARSE_CYCLES)
+        clock.charge(PARSE_CYCLES, site="apps.httpd.parse")
         # TLS key exchange: the client encrypts a pre-master secret with
         # our public key; we decrypt it with the private key.
         pre_master = 0x1234_5678_9ABC_DEF0 + self.requests_served
@@ -102,7 +103,8 @@ class HttpServer:
         if recovered != pre_master:
             raise RuntimeError("TLS key exchange failed")
         # Encrypt and send the response body.
-        clock.charge(response_size * AES_PER_BYTE)
+        clock.charge(response_size * AES_PER_BYTE,
+                     site="apps.httpd.aes")
         self.requests_served += 1
         self.bytes_served += response_size
         return b"\x17\x03\x03" + response_size.to_bytes(4, "big")
@@ -110,7 +112,8 @@ class HttpServer:
     def handle_connection(self, task: "Task", response_size: int,
                           requests: int = 1) -> None:
         """One client connection: setup plus ``requests`` requests."""
-        self.kernel.clock.charge(CONNECTION_SETUP_CYCLES)
+        self.kernel.clock.charge(CONNECTION_SETUP_CYCLES,
+                                 site="apps.httpd.connect")
         for _ in range(requests):
             self.handle_request(task, response_size)
 
@@ -128,6 +131,7 @@ class HttpServer:
         the receive buffer — into whatever is adjacent.
         """
         task.write(self.recv_buffer, payload)
-        self.kernel.clock.charge(PARSE_CYCLES)
+        self.kernel.clock.charge(PARSE_CYCLES,
+                                 site="apps.httpd.parse")
         # BUG (intentional): no `claimed_length <= len(payload)` check.
         return task.read(self.recv_buffer, claimed_length)

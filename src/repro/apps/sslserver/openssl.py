@@ -90,7 +90,8 @@ class SslLibrary:
     def load_private_key(self, task: "Task", seed: int = 0) -> EvpPkey:
         """Generate a key pair and store the private blob in the key
         heap (isolated in libmpk mode)."""
-        self.kernel.clock.charge(RSA_KEYGEN_CYCLES)
+        self.kernel.clock.charge(RSA_KEYGEN_CYCLES,
+                                 site="apps.ssl.keygen")
         public, blob = ToyRSA.generate(seed)
         addr = self._malloc(task, len(blob))
         if self.mode == "libmpk":
@@ -112,7 +113,8 @@ class SslLibrary:
                 blob = task.read(pkey.addr, pkey.size)
         else:
             blob = task.read(pkey.addr, pkey.size)
-        self.kernel.clock.charge(RSA_DECRYPT_CYCLES)
+        self.kernel.clock.charge(RSA_DECRYPT_CYCLES,
+                                 site="apps.ssl.rsa_decrypt")
         return ToyRSA.decrypt_with(blob, ciphertext)
 
     # ------------------------------------------------------------------

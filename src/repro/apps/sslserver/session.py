@@ -146,7 +146,8 @@ class TlsHandshake:
                                               ciphertext)
         if recovered != pre_master:
             raise MpkError("key exchange failed")
-        self.ssl.kernel.clock.charge(DERIVE_CYCLES)
+        self.ssl.kernel.clock.charge(DERIVE_CYCLES,
+                                     site="apps.ssl.derive")
         seed = recovered.to_bytes(8, "big") + self._counter.to_bytes(
             4, "big")
         secret = hashlib.sha384(seed).digest()
@@ -156,5 +157,6 @@ class TlsHandshake:
     def resume_handshake(self, task: "Task",
                          session_id: bytes) -> bytes | None:
         """Abbreviated handshake: no RSA, no private-key touch."""
-        self.ssl.kernel.clock.charge(RESUME_LOOKUP_CYCLES)
+        self.ssl.kernel.clock.charge(RESUME_LOOKUP_CYCLES,
+                                     site="apps.ssl.resume_lookup")
         return self.cache.resume(task, session_id)

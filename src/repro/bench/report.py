@@ -75,6 +75,18 @@ class Reporter:
                 handle.write(",".join(_csv_cell(c) for c in row) + "\n")
         return path
 
+    def cycle_breakdown(self, obs, depth: int | None = 2,
+                        limit: int | None = 12,
+                        title: str = "cycle attribution") -> None:
+        """Append a where-did-the-cycles-go table from the machine's
+        :class:`~repro.obs.Observability` per-site counters."""
+        rows = [[label, f"{cycles:,.1f}",
+                 f"{100 * cycles / (obs.clock.now or 1.0):.1f}%"]
+                for label, cycles in obs.aggregator.rows(depth)[:limit]]
+        self.line()
+        self.line(f"{title} (total {obs.clock.now:,.1f} cycles)")
+        self.table(["site", "cycles", "share"], rows)
+
     def compare(self, label: str, paper: float, measured: float,
                 unit: str = "") -> None:
         """One paper-vs-measured line."""

@@ -35,7 +35,6 @@ from repro.consts import (
     MAP_PRIVATE,
     PKEY_DISABLE_ACCESS,
     PROT_EXEC,
-    PROT_NONE,
     PROT_READ,
     page_align_up,
 )
@@ -47,6 +46,7 @@ from repro.errors import (
     NoSpace,
 )
 from repro.hw.pkru import KEY_RIGHTS_NONE, rights_for_prot
+from repro.obs import traced
 from repro.core.groups import PageGroup
 from repro.core.heap import GroupHeap
 from repro.core.keycache import KeyCache
@@ -80,10 +80,16 @@ class Libmpk:
         self._xo_pkey: int | None = None
         self._xo_groups: set[int] = set()
 
+    @property
+    def _obs(self):
+        """The machine's instrumentation spine (for @traced spans)."""
+        return self._kernel.machine.obs
+
     # ------------------------------------------------------------------
     # mpk_init
     # ------------------------------------------------------------------
 
+    @traced("libmpk.mpk_init")
     def mpk_init(self, task: "Task", evict_rate: float = -1,
                  static_vkeys: typing.Iterable[int] | None = None,
                  policy: str = "lru") -> None:
@@ -118,6 +124,7 @@ class Libmpk:
     # mpk_mmap / mpk_munmap
     # ------------------------------------------------------------------
 
+    @traced("libmpk.mpk_mmap")
     def mpk_mmap(self, task: "Task", vkey: int, length: int, prot: int,
                  flags: int = _DEFAULT_FLAGS,
                  addr: int | None = None) -> int:
@@ -151,6 +158,7 @@ class Libmpk:
         self._metadata.kernel_upsert(vkey, group.pkey, 0)
         return base
 
+    @traced("libmpk.mpk_adopt")
     def mpk_adopt(self, task: "Task", vkey: int, addr: int,
                   length: int, prot: int) -> None:
         """Create a page group from an *existing* mapping.
@@ -170,6 +178,7 @@ class Libmpk:
         self._groups[vkey] = group
         self._metadata.kernel_upsert(vkey, None, 0)
 
+    @traced("libmpk.mpk_disown")
     def mpk_disown(self, task: "Task", vkey: int, prot: int) -> None:
         """Dissolve a page group *without* unmapping its pages.
 
@@ -197,6 +206,7 @@ class Libmpk:
         self._models.pop(vkey, None)
         self._page_prots.pop(vkey, None)
 
+    @traced("libmpk.mpk_munmap")
     def mpk_munmap(self, task: "Task", vkey: int) -> None:
         """Destroy ``vkey``'s page group and unmap all of its pages.
 
@@ -224,6 +234,7 @@ class Libmpk:
     # mpk_begin / mpk_end — domain-based thread-local isolation.
     # ------------------------------------------------------------------
 
+    @traced("libmpk.mpk_begin")
     def mpk_begin(self, task: "Task", vkey: int, prot: int) -> None:
         """Grant the *calling thread* ``prot`` access to the group.
 
@@ -233,7 +244,8 @@ class Libmpk:
         pinned, letting the caller decide how to wait (§4.2).
         """
         cache = self._require_init()
-        self._charge(self._kernel.costs.mpk_cache_lookup)
+        self._charge(self._kernel.costs.mpk_cache_lookup,
+                     site="libmpk.keycache.lookup")
         self._registry.verify(vkey)
         group = self._lookup_group(vkey)
         if group.exec_only:
@@ -255,6 +267,7 @@ class Libmpk:
             task.pkey_set(pkey, rights_for_prot(prot))
         self._metadata.kernel_upsert(vkey, pkey, len(group.pinned_by))
 
+    @traced("libmpk.mpk_begin_wait")
     def mpk_begin_wait(self, task: "Task", vkey: int, prot: int,
                        on_wait, max_attempts: int = 64) -> int:
         """mpk_begin that handles key exhaustion by waiting.
@@ -272,16 +285,19 @@ class Libmpk:
                 self.mpk_begin(task, vkey, prot)
                 return attempt
             except MpkKeyExhaustion:
-                self._charge(self._kernel.costs.context_switch)
+                self._charge(self._kernel.costs.context_switch,
+                             site="libmpk.keycache.wait")
                 on_wait(attempt)
         raise MpkKeyExhaustion(
             f"mpk_begin_wait: no hardware key freed after "
             f"{max_attempts} attempts")
 
+    @traced("libmpk.mpk_end")
     def mpk_end(self, task: "Task", vkey: int) -> None:
         """Release the calling thread's access to the group."""
         self._require_init()
-        self._charge(self._kernel.costs.mpk_cache_lookup)
+        self._charge(self._kernel.costs.mpk_cache_lookup,
+                     site="libmpk.keycache.lookup")
         self._registry.verify(vkey)
         group = self._lookup_group(vkey)
         if task.tid not in group.pinned_by:
@@ -307,6 +323,7 @@ class Libmpk:
     # mpk_mprotect — global permission change with mprotect semantics.
     # ------------------------------------------------------------------
 
+    @traced("libmpk.mpk_mprotect")
     def mpk_mprotect(self, task: "Task", vkey: int, prot: int) -> None:
         """Change the group's permission *for every thread*.
 
@@ -317,7 +334,8 @@ class Libmpk:
         request routes to the reserved execute-only key.
         """
         cache = self._require_init()
-        self._charge(self._kernel.costs.mpk_cache_lookup)
+        self._charge(self._kernel.costs.mpk_cache_lookup,
+                     site="libmpk.keycache.lookup")
         self._registry.verify(vkey)
         group = self._lookup_group(vkey)
 
@@ -366,10 +384,12 @@ class Libmpk:
     # mpk_malloc / mpk_free — the per-group heap.
     # ------------------------------------------------------------------
 
+    @traced("libmpk.mpk_malloc")
     def mpk_malloc(self, task: "Task", vkey: int, size: int) -> int:
         """Allocate ``size`` bytes inside ``vkey``'s page group."""
         self._require_init()
-        self._charge(self._kernel.costs.mpk_metadata_op)
+        self._charge(self._kernel.costs.mpk_metadata_op,
+                     site="libmpk.heap.metadata")
         self._registry.verify(vkey)
         group = self._lookup_group(vkey)
         heap = self._heaps.get(vkey)
@@ -378,10 +398,12 @@ class Libmpk:
             self._heaps[vkey] = heap
         return heap.malloc(size)
 
+    @traced("libmpk.mpk_free")
     def mpk_free(self, task: "Task", vkey: int, addr: int) -> None:
         """Free an ``mpk_malloc`` allocation."""
         self._require_init()
-        self._charge(self._kernel.costs.mpk_metadata_op)
+        self._charge(self._kernel.costs.mpk_metadata_op,
+                     site="libmpk.heap.metadata")
         self._registry.verify(vkey)
         heap = self._heaps.get(vkey)
         if heap is None:
@@ -457,8 +479,8 @@ class Libmpk:
             raise MpkUnknownVkey(f"vkey {vkey} has no page group")
         return group
 
-    def _charge(self, cycles: float) -> None:
-        self._kernel.clock.charge(cycles)
+    def _charge(self, cycles: float, site: str) -> None:
+        self._kernel.clock.charge(cycles, site=site)
 
     def _kernel_update_range(self, task: "Task", group: PageGroup,
                              prot: int, pkey: int,
@@ -537,7 +559,8 @@ class Libmpk:
 
     def _make_group_exec_only(self, task: "Task", group: PageGroup) -> None:
         cache = self._require_init()
-        self._charge(self._kernel.costs.mpk_metadata_op)
+        self._charge(self._kernel.costs.mpk_metadata_op,
+                     site="libmpk.metadata.exec_only")
         if self._xo_pkey is None:
             self._xo_pkey = self._reserve_exec_only_key(task)
         if group.cached and not group.exec_only:

@@ -86,7 +86,8 @@ class MetadataRegion:
         data = _RECORD.pack(vkey, -1 if pkey is None else pkey,
                             pinned, flags)
         self._frame_write(slot * RECORD_SIZE, data)
-        self._kernel.clock.charge(self._kernel.costs.mpk_metadata_op)
+        self._kernel.clock.charge(self._kernel.costs.mpk_metadata_op,
+                                  site="libmpk.metadata.update")
 
     def kernel_remove(self, vkey: int) -> None:
         slot = self._slots.pop(vkey, None)
@@ -94,7 +95,8 @@ class MetadataRegion:
             return
         self._frame_write(slot * RECORD_SIZE, b"\x00" * RECORD_SIZE)
         self._free_slots.append(slot)
-        self._kernel.clock.charge(self._kernel.costs.mpk_metadata_op)
+        self._kernel.clock.charge(self._kernel.costs.mpk_metadata_op,
+                                  site="libmpk.metadata.remove")
 
     def _take_slot(self, vkey: int) -> int:
         if self._free_slots:

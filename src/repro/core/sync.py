@@ -49,24 +49,28 @@ def do_pkey_sync(kernel: "Kernel", caller: "Task", pkey: int,
     if not siblings:
         return 0
 
-    kernel.clock.charge(kernel.costs.syscall_overhead())
+    with kernel.machine.obs.span("kernel.do_pkey_sync"):
+        kernel.clock.charge(kernel.costs.syscall_overhead(),
+                            site="kernel.pkey_sync.entry_exit")
 
-    def update_pkru(task: "Task") -> None:
-        task.pkru = task.pkru.with_rights(pkey, rights)
+        def update_pkru(task: "Task") -> None:
+            task.pkru = task.pkru.with_rights(pkey, rights)
 
-    for sibling in siblings:
-        kernel.ktask_work_add(sibling, update_pkru)
-    for sibling in siblings:
-        kernel.kick(sibling)
-        if eager:
-            # Synchronous handshake: wait for the sibling to enter the
-            # kernel, run the update, and send an explicit ack.
-            kernel.clock.charge(kernel.costs.eager_sync_wait)
-            if not sibling.running:
-                # A sleeping thread must be woken and scheduled before
-                # it can acknowledge.
-                kernel.clock.charge(kernel.costs.context_switch)
-                sibling.run_task_works()
+        for sibling in siblings:
+            kernel.ktask_work_add(sibling, update_pkru)
+        for sibling in siblings:
+            kernel.kick(sibling)
+            if eager:
+                # Synchronous handshake: wait for the sibling to enter
+                # the kernel, run the update, and send an explicit ack.
+                kernel.clock.charge(kernel.costs.eager_sync_wait,
+                                    site="kernel.pkey_sync.eager_wait")
+                if not sibling.running:
+                    # A sleeping thread must be woken and scheduled
+                    # before it can acknowledge.
+                    kernel.clock.charge(kernel.costs.context_switch,
+                                        site="kernel.pkey_sync.wake_sleeper")
+                    sibling.run_task_works()
     return len(siblings)
 
 

@@ -66,7 +66,7 @@ class Core:
         # The measured 23.3 cycles already include WRPKRU's own pipeline
         # drain; the serialization shadow it leaves behind penalizes the
         # *following* instructions (Figure 2's W2 > W1).
-        self.clock.charge(self.costs.wrpkru)
+        self.clock.charge(self.costs.wrpkru, site="hw.cpu.wrpkru")
         self.wrpkru_count += 1
         self.pkru = PKRU(value & 0xFFFF_FFFF)
         self._serial_shadow = self.costs.serialization_window
@@ -77,7 +77,8 @@ class Core:
         if ecx != 0:
             raise GeneralProtectionFault(
                 f"RDPKRU requires ECX=0 (got ecx={ecx:#x})")
-        self._consume_serial_slot(self.costs.rdpkru)
+        self._consume_serial_slot(self.costs.rdpkru,
+                                  site="hw.cpu.rdpkru")
         self.rdpkru_count += 1
         return self.pkru.value
 
@@ -111,16 +112,18 @@ class Core:
             raise ValueError("count must be non-negative")
         for _ in range(count):
             self._consume_serial_slot(self.costs.add_throughput,
-                                      serial_cost=self.costs.add_latency)
+                                      serial_cost=self.costs.add_latency,
+                                      site="hw.cpu.alu")
 
     def execute_mov_reg(self) -> None:
-        self._consume_serial_slot(self.costs.mov_reg)
+        self._consume_serial_slot(self.costs.mov_reg, site="hw.cpu.mov")
 
     def execute_mov_xmm(self) -> None:
-        self._consume_serial_slot(self.costs.mov_xmm)
+        self._consume_serial_slot(self.costs.mov_xmm, site="hw.cpu.mov")
 
     def _consume_serial_slot(self, normal_cost: float,
-                             serial_cost: float | None = None) -> None:
+                             serial_cost: float | None = None,
+                             site: str = "hw.cpu.instruction") -> None:
         """Charge one instruction, honoring the serialization shadow."""
         if self._serial_shadow > 0:
             cost = normal_cost if serial_cost is None else serial_cost
@@ -128,9 +131,9 @@ class Core:
                 cost += self.costs.serialization_stall
                 self._stall_pending = False
             self._serial_shadow -= 1
-            self.clock.charge(cost)
+            self.clock.charge(cost, site=site)
         else:
-            self.clock.charge(normal_cost)
+            self.clock.charge(normal_cost, site=site)
 
     # ------------------------------------------------------------------
     # MMU: the Figure-1 permission check.
@@ -157,13 +160,14 @@ class Core:
             raise SegmentationFault(
                 f"{kind} of unmapped address {addr:#x}", addr=addr, access=kind)
         if cached is None:
-            self.clock.charge(self.costs.tlb_miss_walk)
+            self.clock.charge(self.costs.tlb_miss_walk,
+                              site="hw.tlb.walk")
             cached = TlbEntry(frame_number=entry.frame.number,
                               prot=entry.prot, pkey=entry.pkey)
             self.tlb.fill(vpn, cached)
 
         prot, pkey = cached.prot, cached.pkey
-        self.clock.charge(self.costs.mem_access)
+        self.clock.charge(self.costs.mem_access, site="hw.mem.access")
         if kind == FETCH:
             self.instruction_fetches += 1
         else:
@@ -248,7 +252,8 @@ class Core:
         # PKRU-only denial: the transient load completes before the
         # pkey check retires; the attacker reads the cache residue.
         limit = min(length, PAGE_SIZE - addr % PAGE_SIZE)
-        self.clock.charge(self.costs.mem_access + self.costs.cache_line_fill)
+        self.clock.charge(self.costs.mem_access + self.costs.cache_line_fill,
+                          site="hw.mem.speculative_load")
         return entry.frame.read(addr % PAGE_SIZE, limit)
 
     def _walk(self, page_table: PageTable, addr: int, length: int,

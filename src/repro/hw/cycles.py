@@ -116,17 +116,47 @@ class Clock:
 
     All hardware and kernel operations call :meth:`charge`; benchmarks
     bracket regions of interest with :meth:`snapshot` deltas.
+
+    Every charge carries a *site* — a dotted ``layer.op.component``
+    attribution label (see :mod:`repro.obs`) — and is broadcast to the
+    registered sinks, which is how per-site accounting, ring-buffer
+    logs, and the conservation audit observe the cost model without
+    the cost model knowing about them.
     """
 
     now: float = 0.0
     _events: int = field(default=0, repr=False)
+    _sinks: list = field(default_factory=list, repr=False)
 
-    def charge(self, cycles: float) -> None:
-        """Advance time by ``cycles`` (must be non-negative)."""
+    def charge(self, cycles: float, site: str = "unattributed") -> None:
+        """Advance time by ``cycles`` (non-negative), attributed to
+        ``site``.  Code inside ``src/repro`` must always pass ``site=``
+        (enforced by the repo-consistency tests); the default exists
+        for exploratory/external callers only."""
         if cycles < 0:
             raise ValueError(f"negative cycle charge: {cycles}")
         self.now += cycles
         self._events += 1
+        if self._sinks:
+            now, events = self.now, self._events
+            for sink in self._sinks:
+                sink.on_charge(site, cycles, now, events)
+
+    def add_sink(self, sink) -> None:
+        """Register a charge sink (``on_charge(site, cycles, now, seq)``
+        called on every charge, in registration order)."""
+        if sink in self._sinks:
+            raise ValueError("sink is already registered")
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink) -> None:
+        """Unregister ``sink`` (no-op when not registered)."""
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+
+    @property
+    def sinks(self) -> tuple:
+        return tuple(self._sinks)
 
     def snapshot(self) -> float:
         """Current time; subtract two snapshots to measure a region."""
@@ -143,7 +173,7 @@ class Region:
 
     >>> clock = Clock()
     >>> with Region(clock) as region:
-    ...     clock.charge(10.0)
+    ...     clock.charge(10.0, site="hw.doc.example")
     >>> region.elapsed
     10.0
     """

@@ -11,6 +11,7 @@ from repro.consts import PAGE_SIZE
 from repro.hw.cpu import Core
 from repro.hw.cycles import Clock, CostModel, DEFAULT_COST_MODEL, Region
 from repro.hw.phys import PhysicalMemory
+from repro.obs import Observability
 
 
 class Machine:
@@ -24,6 +25,9 @@ class Machine:
             raise ValueError("num_cores must be positive")
         self.costs = costs or DEFAULT_COST_MODEL
         self.clock = Clock()
+        # The instrumentation spine: registers the per-site aggregator
+        # before the clock can advance, so attribution is complete.
+        self.obs = Observability(self.clock)
         self.memory = PhysicalMemory(total_frames=memory_bytes // PAGE_SIZE)
         self.cores = [Core(i, self.clock, self.costs,
                            meltdown_mitigated=meltdown_mitigated)
@@ -52,4 +56,5 @@ class Machine:
             "tlb_misses": sum(c.tlb.stats.misses for c in self.cores),
             "tlb_flushes": sum(c.tlb.stats.full_flushes
                                for c in self.cores),
+            "charge_sites": len(self.obs.aggregator.cycles),
         }

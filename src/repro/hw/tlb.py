@@ -61,7 +61,7 @@ class TLB:
         if entry is not None:
             self._entries.move_to_end(vpn)
             self.stats.hits += 1
-            self._clock.charge(self._costs.tlb_hit)
+            self._clock.charge(self._costs.tlb_hit, site="hw.tlb.hit")
             return entry
         self.stats.misses += 1
         return None
@@ -78,13 +78,15 @@ class TLB:
         """Full flush (e.g. after mprotect); charges the flush cost."""
         self._entries.clear()
         self.stats.full_flushes += 1
-        self._clock.charge(self._costs.tlb_flush_full)
+        self._clock.charge(self._costs.tlb_flush_full,
+                           site="hw.tlb.flush_full")
 
     def invalidate_page(self, vpn: int) -> None:
         """INVLPG a single page; charges the per-page cost."""
         self._entries.pop(vpn, None)
         self.stats.page_invalidations += 1
-        self._clock.charge(self._costs.tlb_flush_page)
+        self._clock.charge(self._costs.tlb_flush_page,
+                           site="hw.tlb.flush_page")
 
     def __len__(self) -> int:
         return len(self._entries)

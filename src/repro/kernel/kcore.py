@@ -21,12 +21,11 @@ from repro.consts import (
     DEFAULT_PKEY,
     PROT_EXEC,
     PROT_READ,
-    page_number,
-    pages_spanned,
 )
 from repro.errors import InvalidArgument
 from repro.hw.machine import Machine
 from repro.hw.pkru import KEY_RIGHTS_NONE
+from repro.obs import traced
 from repro.kernel.mm import MM, ProtectStats
 from repro.kernel.pkey import PkeyAllocator
 from repro.kernel.sched import Scheduler
@@ -82,6 +81,11 @@ class Kernel:
     def clock(self):
         return self.machine.clock
 
+    @property
+    def _obs(self):
+        """The machine's instrumentation spine (for @traced spans)."""
+        return self.machine.obs
+
     def create_process(self, schedule_main: bool = True) -> Process:
         process = Process(self)
         self.processes.append(process)
@@ -93,12 +97,14 @@ class Kernel:
     # Syscalls: memory mapping.
     # ------------------------------------------------------------------
 
+    @traced("kernel.sys_mmap")
     def sys_mmap(self, task: Task, length: int, prot: int,
                  flags: int = 0, addr: int | None = None) -> int:
         self._enter(task)
         address, stats = task.process.mm.mmap(length, prot, flags, addr)
         self.clock.charge(self.costs.mmap_base
-                          + stats.pages_mapped * self.costs.mmap_per_page)
+                          + stats.pages_mapped * self.costs.mmap_per_page,
+                          site="kernel.mmap.body")
         return address
 
     def create_shared_object(self, name: str, size: int):
@@ -106,6 +112,7 @@ class Kernel:
         from repro.kernel.shm import SharedObject
         return SharedObject(name=name, size=size)
 
+    @traced("kernel.sys_mmap_shared")
     def sys_mmap_shared(self, task: Task, shared, prot: int,
                         addr: int | None = None) -> int:
         """Map a shared object (MAP_SHARED) into the caller's space."""
@@ -113,20 +120,24 @@ class Kernel:
         base = task.process.mm.mmap_shared_object(shared, prot,
                                                   addr=addr)
         self.clock.charge(self.costs.mmap_base
-                          + shared.num_pages * self.costs.mmap_per_page)
+                          + shared.num_pages * self.costs.mmap_per_page,
+                          site="kernel.mmap.shared")
         return base
 
+    @traced("kernel.sys_munmap")
     def sys_munmap(self, task: Task, addr: int, length: int) -> None:
         self._enter(task)
         stats = task.process.mm.munmap(addr, length)
         self.clock.charge(self.costs.munmap_base
-                          + stats.pages_unmapped * self.costs.munmap_per_page)
+                          + stats.pages_unmapped * self.costs.munmap_per_page,
+                          site="kernel.munmap.body")
         self.scheduler.tlb_shootdown(task.process, task)
 
     # ------------------------------------------------------------------
     # Syscalls: protection.
     # ------------------------------------------------------------------
 
+    @traced("kernel.sys_mprotect")
     def sys_mprotect(self, task: Task, addr: int, length: int,
                      prot: int) -> None:
         """mprotect(2), including the Linux-4.14 execute-only behaviour:
@@ -140,6 +151,7 @@ class Kernel:
         self._charge_protect(stats)
         self.scheduler.tlb_shootdown(task.process, task)
 
+    @traced("kernel.sys_pkey_mprotect")
     def sys_pkey_mprotect(self, task: Task, addr: int, length: int,
                           prot: int, pkey: int) -> None:
         """pkey_mprotect(2): mprotect + pkey assignment.
@@ -159,13 +171,22 @@ class Kernel:
 
     def _charge_protect(self, stats: ProtectStats,
                         pkey_variant: bool = False) -> None:
-        cost = (self.costs.mprotect_base
-                + stats.vmas_found * self.costs.vma_find
-                + stats.splits * self.costs.vma_split
-                + stats.pages_updated * self.costs.pte_update)
+        """Itemized mprotect body: each Table-1 component is charged to
+        its own site so the breakdown shows *where* protect time goes."""
+        self.clock.charge(self.costs.mprotect_base,
+                          site="kernel.mprotect.base")
+        if stats.vmas_found:
+            self.clock.charge(stats.vmas_found * self.costs.vma_find,
+                              site="kernel.mprotect.vma_find")
+        if stats.splits:
+            self.clock.charge(stats.splits * self.costs.vma_split,
+                              site="kernel.mprotect.vma_split")
+        if stats.pages_updated:
+            self.clock.charge(stats.pages_updated * self.costs.pte_update,
+                              site="kernel.mprotect.pte_update")
         if pkey_variant:
-            cost += self.costs.pkey_mprotect_extra
-        self.clock.charge(cost)
+            self.clock.charge(self.costs.pkey_mprotect_extra,
+                              site="kernel.mprotect.pkey_check")
 
     def _make_execute_only(self, task: Task, addr: int, length: int) -> None:
         """Linux's MPK-backed execute-only memory.
@@ -188,24 +209,28 @@ class Kernel:
     # Syscalls: protection keys.
     # ------------------------------------------------------------------
 
+    @traced("kernel.sys_pkey_alloc")
     def sys_pkey_alloc(self, task: Task, flags: int = 0,
                        init_rights: int = 0) -> int:
         self._enter(task)
         key = task.process.pkeys.alloc(flags, init_rights)
-        self.clock.charge(self.costs.pkey_alloc_kernel)
+        self.clock.charge(self.costs.pkey_alloc_kernel,
+                          site="kernel.pkey_alloc.body")
         # The kernel installs the requested initial rights in the calling
         # thread's PKRU before returning (an xstate write, part of the
         # measured syscall cost, not a userspace WRPKRU).
         task.set_pkru_rights_from_kernel(key, init_rights)
         return key
 
+    @traced("kernel.sys_pkey_free")
     def sys_pkey_free(self, task: Task, pkey: int) -> None:
         """pkey_free(2).  Faithfully does NOT scrub PTEs or PKRUs: pages
         still tagged with the freed key silently join whatever group the
         key is next allocated for (§3.1)."""
         self._enter(task)
         task.process.pkeys.free(pkey)
-        self.clock.charge(self.costs.pkey_free_kernel)
+        self.clock.charge(self.costs.pkey_free_kernel,
+                          site="kernel.pkey_free.body")
 
     # ------------------------------------------------------------------
     # Kernel-internal helpers (used by libmpk's kernel component).
@@ -214,14 +239,16 @@ class Kernel:
     def ktask_work_add(self, target: Task, work) -> None:
         """In-kernel task_work_add(): queue work on another task."""
         target.task_work_add(work)
-        self.clock.charge(self.costs.task_work_add)
+        self.clock.charge(self.costs.task_work_add,
+                          site="kernel.sync.task_work_add")
 
     def kick(self, target: Task) -> bool:
         """Send a rescheduling IPI; charge the caller's ack wait if the
         target was actually running (lazy sync, Figure 7 steps 3-5)."""
         sent = self.scheduler.send_resched_ipi(target)
         if sent:
-            self.clock.charge(self.costs.resched_ack_wait)
+            self.clock.charge(self.costs.resched_ack_wait,
+                              site="kernel.sync.ipi_ack_wait")
         return sent
 
     # ------------------------------------------------------------------
@@ -231,4 +258,5 @@ class Kernel:
         if not task.running:
             raise RuntimeError(
                 f"syscall from task {task.tid} which is not on a core")
-        self.clock.charge(self.costs.syscall_overhead())
+        self.clock.charge(self.costs.syscall_overhead(),
+                          site="kernel.syscall.entry_exit")

@@ -107,7 +107,8 @@ class MM:
         entry = self.page_table.map(vpn, frame, vma.effective_pte_prot,
                                     vma.pkey)
         self.minor_faults += 1
-        self.machine.clock.charge(self.machine.costs.minor_fault)
+        self.machine.clock.charge(self.machine.costs.minor_fault,
+                                  site="kernel.fault.minor")
         return entry
 
     def populate(self, addr: int, length: int) -> int:

@@ -2,8 +2,10 @@
 
 Mirrors the slices of procfs that matter for MPK work: ``smaps`` (VMA
 listing with protection, pkey — Linux exposes ``ProtectionKey:`` per
-mapping since 4.9 — and population counts) and a ``status`` summary.
-Purely observational: reading them charges nothing and changes nothing.
+mapping since 4.9 — and population counts), a ``status`` summary, and
+``mpk_stats`` — where the machine's cycles went, by attribution site
+(backed by :mod:`repro.obs`).  Purely observational: reading them
+charges nothing and changes nothing.
 """
 
 from __future__ import annotations
@@ -78,3 +80,42 @@ def status(process: "Process") -> dict:
 
 def format_smaps(process: "Process") -> str:
     return "\n".join(str(entry) for entry in smaps(process))
+
+
+def mpk_stats(process: "Process") -> dict:
+    """A /proc/mpk_stats-like node: machine-wide cycle attribution.
+
+    Cycle accounting lives on the machine (the clock is shared by all
+    cores and processes), so the numbers cover everything the machine
+    ran, read through any process.
+    """
+    obs = process.kernel.machine.obs
+    ok, delta = obs.audit()
+    agg = obs.aggregator
+    return {
+        "clock_cycles": obs.clock.now,
+        "attributed_cycles": agg.total(),
+        "charges": sum(agg.counts.values()),
+        "sites": len(agg.cycles),
+        "conservation_ok": ok,
+        "conservation_delta": delta,
+        "by_layer": obs.breakdown(depth=1),
+    }
+
+
+def format_mpk_stats(process: "Process", depth: int | None = 2,
+                     limit: int | None = 20) -> str:
+    """Render ``mpk_stats`` plus a per-site breakdown table."""
+    stats = mpk_stats(process)
+    obs = process.kernel.machine.obs
+    lines = [
+        f"ClockCycles:      {stats['clock_cycles']:>16,.1f}",
+        f"AttributedCycles: {stats['attributed_cycles']:>16,.1f}",
+        f"Charges:          {stats['charges']:>16d}",
+        f"Sites:            {stats['sites']:>16d}",
+        "Conservation:     " + ("ok" if stats["conservation_ok"] else
+                                f"LEAK delta={stats['conservation_delta']:.1f}"),
+        "",
+    ]
+    lines.append(obs.format_breakdown(depth=depth, limit=limit))
+    return "\n".join(lines)

@@ -54,7 +54,8 @@ class Scheduler:
         elif core_id in self._core_task:
             raise RuntimeError(f"core {core_id} is busy")
         if charge:
-            self.machine.clock.charge(self.machine.costs.context_switch)
+            self.machine.clock.charge(self.machine.costs.context_switch,
+                                      site="kernel.sched.context_switch")
         self.context_switches += 1
         self._core_task[core_id] = task
         task.core_id = core_id
@@ -95,7 +96,8 @@ class Scheduler:
         """
         if not task.running:
             return False
-        self.machine.clock.charge(self.machine.costs.resched_ipi)
+        self.machine.clock.charge(self.machine.costs.resched_ipi,
+                                  site="kernel.sched.resched_ipi")
         self.ipis_sent += 1
         self._kernel_exit(task)
         return True
@@ -113,7 +115,8 @@ class Scheduler:
             if initiator is not None and task is initiator:
                 self._flush(core, full, vpns)
                 continue
-            self.machine.clock.charge(self.machine.costs.tlb_shootdown_ipi)
+            self.machine.clock.charge(self.machine.costs.tlb_shootdown_ipi,
+                                      site="hw.tlb.shootdown_ipi")
             self.ipis_sent += 1
             remote += 1
             self._flush(core, full, vpns)
@@ -137,6 +140,7 @@ class Scheduler:
         """Model the return-to-userspace path for ``task``."""
         ran = task.run_task_works()
         if ran:
-            self.machine.clock.charge(ran * self.machine.costs.task_work_run)
+            self.machine.clock.charge(ran * self.machine.costs.task_work_run,
+                                      site="kernel.sched.task_work_run")
         if task.running:
             self.machine.core(task.core_id).load_pkru(task.pkru)

@@ -1,10 +1,15 @@
 """Execution tracing: cycle-annotated event logs for the whole stack.
 
-``attach_tracer`` wraps a kernel's syscalls and/or a libmpk instance's
-APIs so every invocation records a :class:`TraceEvent` — operation
-name, summarized arguments, and the simulated cycles it consumed
-(inclusive of nested operations).  Tracing is non-invasive: the wrapped
-objects are patched per-instance and restored by ``detach``.
+``attach_tracer`` records a :class:`TraceEvent` — operation name,
+summarized arguments, and the simulated cycles it consumed (inclusive
+of nested operations) — for every kernel syscall and/or libmpk API
+call.  Historically this worked by monkey-patching nine hardcoded
+method names per layer; the instrumented layers now emit
+:class:`~repro.obs.SpanRecord` spans natively (see
+:func:`repro.obs.traced`), and a tracer is just a *subscriber* on the
+machine's :class:`~repro.obs.Observability` spine, filtered to the
+requested layers.  Multiple tracers can observe the same machine
+concurrently, and detaching one never disturbs another.
 
 Typical use::
 
@@ -16,7 +21,8 @@ Typical use::
 
 The trace is the debugging companion to the cost model: when a
 benchmark number looks off, the trace shows exactly which operations
-were charged what.
+were charged what.  For *where the cycles went* rather than *what was
+called*, read the per-site counters on ``machine.obs`` instead.
 """
 
 from __future__ import annotations
@@ -25,11 +31,14 @@ import functools
 import typing
 from dataclasses import dataclass, field
 
+from repro.obs import SpanRecord, summarize_args
+
 if typing.TYPE_CHECKING:
     from repro.core.api import Libmpk
     from repro.kernel.kcore import Kernel
 
-# Methods wrapped on each layer.
+# Methods natively instrumented on each layer (kept for reference and
+# for Tracer.wrap users; attach_tracer no longer patches them).
 KERNEL_OPS = (
     "sys_mmap",
     "sys_munmap",
@@ -71,7 +80,7 @@ class TraceEvent:
 
 @dataclass
 class Tracer:
-    """Collects events; attach/detach manages the monkey-patching."""
+    """Collects events from span subscriptions and/or explicit wraps."""
 
     max_events: int = 10_000
     events: list[TraceEvent] = field(default_factory=list)
@@ -79,6 +88,7 @@ class Tracer:
     _seq: int = 0
     _depth: int = 0
     _restores: list = field(default_factory=list, repr=False)
+    _subscriptions: list = field(default_factory=list, repr=False)
 
     # ------------------------------------------------------------------
 
@@ -93,29 +103,76 @@ class Tracer:
         self.events.append(event)
 
     # ------------------------------------------------------------------
+    # Span subscription (the attach_tracer path).
+    # ------------------------------------------------------------------
+
+    def _attach_spans(self, obs, layers: frozenset[str]) -> None:
+        """Subscribe to ``obs`` span completions, keeping only spans
+        whose layer (first label component) is in ``layers``; depth is
+        recomputed over the *included* ancestors so a kernel-only trace
+        shows syscalls flat even when libmpk drove them."""
+
+        def on_span(record: SpanRecord,
+                    ancestors: tuple[str, ...]) -> None:
+            layer, _, op = record.label.partition(".")
+            if layer not in layers:
+                return
+            depth = sum(1 for label in ancestors
+                        if label.partition(".")[0] in layers)
+            self._seq += 1
+            self._emit(TraceEvent(
+                seq=self._seq,
+                layer=layer,
+                op=op,
+                start_cycles=record.start_cycles,
+                cycles=record.cycles,
+                depth=depth,
+                args=record.args,
+            ))
+
+        obs.subscribe_spans(on_span)
+        self._subscriptions.append((obs, on_span))
+
+    # ------------------------------------------------------------------
+    # Explicit wrapping (legacy path, still supported for arbitrary
+    # objects that do not emit spans natively).
+    # ------------------------------------------------------------------
 
     def wrap(self, target: object, layer: str, ops: tuple[str, ...],
              clock) -> None:
-        """Patch ``ops`` bound methods on ``target`` to record spans."""
+        """Patch ``ops`` bound methods on ``target`` to record spans.
+
+        Refuses to wrap a method that is already tracer-wrapped:
+        stacking wrappers would double-count depth and record every
+        call twice, a debugging trap rather than a feature.
+        """
         for name in ops:
             original = getattr(target, name)
+            if getattr(original, "_repro_trace_wrapped", False):
+                raise RuntimeError(
+                    f"{type(target).__name__}.{name} is already wrapped "
+                    "by a tracer; detach it before wrapping again")
 
             def make_wrapper(fn, op_name):
                 @functools.wraps(fn)
                 def wrapper(*args, **kwargs):
-                    summary = _summarize(args, kwargs)
+                    summary = summarize_args(args, kwargs)
                     with self.record(layer, op_name, clock, summary):
                         return fn(*args, **kwargs)
+                wrapper._repro_trace_wrapped = True
                 return wrapper
 
             setattr(target, name, make_wrapper(original, name))
             self._restores.append((target, name, original))
 
     def detach(self) -> None:
-        """Undo all patches (idempotent)."""
+        """Undo all patches and subscriptions (idempotent)."""
         while self._restores:
             target, name, original = self._restores.pop()
             setattr(target, name, original)
+        while self._subscriptions:
+            obs, callback = self._subscriptions.pop()
+            obs.unsubscribe_spans(callback)
 
     # ------------------------------------------------------------------
 
@@ -165,39 +222,26 @@ class _Span:
         ))
 
 
-def _summarize(args: tuple, kwargs: dict, limit: int = 60) -> str:
-    parts = []
-    for value in args:
-        parts.append(_fmt(value))
-    for key, value in kwargs.items():
-        parts.append(f"{key}={_fmt(value)}")
-    text = ", ".join(parts)
-    return text if len(text) <= limit else text[:limit - 3] + "..."
-
-
-def _fmt(value: object) -> str:
-    if isinstance(value, int) and value > 0xFFFF:
-        return hex(value)
-    cls = type(value).__name__
-    if cls == "Task":
-        return f"tid{value.tid}"
-    if isinstance(value, (int, float, str, bytes, bool)) or value is None:
-        return repr(value)
-    return cls
-
-
 def attach_tracer(kernel: "Kernel | None" = None,
                   lib: "Libmpk | None" = None,
                   max_events: int = 10_000) -> Tracer:
-    """Create a tracer and attach it to a kernel and/or libmpk."""
+    """Create a tracer observing a kernel and/or libmpk.
+
+    Subscribes to the machine's span stream (no monkey-patching), so
+    attaching several tracers — even to the same layers — is safe:
+    each records independently and ``detach`` only removes its own
+    subscription.
+    """
     if kernel is None and lib is None:
         raise ValueError("attach_tracer needs a kernel and/or a Libmpk")
-    tracer = Tracer(max_events=max_events)
+    layers = set()
     if kernel is not None:
-        tracer.wrap(kernel, "kernel", KERNEL_OPS, kernel.clock)
+        layers.add("kernel")
     if lib is not None:
-        clock = lib._kernel.clock
-        tracer.wrap(lib, "libmpk", LIBMPK_OPS, clock)
+        layers.add("libmpk")
+        kernel = lib._kernel
+    tracer = Tracer(max_events=max_events)
+    tracer._attach_spans(kernel.machine.obs, frozenset(layers))
     return tracer
 
 
@@ -205,8 +249,10 @@ def format_trace(events: typing.Iterable[TraceEvent]) -> str:
     """Render events as an indented, time-stamped listing.
 
     Events are emitted at completion (children before parents); the
-    listing re-orders them by start time with parents first, so nested
-    work reads top-down.
+    listing re-orders them by start time with parents first — ``seq``
+    breaks ties so zero-cost siblings that share a start tick keep
+    their call order.
     """
-    ordered = sorted(events, key=lambda e: (e.start_cycles, e.depth))
+    ordered = sorted(events,
+                     key=lambda e: (e.start_cycles, e.depth, e.seq))
     return "\n".join(str(event) for event in ordered)

@@ -4,7 +4,6 @@ import pytest
 
 from repro.consts import PAGE_SIZE, PROT_READ, PROT_WRITE
 from repro.errors import MachineFault, MpkError, SandboxViolation
-from repro import Libmpk
 from repro.apps.hardening import (
     ReturnAddressCorrupted,
     ShadowStack,

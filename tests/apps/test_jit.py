@@ -3,7 +3,7 @@
 import pytest
 
 from repro.consts import PAGE_SIZE
-from repro.errors import MachineFault, PkeyFault, SegmentationFault
+from repro.errors import MachineFault, PkeyFault
 from repro import Kernel, Libmpk
 from repro.apps.jit import (
     ENGINES,
@@ -101,7 +101,6 @@ class TestWxEnforcement:
         """The libmpk advantage: even *during* emission, only the JIT
         thread can write."""
         engine = make_engine(backend)
-        observed = {}
 
         original_emit = engine.backend.emit
 

@@ -1,9 +1,7 @@
 """Memcached feature depth: TTL expiry, LRU eviction, stats."""
 
-import pytest
 
 from repro.consts import CLOCK_HZ, PROT_READ, PROT_WRITE
-from repro.errors import MpkError
 from repro import Kernel, Libmpk
 from repro.apps.kvstore import Memcached
 from repro.apps.kvstore.slab import SLAB_BYTES

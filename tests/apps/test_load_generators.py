@@ -3,7 +3,6 @@
 import pytest
 
 from repro.consts import PROT_READ, PROT_WRITE
-from repro import Kernel, Libmpk
 from repro.apps.sslserver import ApacheBench, HttpServer, SslLibrary
 from repro.apps.sslserver.ab import CLOCK_HZ, BenchResult
 from repro.apps.kvstore import Memcached, Twemperf

@@ -11,7 +11,6 @@ from repro.apps.jit.minivm import (
     RET,
     SUB,
     SWAP,
-    CompiledFunction,
     MiniFunction,
     MiniVm,
     VmError,

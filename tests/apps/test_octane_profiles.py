@@ -1,6 +1,5 @@
 """The Octane-like profiles: each program stresses what it claims to."""
 
-import pytest
 
 from repro.apps.jit.octane import OCTANE_PROGRAMS, OctaneProgram
 from tests.apps.test_jit import make_engine

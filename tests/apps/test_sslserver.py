@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.consts import PAGE_SIZE, PROT_READ, PROT_WRITE
+from repro.consts import PROT_READ, PROT_WRITE
 from repro import Kernel, Libmpk
 from repro.apps.sslserver import (
     ApacheBench,

@@ -1,11 +1,10 @@
 """The benchmark harness itself: testbeds, measurement, reporting."""
 
-import pathlib
 
 import pytest
 
-from repro.consts import PAGE_SIZE, PROT_READ, PROT_WRITE
-from repro.bench import Reporter, TestBed, make_testbed
+from repro.consts import PROT_READ, PROT_WRITE
+from repro.bench import Reporter, make_testbed
 from repro.bench.report import RESULTS_DIR
 
 RW = PROT_READ | PROT_WRITE
@@ -56,7 +55,6 @@ class TestMeasurement:
 
     def test_measure_avg(self):
         bed = make_testbed()
-        counter = iter(range(1, 100))
 
         def op():
             bed.clock.charge(10.0)

@@ -5,7 +5,6 @@ import pytest
 from repro.consts import NUM_PKEYS, PAGE_SIZE, PROT_READ, PROT_WRITE
 from repro.errors import (
     MpkError,
-    MpkKeyExhaustion,
     MpkUnknownVkey,
     MpkVkeyInUse,
     PkeyFault,
@@ -76,7 +75,7 @@ class TestMmapMunmap:
     def test_vkey_reusable_after_munmap(self, lib, task):
         lib.mpk_mmap(task, GROUP, PAGE_SIZE, RW)
         lib.mpk_munmap(task, GROUP)
-        addr = lib.mpk_mmap(task, GROUP, 2 * PAGE_SIZE, RW)
+        lib.mpk_mmap(task, GROUP, 2 * PAGE_SIZE, RW)
         assert lib.group(GROUP).num_pages == 2
 
     def test_munmap_of_pinned_group_rejected(self, lib, task):

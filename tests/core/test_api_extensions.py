@@ -4,7 +4,7 @@ transitions, and eager sync."""
 import pytest
 
 from repro.consts import PAGE_SIZE, PROT_EXEC, PROT_READ, PROT_WRITE
-from repro.errors import MpkUnknownVkey, MpkVkeyInUse, PkeyFault
+from repro.errors import MpkVkeyInUse
 from repro.hw.pkru import KEY_RIGHTS_READ
 from repro.core.sync import do_pkey_sync
 from repro import Libmpk

@@ -53,7 +53,6 @@ class TestMetadataRegion:
         for i in range(lib.metadata.capacity_records + 1):
             lib.mpk_mmap(task, 1000 + i, PAGE_SIZE, RW)
         assert lib.metadata.expansions >= 1
-        last = 1000 + lib.metadata.capacity_records
         # Records in the expansion region still resolve.
         assert lib.metadata.user_read_record(
             task, 1000 + 2048)[0] == 1000 + 2048

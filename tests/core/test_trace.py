@@ -4,7 +4,7 @@ import pytest
 
 from repro.consts import PAGE_SIZE, PROT_READ, PROT_WRITE
 from repro import Libmpk
-from repro.trace import attach_tracer, format_trace
+from repro.trace import KERNEL_OPS, Tracer, attach_tracer, format_trace
 
 RW = PROT_READ | PROT_WRITE
 
@@ -102,3 +102,64 @@ class TestLibmpkTracing:
     def test_requires_a_target(self):
         with pytest.raises(ValueError):
             attach_tracer()
+
+
+class TestOrdering:
+    def test_same_tick_siblings_keep_call_order(self, machine):
+        """Zero-cost siblings share a start tick; ``seq`` breaks the
+        tie even when the caller hands events in arbitrary order."""
+        tracer = Tracer()
+        for op in ("alpha", "beta", "gamma"):
+            with tracer.record("kernel", op, machine.clock, ""):
+                pass  # no cycles charged: identical start/depth
+        text = format_trace(reversed(tracer.events))
+        assert text.index("kernel.alpha") < text.index("kernel.beta") \
+            < text.index("kernel.gamma")
+
+    def test_parents_still_precede_children(self, kernel, process,
+                                            task):
+        lib = Libmpk(process)
+        lib.mpk_init(task)
+        tracer = attach_tracer(kernel=kernel, lib=lib)
+        lib.mpk_mmap(task, 100, PAGE_SIZE, RW)
+        tracer.detach()
+        lines = format_trace(tracer.events).splitlines()
+        top = next(i for i, line in enumerate(lines)
+                   if "mpk_mmap" in line)
+        nested = next(i for i, line in enumerate(lines)
+                      if "sys_mmap" in line)
+        assert top < nested
+
+
+class TestMultipleTracers:
+    def test_two_tracers_record_independently(self, kernel, task):
+        first = attach_tracer(kernel=kernel)
+        second = attach_tracer(kernel=kernel, max_events=1)
+        kernel.sys_mmap(task, PAGE_SIZE, RW)
+        kernel.sys_mmap(task, PAGE_SIZE, RW)
+        first.detach()
+        kernel.sys_mmap(task, PAGE_SIZE, RW)
+        second.detach()
+        assert first.count() == 2
+        assert len(second.events) == 1 and second.dropped == 2
+
+    def test_double_wrap_raises(self, kernel):
+        tracer = Tracer()
+        tracer.wrap(kernel, "kernel", KERNEL_OPS, kernel.clock)
+        with pytest.raises(RuntimeError):
+            tracer.wrap(kernel, "kernel", ("sys_mmap",), kernel.clock)
+        other = Tracer()
+        with pytest.raises(RuntimeError):  # also across tracers
+            other.wrap(kernel, "kernel", KERNEL_OPS, kernel.clock)
+        tracer.detach()
+        # after detach the methods are wrappable again
+        other.wrap(kernel, "kernel", ("sys_mmap",), kernel.clock)
+        other.detach()
+
+    def test_detach_is_idempotent(self, kernel, task):
+        tracer = attach_tracer(kernel=kernel)
+        kernel.sys_mmap(task, PAGE_SIZE, RW)
+        tracer.detach()
+        tracer.detach()
+        kernel.sys_mmap(task, PAGE_SIZE, RW)
+        assert tracer.count() == 1

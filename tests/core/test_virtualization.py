@@ -3,7 +3,7 @@
 import pytest
 
 from repro.consts import NUM_PKEYS, PAGE_SIZE, PROT_READ, PROT_WRITE
-from repro.errors import MpkKeyExhaustion, PkeyFault
+from repro.errors import MpkKeyExhaustion
 
 RW = PROT_READ | PROT_WRITE
 HW_KEYS = NUM_PKEYS - 1  # 15
@@ -116,7 +116,7 @@ class TestKeyRebindHygiene:
         sibling = process.spawn_task()
         kernel.scheduler.schedule(sibling, charge=False)
 
-        addrs = make_groups(lib, task, HW_KEYS)
+        make_groups(lib, task, HW_KEYS)
         # Sibling legitimately opens group 100 and keeps rights alive...
         lib.mpk_begin(sibling, 100, RW)
         old_key = lib.group(100).pkey

@@ -5,7 +5,6 @@ import pytest
 from repro.consts import (
     PAGE_SIZE,
     PROT_EXEC,
-    PROT_NONE,
     PROT_READ,
     PROT_WRITE,
 )
@@ -14,7 +13,7 @@ from repro.errors import (
     PkeyFault,
     SegmentationFault,
 )
-from repro.hw.cpu import Core, FETCH, READ, WRITE
+from repro.hw.cpu import Core, READ, WRITE
 from repro.hw.cycles import Clock, DEFAULT_COST_MODEL
 from repro.hw.machine import Machine
 from repro.hw.paging import PageTable

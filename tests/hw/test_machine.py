@@ -49,5 +49,6 @@ class TestMeasurement:
         summary = machine.perf_summary()
         assert set(summary) == {"cycles", "wrpkru", "rdpkru",
                                 "data_accesses", "instruction_fetches",
-                                "tlb_misses", "tlb_flushes"}
+                                "tlb_misses", "tlb_flushes",
+                                "charge_sites"}
         assert summary["wrpkru"] == 0

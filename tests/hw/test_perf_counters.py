@@ -1,6 +1,5 @@
 """Architectural event counters on cores and the machine summary."""
 
-import pytest
 
 from repro.consts import PAGE_SIZE, PROT_READ, PROT_WRITE
 from repro import Kernel, Libmpk, Machine

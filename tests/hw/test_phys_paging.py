@@ -4,7 +4,7 @@ import pytest
 
 from repro.consts import DEFAULT_PKEY, PAGE_SIZE, PROT_READ, PROT_WRITE
 from repro.errors import OutOfMemory
-from repro.hw.paging import PageTable, PageTableEntry
+from repro.hw.paging import PageTable
 from repro.hw.phys import Frame, PhysicalMemory
 
 

@@ -7,7 +7,7 @@ the isolation invariants hold at every step.
 
 import pytest
 
-from repro.consts import PAGE_SIZE, PROT_NONE, PROT_READ, PROT_WRITE
+from repro.consts import PAGE_SIZE, PROT_READ, PROT_WRITE
 from repro.errors import MachineFault, MpkKeyExhaustion
 from repro import Kernel, Libmpk, Machine
 

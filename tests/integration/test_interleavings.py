@@ -111,7 +111,6 @@ class TestGlobalSemanticsUnderAllInterleavings:
             yield
 
         def prober(ctx):
-            d = ctx.data
             for _ in range(3):
                 yield
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.consts import PAGE_SIZE, PROT_READ, PROT_WRITE
-from repro import Kernel, Libmpk
+from repro import Libmpk
 from repro.trace import attach_tracer
 
 RW = PROT_READ | PROT_WRITE

@@ -1,6 +1,5 @@
 """/proc-style introspection: smaps and status."""
 
-import pytest
 
 from repro.consts import PAGE_SIZE, PROT_EXEC, PROT_READ, PROT_WRITE
 from repro.kernel.procfs import format_smaps, smaps, status

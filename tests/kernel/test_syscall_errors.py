@@ -35,8 +35,8 @@ class TestMprotectErrors:
 
     def test_hole_in_range_is_enomem(self, kernel, task):
         a = kernel.sys_mmap(task, PAGE_SIZE, RW)
-        b = kernel.sys_mmap(task, PAGE_SIZE, RW,
-                            addr=a + 2 * PAGE_SIZE)  # gap at a+1 page
+        kernel.sys_mmap(task, PAGE_SIZE, RW,
+                        addr=a + 2 * PAGE_SIZE)  # gap at a+1 page
         with pytest.raises(OutOfMemory):
             kernel.sys_mprotect(task, a, 3 * PAGE_SIZE, PROT_READ)
 

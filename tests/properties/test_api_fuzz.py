@@ -15,7 +15,7 @@ from hypothesis.stateful import (
 
 from repro.consts import NUM_PKEYS, PAGE_SIZE, PROT_NONE, PROT_READ, \
     PROT_WRITE
-from repro.errors import MpkError, ReproError
+from repro.errors import MpkError
 from repro import Kernel, Libmpk, Machine
 
 RW = PROT_READ | PROT_WRITE

@@ -9,7 +9,7 @@ from hypothesis.stateful import (
 )
 
 from repro.core.keycache import KeyCache
-from repro.errors import MpkError, MpkKeyExhaustion
+from repro.errors import MpkKeyExhaustion
 
 HW_KEYS = [1, 2, 3, 4, 5]
 

@@ -32,6 +32,28 @@ class TestResults:
         assert "python -m repro bench" in capsys.readouterr().err
 
 
+class TestStats:
+    def test_prints_attribution_table(self, capsys):
+        assert main(["stats", "--threads", "2", "--limit", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Conservation:     ok" in out
+        assert "hw.tlb" in out
+        assert "share" in out
+
+    def test_full_depth_labels(self, capsys):
+        assert main(["stats", "--threads", "1", "--depth", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel.mprotect.pte_update" in out
+
+
+class TestProfile:
+    def test_prints_span_tree(self, capsys):
+        assert main(["profile", "--threads", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "libmpk.mpk_mmap" in out
+        assert "inclusive" in out and "self" in out
+
+
 class TestParsing:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,256 @@
+"""The instrumentation spine: sinks, aggregation, spans, conservation."""
+
+import pytest
+
+from repro.bench import make_testbed
+from repro.consts import PAGE_SIZE, PROT_READ, PROT_WRITE
+from repro.hw.cycles import Clock
+from repro.obs import (ChargeRecord, Observability, RingLog,
+                       SiteAggregator)
+
+RW = PROT_READ | PROT_WRITE
+
+
+class TestSinkRegistration:
+    def test_sinks_receive_charges(self):
+        clock = Clock()
+        agg = SiteAggregator()
+        clock.add_sink(agg)
+        clock.charge(10.0, site="hw.test.a")
+        assert agg.cycles["hw.test.a"] == pytest.approx(10.0)
+
+    def test_duplicate_registration_rejected(self):
+        clock = Clock()
+        agg = SiteAggregator()
+        clock.add_sink(agg)
+        with pytest.raises(ValueError):
+            clock.add_sink(agg)
+
+    def test_unregistered_sink_stops_receiving(self):
+        clock = Clock()
+        agg = SiteAggregator()
+        clock.add_sink(agg)
+        clock.charge(10.0, site="hw.test.a")
+        clock.remove_sink(agg)
+        clock.charge(10.0, site="hw.test.a")
+        assert agg.cycles["hw.test.a"] == pytest.approx(10.0)
+        clock.remove_sink(agg)  # removing twice is a no-op
+
+    def test_multiple_sinks_see_the_same_stream(self):
+        clock = Clock()
+        agg = SiteAggregator()
+        log = RingLog(capacity=8)
+        clock.add_sink(agg)
+        clock.add_sink(log)
+        clock.charge(3.0, site="hw.test.a")
+        assert agg.total() == pytest.approx(3.0)
+        assert len(log) == 1
+
+
+class TestSiteAggregator:
+    def test_per_site_totals_and_counts(self):
+        agg = SiteAggregator()
+        for cycles in (2.0, 3.0):
+            agg.on_charge("kernel.mprotect.base", cycles, 0.0, 0)
+        agg.on_charge("hw.tlb.flush_full", 10.0, 0.0, 0)
+        assert agg.cycles["kernel.mprotect.base"] == pytest.approx(5.0)
+        assert agg.counts["kernel.mprotect.base"] == 2
+        assert agg.total() == pytest.approx(15.0)
+        assert agg.sites() == ["hw.tlb.flush_full",
+                               "kernel.mprotect.base"]
+
+    def test_breakdown_groups_by_prefix_depth(self):
+        agg = SiteAggregator()
+        agg.on_charge("kernel.mprotect.base", 1.0, 0.0, 0)
+        agg.on_charge("kernel.mprotect.pte_update", 2.0, 0.0, 0)
+        agg.on_charge("kernel.mmap.body", 4.0, 0.0, 0)
+        agg.on_charge("hw.tlb.flush_full", 8.0, 0.0, 0)
+        assert agg.breakdown(depth=1) == {
+            "kernel": pytest.approx(7.0), "hw": pytest.approx(8.0)}
+        assert agg.breakdown(depth=2)["kernel.mprotect"] == \
+            pytest.approx(3.0)
+        # rows are ordered most expensive first
+        assert agg.rows(depth=1)[0][0] == "hw"
+
+    def test_histogram_buckets_by_magnitude(self):
+        agg = SiteAggregator()
+        site = "hw.test.a"
+        agg.on_charge(site, 0.5, 0.0, 0)   # bucket 0
+        agg.on_charge(site, 1.0, 0.0, 0)   # bucket 1
+        agg.on_charge(site, 700.0, 0.0, 0)  # bucket 10
+        assert agg.histogram(site) == {0: 1, 1: 1, 10: 1}
+
+    def test_reset_forgets_everything(self):
+        agg = SiteAggregator()
+        agg.on_charge("hw.test.a", 5.0, 0.0, 0)
+        agg.reset()
+        assert agg.total() == 0.0
+        assert agg.sites() == []
+
+
+class TestRingLog:
+    def test_records_in_order(self):
+        log = RingLog(capacity=4)
+        for i in range(3):
+            log.on_charge(f"hw.test.s{i}", float(i), float(i), i)
+        events = log.events()
+        assert [e.site for e in events] == \
+            ["hw.test.s0", "hw.test.s1", "hw.test.s2"]
+        assert isinstance(events[0], ChargeRecord)
+        assert log.dropped == 0
+
+    def test_overflow_evicts_oldest_and_counts_dropped(self):
+        log = RingLog(capacity=3)
+        for i in range(7):
+            log.on_charge(f"hw.test.s{i}", float(i), float(i), i)
+        assert len(log) == 3
+        assert log.dropped == 4
+        assert [e.site for e in log.events()] == \
+            ["hw.test.s4", "hw.test.s5", "hw.test.s6"]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RingLog(capacity=0)
+
+    def test_attach_ring_log_convenience(self, machine):
+        log = machine.obs.attach_ring_log(capacity=16)
+        machine.clock.charge(1.0, site="hw.test.a")
+        assert len(log) == 1
+        machine.obs.remove_sink(log)
+
+
+class TestSpans:
+    def test_nested_spans_attribute_self_vs_inclusive(self):
+        clock = Clock()
+        obs = Observability(clock)
+        with obs.span("libmpk.outer"):
+            clock.charge(10.0, site="libmpk.test.a")
+            with obs.span("kernel.inner"):
+                clock.charge(4.0, site="kernel.test.b")
+        profile = obs.profile()
+        outer = profile[("libmpk.outer",)]
+        inner = profile[("libmpk.outer", "kernel.inner")]
+        assert outer.count == 1
+        assert outer.cycles == pytest.approx(14.0)   # inclusive
+        assert outer.self_cycles == pytest.approx(10.0)
+        assert inner.cycles == pytest.approx(4.0)
+        assert inner.self_cycles == pytest.approx(4.0)
+
+    def test_counter_aggregation_across_nested_spans(self, lib, task):
+        """Spans do not disturb the flat per-site counters: cycles
+        charged inside nested spans land exactly once."""
+        obs = lib._kernel.machine.obs
+        before = obs.clock.now
+        lib.mpk_mmap(task, 100, PAGE_SIZE, RW)  # libmpk + kernel spans
+        assert obs.clock.now > before
+        assert obs.aggregator.total() == pytest.approx(obs.clock.now)
+
+    def test_span_subscription_and_unsubscription(self):
+        clock = Clock()
+        obs = Observability(clock)
+        seen = []
+
+        def on_span(record, ancestors):
+            seen.append((record.label, ancestors))
+
+        obs.subscribe_spans(on_span)
+        with obs.span("libmpk.outer"):
+            with obs.span("kernel.inner"):
+                pass
+        assert seen == [("kernel.inner", ("libmpk.outer",)),
+                        ("libmpk.outer", ())]
+        obs.unsubscribe_spans(on_span)
+        obs.unsubscribe_spans(on_span)  # unknown callback: no-op
+        with obs.span("libmpk.outer"):
+            pass
+        assert len(seen) == 2  # nothing new after unsubscribe
+
+    def test_span_emitted_on_exception(self):
+        clock = Clock()
+        obs = Observability(clock)
+        with pytest.raises(RuntimeError):
+            with obs.span("kernel.boom"):
+                clock.charge(2.0, site="kernel.test.a")
+                raise RuntimeError("inside")
+        assert obs.profile()[("kernel.boom",)].cycles == \
+            pytest.approx(2.0)
+        assert obs.span_depth == 0
+
+
+class TestConservation:
+    def test_holds_from_cycle_zero(self, machine):
+        ok, delta = machine.obs.audit()
+        assert ok and delta == 0.0
+
+    def test_holds_after_benchmark_style_workload(self):
+        """Table-1-style run plus libmpk churn: every cycle the clock
+        advanced is accounted to some site."""
+        bed = make_testbed(threads=4, evict_rate=1.0)
+        kernel, task, lib = bed.kernel, bed.task, bed.lib
+        addr = kernel.sys_mmap(task, PAGE_SIZE, RW)
+        for _ in range(50):  # raw-syscall churn (libmpk holds all pkeys)
+            kernel.sys_mprotect(task, addr, PAGE_SIZE, PROT_READ)
+            kernel.sys_mprotect(task, addr, PAGE_SIZE, RW)
+        for vkey in range(100, 120):  # force key-cache eviction
+            buf = lib.mpk_mmap(task, vkey, 2 * PAGE_SIZE, RW)
+            with lib.domain(task, vkey, RW):
+                task.write(buf, b"payload")
+        lib.mpk_mprotect(task, 100, PROT_READ)
+        obs = kernel.machine.obs
+        assert obs.clock.now > 100_000  # a real workload ran
+        ok, delta = obs.audit()
+        assert ok, f"attribution leak: {delta} cycles"
+        assert obs.aggregator.total() == pytest.approx(obs.clock.now)
+
+    def test_every_layer_shows_up(self, lib, task):
+        lib.mpk_mmap(task, 100, PAGE_SIZE, RW)
+        with lib.domain(task, 100, RW):
+            pass
+        layers = set(lib._kernel.machine.obs.breakdown(depth=1))
+        assert {"hw", "kernel", "libmpk"} <= layers
+
+    def test_negative_charge_rejected(self):
+        clock = Clock()
+        with pytest.raises(ValueError):
+            clock.charge(-1.0, site="hw.test.a")
+
+
+class TestRendering:
+    def test_format_breakdown_table(self, lib, task):
+        lib.mpk_mmap(task, 100, PAGE_SIZE, RW)
+        obs = lib._kernel.machine.obs
+        text = obs.format_breakdown(depth=2, limit=5)
+        assert "site" in text and "share" in text
+        assert len(text.splitlines()) <= 6
+
+    def test_format_profile_tree(self, lib, task):
+        lib.mpk_mmap(task, 100, PAGE_SIZE, RW)
+        text = lib._kernel.machine.obs.format_profile()
+        assert "libmpk.mpk_mmap" in text
+        assert "  kernel.sys_mmap" in text  # indented child
+
+    def test_mpk_stats_procfs_node(self, process, lib, task):
+        from repro.kernel.procfs import format_mpk_stats, mpk_stats
+        lib.mpk_mmap(task, 100, PAGE_SIZE, RW)
+        stats = mpk_stats(process)
+        assert stats["conservation_ok"]
+        assert stats["clock_cycles"] == \
+            pytest.approx(stats["attributed_cycles"])
+        assert set(stats["by_layer"]) >= {"kernel", "libmpk"}
+        text = format_mpk_stats(process)
+        assert "Conservation:     ok" in text
+        assert "kernel.mmap" in text
+
+    def test_reading_stats_charges_nothing(self, process, lib, task):
+        from repro.kernel.procfs import format_mpk_stats
+        lib.mpk_mmap(task, 100, PAGE_SIZE, RW)
+        clock = lib._kernel.clock
+        before = clock.now
+        format_mpk_stats(process)
+        assert clock.now == before
+
+
+class TestPerfSummaryIntegration:
+    def test_charge_sites_counted(self, machine):
+        machine.core(0).execute_adds(1)
+        assert machine.perf_summary()["charge_sites"] >= 1

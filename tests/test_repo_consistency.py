@@ -48,6 +48,53 @@ class TestReadme:
         assert "lib.domain(task" in readme
 
 
+class TestAttribution:
+    """Every cycle charge inside src/repro must carry a site label."""
+
+    @staticmethod
+    def _charge_calls(source: str):
+        """Yield (line_number, call_text) for each ``.charge(`` call,
+        following the call to its balancing close paren so multi-line
+        calls are inspected whole."""
+        for match in re.finditer(r"\.charge\(", source):
+            start = match.end()  # just past the open paren
+            depth = 1
+            pos = start
+            while depth and pos < len(source):
+                if source[pos] == "(":
+                    depth += 1
+                elif source[pos] == ")":
+                    depth -= 1
+                pos += 1
+            line = source.count("\n", 0, match.start()) + 1
+            yield line, source[start:pos - 1]
+
+    def test_no_unattributed_charges_in_src(self):
+        offenders = []
+        for path in (REPO / "src" / "repro").rglob("*.py"):
+            for line, call in self._charge_calls(path.read_text()):
+                if "site=" not in call:
+                    offenders.append(
+                        f"{path.relative_to(REPO)}:{line}: "
+                        f".charge({call.strip()})")
+        assert not offenders, (
+            "charge calls without site= attribution:\n"
+            + "\n".join(offenders))
+
+    def test_site_labels_follow_the_taxonomy(self):
+        """Literal site labels are layer.op[.component] with a known
+        layer prefix (docs/ARCHITECTURE.md, Observability section)."""
+        pattern = re.compile(r'site="([^"]+)"')
+        for path in (REPO / "src" / "repro").rglob("*.py"):
+            for label in pattern.findall(path.read_text()):
+                layer = label.split(".")[0]
+                assert layer in {"hw", "kernel", "libmpk", "apps"}, (
+                    f"{path.name}: site '{label}' has unknown layer "
+                    f"'{layer}'")
+                assert label.count(".") >= 1, (
+                    f"{path.name}: site '{label}' is not dotted")
+
+
 class TestPackaging:
     def test_every_package_directory_has_init(self):
         for directory in (REPO / "src" / "repro").rglob("*"):
