@@ -34,6 +34,7 @@ from repro.consts import (
     PROT_WRITE,
 )
 from repro.errors import (
+    InjectedFault,
     KernelError,
     MachineFault,
     MpkError,
@@ -42,6 +43,7 @@ from repro.errors import (
     MpkUnknownVkey,
     PkeyFault,
     SegmentationFault,
+    TaskKilled,
 )
 from repro.hw import Machine, PKRU
 from repro.kernel import Kernel, Process, Task
@@ -61,6 +63,7 @@ __all__ = [
     "PROT_NONE",
     "PROT_READ",
     "PROT_WRITE",
+    "InjectedFault",
     "KernelError",
     "MachineFault",
     "MpkError",
@@ -69,6 +72,7 @@ __all__ = [
     "MpkUnknownVkey",
     "PkeyFault",
     "SegmentationFault",
+    "TaskKilled",
     "Machine",
     "PKRU",
     "Kernel",

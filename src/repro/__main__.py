@@ -2,12 +2,13 @@
 
 Commands
 --------
-info       package, machine-model, and cost-model summary
-results    print every archived benchmark table (benchmarks/results/)
-bench      regenerate all tables/figures (pytest benchmarks/ …)
-examples   run every example script in sequence
-stats      run a sample workload, print per-site cycle attribution
-profile    run a sample workload, print the hierarchical span profile
+info           package, machine-model, and cost-model summary
+results        print every archived benchmark table (benchmarks/results/)
+bench          regenerate all tables/figures (pytest benchmarks/ …)
+examples       run every example script in sequence
+stats          run a sample workload, print per-site cycle attribution
+profile        run a sample workload, print the hierarchical span profile
+faultcampaign  sweep injected failures over a workload, audit every run
 """
 
 from __future__ import annotations
@@ -134,6 +135,17 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faultcampaign(args: argparse.Namespace) -> int:
+    from repro.faults import run_campaign
+
+    max_per_site = 1 if args.smoke else args.limit
+    report = run_campaign(mode=args.mode,
+                          max_occurrences_per_site=max_per_site,
+                          max_runs=args.max_runs, seed=args.seed)
+    print(report.format())
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -155,6 +167,18 @@ def main(argv: list[str] | None = None) -> int:
     profile = sub.add_parser("profile",
                              help="hierarchical span profile")
     profile.add_argument("--threads", type=int, default=4)
+    campaign = sub.add_parser(
+        "faultcampaign",
+        help="fault-injection sweep with per-run consistency audits")
+    campaign.add_argument("--mode", choices=("exhaustive", "random"),
+                          default="exhaustive")
+    campaign.add_argument("--smoke", action="store_true",
+                          help="one injection per site (the CI gate)")
+    campaign.add_argument("--limit", type=int, default=None,
+                          help="cap occurrences swept per site")
+    campaign.add_argument("--max-runs", type=int, default=None)
+    campaign.add_argument("--seed", type=int, default=11,
+                          help="sample seed for --mode random")
     args = parser.parse_args(argv)
     if getattr(args, "depth", None) == 0:
         args.depth = None
@@ -165,6 +189,7 @@ def main(argv: list[str] | None = None) -> int:
         "examples": cmd_examples,
         "stats": cmd_stats,
         "profile": cmd_profile,
+        "faultcampaign": cmd_faultcampaign,
     }[args.command]
     return handler(args)
 

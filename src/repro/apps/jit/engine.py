@@ -24,6 +24,7 @@ import typing
 from dataclasses import dataclass
 
 from repro.consts import PAGE_SIZE
+from repro.faults.signals import SIGSEGV
 
 from repro.apps.jit.wx import WxBackend
 
@@ -62,6 +63,10 @@ ENGINES = {
 }
 
 
+class GuestCrash(Exception):
+    """Untrusted guest code wrote into the protected code cache."""
+
+
 class JsEngine:
     """One engine instance: a code cache, a JIT thread, an exec thread."""
 
@@ -84,6 +89,8 @@ class JsEngine:
         self.cache_base = backend.create_cache(self.jit_task, cache_pages)
         self.cache_pages = cache_pages
         self._next_page = 0
+        self.wx_violations: list = []
+        self.guest_crashes = 0
 
     # ------------------------------------------------------------------
     # Code-cache page management.
@@ -167,6 +174,47 @@ class JsEngine:
         self.kernel.clock.charge(
             iterations * size_bytes * INTERP_CYCLES_PER_BYTE,
             site="apps.jit.interpret")
+
+    # ------------------------------------------------------------------
+    # W⊕X violation recovery (the fault plane).
+    # ------------------------------------------------------------------
+
+    def enable_wx_violation_recovery(self) -> None:
+        """Contain guest writes into the protected code cache.
+
+        Installs a SIGSEGV handler on the *exec* thread: a fault whose
+        address lands in the code cache (or any pkey denial — the mpk
+        backend's signature) is recorded and unwound as a
+        :class:`GuestCrash`; faults that are not W⊕X violations are
+        declined and propagate as raw machine faults.  The engine — and
+        the JIT thread's write grant — survives the crash.
+        """
+        cache_lo = self.cache_base
+        cache_hi = self.cache_base + self.cache_pages * PAGE_SIZE
+
+        def handler(task, info):
+            in_cache = (info.si_addr is not None
+                        and cache_lo <= info.si_addr < cache_hi)
+            if not (info.is_pkey_fault or in_cache):
+                return False  # not a W⊕X violation: decline
+            self.wx_violations.append(info)
+            raise GuestCrash(f"guest wrote protected code cache: "
+                             f"{info.describe()}")
+
+        self.exec_task.sigaction(SIGSEGV, handler)
+
+    def guest_store(self, addr: int, data: bytes) -> bool:
+        """An untrusted guest store issued from generated code.
+
+        Returns True when the store landed; False when the W⊕X backend
+        denied it and recovery contained the crash.
+        """
+        try:
+            self.exec_task.write(addr, data)
+        except GuestCrash:
+            self.guest_crashes += 1
+            return False
+        return True
 
     # ------------------------------------------------------------------
     # Whole-program runs (Octane driver).

@@ -1,0 +1,114 @@
+"""Worker-pool crash isolation for the HTTPS server (the fault plane's
+application-level payoff).
+
+With libmpk guarding the private-key heap, a compromised or buggy
+request handler that touches the key heap outside an open domain takes
+a ``SEGV_PKUERR`` — and the right response is Apache's, not a process
+exit: contain the blast radius to one worker.  Two containment
+policies, matching how real servers configure it:
+
+* ``"abort"`` — each worker installs a SIGSEGV handler that raises
+  :class:`RequestAborted`, unwinding past the faulting access (the
+  siglongjmp pattern).  The worker survives and serves the next
+  request.
+* ``"kill"`` — workers only opt into signal *semantics*: the unhandled
+  signal kills the worker cleanly
+  (:class:`~repro.errors.TaskKilled`), libmpk's death hook unpins its
+  domains, and the pool respawns a fresh worker in its slot.
+
+Either way the process — and every other worker — keeps serving.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import TaskKilled
+from repro.faults.signals import SIGSEGV, Siginfo
+
+if typing.TYPE_CHECKING:
+    from repro.apps.sslserver.httpd import HttpServer
+    from repro.kernel.kcore import Kernel, Process
+    from repro.kernel.task import Task
+
+
+class RequestAborted(Exception):
+    """A worker's signal handler abandoned the current request."""
+
+    def __init__(self, info: Siginfo) -> None:
+        super().__init__(f"request aborted: {info.describe()}")
+        self.info = info
+
+
+def _abort_request(task: "Task", info: Siginfo):
+    raise RequestAborted(info)
+
+
+class WorkerPool:
+    """A fixed pool of worker threads serving requests round-robin."""
+
+    def __init__(self, kernel: "Kernel", process: "Process",
+                 server: "HttpServer", workers: int = 2,
+                 crash_policy: str = "abort") -> None:
+        if crash_policy not in ("abort", "kill"):
+            raise ValueError(f"unknown crash policy: {crash_policy!r}")
+        self.kernel = kernel
+        self.process = process
+        self.server = server
+        self.crash_policy = crash_policy
+        self.workers: list["Task"] = [self._spawn() for _ in range(workers)]
+        self._next = 0
+        self.requests_ok = 0
+        self.requests_aborted = 0
+        self.workers_killed = 0
+
+    def _spawn(self) -> "Task":
+        worker = self.process.spawn_task()
+        self.kernel.scheduler.schedule(worker, charge=False)
+        if self.crash_policy == "abort":
+            worker.sigaction(SIGSEGV, _abort_request)
+        else:
+            worker.enable_signals()
+        return worker
+
+    def dispatch(self, request) -> bool:
+        """Run ``request(worker_task)`` on the next worker.
+
+        Returns True when the request completed; False when it was
+        contained (aborted by the handler, or the worker was killed and
+        respawned).  Anything else propagates — containment is only for
+        signal-shaped failures.
+        """
+        slot = self._next % len(self.workers)
+        self._next += 1
+        worker = self.workers[slot]
+        try:
+            request(worker)
+        except RequestAborted:
+            self.requests_aborted += 1
+            return False
+        except TaskKilled:
+            self.workers_killed += 1
+            self.workers[slot] = self._spawn()
+            return False
+        self.requests_ok += 1
+        return True
+
+    def serve(self, response_size: int = 1024) -> bool:
+        """Dispatch one ordinary HTTPS request."""
+        return self.dispatch(
+            lambda worker: self.server.handle_request(worker,
+                                                      response_size))
+
+    def live_workers(self) -> int:
+        return sum(1 for worker in self.workers if worker.state != "dead")
+
+    def stats(self) -> dict:
+        return {
+            "workers": len(self.workers),
+            "live_workers": self.live_workers(),
+            "crash_policy": self.crash_policy,
+            "requests_ok": self.requests_ok,
+            "requests_aborted": self.requests_aborted,
+            "workers_killed": self.workers_killed,
+        }

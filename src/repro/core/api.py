@@ -27,7 +27,7 @@ never evicted while any exist.
 from __future__ import annotations
 
 import typing
-from contextlib import contextmanager
+from contextlib import contextmanager, suppress
 
 from repro.consts import (
     DEFAULT_PKEY,
@@ -79,6 +79,13 @@ class Libmpk:
         self._registry = CallSiteRegistry(None)
         self._xo_pkey: int | None = None
         self._xo_groups: set[int] = set()
+        # mpk_begin_wait telemetry (surfaced via stats()).
+        self._begin_wait_calls = 0
+        self._begin_wait_attempts = 0
+        self._begin_wait_waits = 0
+        self._begin_wait_cycles = 0.0
+        # A thread killed by a signal implicitly ends its open domains.
+        process.task_death_hooks.append(self._task_death_hook)
 
     @property
     def _obs(self):
@@ -144,18 +151,33 @@ class Libmpk:
         base = self._kernel.sys_mmap(task, length, prot, flags, addr=addr)
         group = PageGroup(vkey=vkey, base=base, length=length, prot=prot)
         self._groups[vkey] = group
-        pkey = cache.assign_free(vkey)
-        if pkey is not None:
-            group.pkey = pkey
-            self._kernel_update_range(task, group, prot, pkey)
-            self._page_prots[vkey] = prot
-            self._quiesce_key(task, pkey)
-        else:
-            # No key available: revoke data access (keep EXEC, see
-            # _unload_group) until a begin/mprotect loads the group.
-            self._kernel_update_range(task, group, prot & PROT_EXEC,
-                                      DEFAULT_PKEY)
-        self._metadata.kernel_upsert(vkey, group.pkey, 0)
+        try:
+            pkey = cache.assign_free(vkey)
+            if pkey is not None:
+                group.pkey = pkey
+                self._kernel_update_range(task, group, prot, pkey)
+                self._page_prots[vkey] = prot
+                self._quiesce_key(task, pkey)
+            else:
+                # No key available: revoke data access (keep EXEC, see
+                # _unload_group) until a begin/mprotect loads the group.
+                self._kernel_update_range(task, group, prot & PROT_EXEC,
+                                          DEFAULT_PKEY)
+            self._metadata.kernel_upsert(vkey, group.pkey, 0)
+        except BaseException:
+            # Unwind to "the group never existed": drop the binding and
+            # bookkeeping, unmap the pages, scrub any metadata record.
+            if group.cached:
+                with suppress(Exception):
+                    cache.release(vkey)
+            group.pkey = None
+            self._groups.pop(vkey, None)
+            self._page_prots.pop(vkey, None)
+            with suppress(Exception):
+                self._kernel.sys_munmap(task, base, length)
+            with suppress(Exception):
+                self._metadata.kernel_remove(vkey)
+            raise
         return base
 
     @traced("libmpk.mpk_adopt")
@@ -176,7 +198,13 @@ class Libmpk:
         length = page_align_up(length)
         group = PageGroup(vkey=vkey, base=addr, length=length, prot=prot)
         self._groups[vkey] = group
-        self._metadata.kernel_upsert(vkey, None, 0)
+        try:
+            self._metadata.kernel_upsert(vkey, None, 0)
+        except BaseException:
+            self._groups.pop(vkey, None)
+            with suppress(Exception):
+                self._metadata.kernel_remove(vkey)
+            raise
 
     @traced("libmpk.mpk_disown")
     def mpk_disown(self, task: "Task", vkey: int, prot: int) -> None:
@@ -199,12 +227,27 @@ class Libmpk:
             self._leave_exec_only(vkey)
         elif group.cached:
             cache.release(vkey)
-        self._kernel_update_range(task, group, prot, DEFAULT_PKEY)
-        self._metadata.kernel_remove(vkey)
+        group.pkey = None
+        try:
+            self._kernel_update_range(task, group, prot, DEFAULT_PKEY)
+        except BaseException:
+            # The binding is already gone: roll *forward* — retry the
+            # reset once (idempotent) so the pages do not keep a key
+            # the cache now considers free.
+            with suppress(Exception):
+                self._kernel_update_range(task, group, prot, DEFAULT_PKEY)
+            self._repair_record(group)
+            raise
         self._groups.pop(vkey)
         self._heaps.pop(vkey, None)
         self._models.pop(vkey, None)
         self._page_prots.pop(vkey, None)
+        try:
+            self._metadata.kernel_remove(vkey)
+        except BaseException:
+            with suppress(Exception):
+                self._metadata.kernel_remove(vkey)
+            raise
 
     @traced("libmpk.mpk_munmap")
     def mpk_munmap(self, task: "Task", vkey: int) -> None:
@@ -219,16 +262,25 @@ class Libmpk:
             raise MpkError(
                 f"mpk_munmap: vkey {vkey} is pinned by threads "
                 f"{sorted(group.pinned_by)}")
+        # Unmap *first*: a failure here leaves the group fully intact
+        # (and an already-unmapped range audits vacuously); only then
+        # release the binding and dissolve the bookkeeping.
+        self._kernel.sys_munmap(task, group.base, group.length)
         if group.exec_only:
             self._leave_exec_only(vkey)
         elif group.cached:
             cache.release(vkey)
-        self._kernel.sys_munmap(task, group.base, group.length)
-        self._metadata.kernel_remove(vkey)
+        group.pkey = None
         self._groups.pop(vkey)
         self._heaps.pop(vkey, None)
         self._models.pop(vkey, None)
         self._page_prots.pop(vkey, None)
+        try:
+            self._metadata.kernel_remove(vkey)
+        except BaseException:
+            with suppress(Exception):
+                self._metadata.kernel_remove(vkey)
+            raise
 
     # ------------------------------------------------------------------
     # mpk_begin / mpk_end — domain-based thread-local isolation.
@@ -253,41 +305,79 @@ class Libmpk:
                 f"mpk_begin: vkey {vkey} is execute-only; change it "
                 "with mpk_mprotect first")
         pkey = cache.lookup(vkey)
-        if pkey is None:
-            pkey = self._load_group(task, group, group.prot)
-            self._quiesce_key(task, pkey)
-        elif self._models.get(vkey) == _MODEL_GLOBAL:
-            # The group is moving from mprotect semantics (all threads
-            # hold its rights) to domain isolation: revoke the global
-            # grants so only begin/end windows open it from here on.
-            self._quiesce_key(task, pkey)
+        loaded = False
+        try:
+            if pkey is None:
+                pkey = self._load_group(task, group, group.prot)
+                loaded = True
+                self._quiesce_key(task, pkey)
+            elif self._models.get(vkey) == _MODEL_GLOBAL:
+                # The group is moving from mprotect semantics (all
+                # threads hold its rights) to domain isolation: revoke
+                # the global grants so only begin/end windows open it
+                # from here on.
+                self._quiesce_key(task, pkey)
+            with task.trusted_gate():
+                task.pkey_set(pkey, rights_for_prot(prot))
+        except BaseException:
+            if loaded:
+                # The group went cached but the record still says
+                # evicted; a failed quiesce/grant leaves no pin and no
+                # rights, so the binding itself may stand.
+                self._repair_record(group)
+            raise
+        # Pin and record the usage model only once the grant is live, so
+        # a failure above cannot leave a pin without rights (the seed's
+        # mpk_begin pinned first and leaked the pin on error).
+        prev_model = self._models.get(vkey)
         group.pinned_by.add(task.tid)
         self._models[vkey] = _MODEL_DOMAIN
-        with task.trusted_gate():
-            task.pkey_set(pkey, rights_for_prot(prot))
-        self._metadata.kernel_upsert(vkey, pkey, len(group.pinned_by))
+        try:
+            self._metadata.kernel_upsert(vkey, pkey, len(group.pinned_by))
+        except BaseException:
+            group.pinned_by.discard(task.tid)
+            if prev_model is None:
+                self._models.pop(vkey, None)
+            else:
+                self._models[vkey] = prev_model
+            with suppress(Exception):
+                with task.trusted_gate():
+                    task.pkey_set(pkey, KEY_RIGHTS_NONE)
+            self._repair_record(group)
+            raise
 
     @traced("libmpk.mpk_begin_wait")
     def mpk_begin_wait(self, task: "Task", vkey: int, prot: int,
-                       on_wait, max_attempts: int = 64) -> int:
+                       on_wait=None, max_attempts: int = 64) -> int:
         """mpk_begin that handles key exhaustion by waiting.
 
         The paper leaves exhaustion to the caller ("mpk_begin() raises
         an exception and lets the calling thread handle it (e.g.,
         sleeps until a key is available)"); this helper packages the
         obvious strategy: on :class:`~repro.errors.MpkKeyExhaustion`,
-        invoke ``on_wait(attempt)`` — which must make progress, e.g. by
-        completing other work that ends a domain — and retry.  Returns
-        the number of attempts taken; raises after ``max_attempts``.
+        back off — a capped exponential sleep charged as
+        ``libmpk.keycache.wait`` — then invoke ``on_wait(attempt)`` if
+        given (it must make progress, e.g. by completing other work
+        that ends a domain) and retry.  Returns the number of attempts
+        taken; raises after ``max_attempts``.  Attempt/wait telemetry
+        lands in :meth:`stats`.
         """
+        costs = self._kernel.costs
+        self._begin_wait_calls += 1
         for attempt in range(1, max_attempts + 1):
             try:
                 self.mpk_begin(task, vkey, prot)
+                self._begin_wait_attempts += attempt
                 return attempt
             except MpkKeyExhaustion:
-                self._charge(self._kernel.costs.context_switch,
-                             site="libmpk.keycache.wait")
-                on_wait(attempt)
+                backoff = min(costs.begin_wait_base * (2 ** (attempt - 1)),
+                              costs.begin_wait_cap)
+                self._charge(backoff, site="libmpk.keycache.wait")
+                self._begin_wait_waits += 1
+                self._begin_wait_cycles += backoff
+                if on_wait is not None:
+                    on_wait(attempt)
+        self._begin_wait_attempts += max_attempts
         raise MpkKeyExhaustion(
             f"mpk_begin_wait: no hardware key freed after "
             f"{max_attempts} attempts")
@@ -307,7 +397,15 @@ class Libmpk:
         with task.trusted_gate():
             task.pkey_set(group.pkey, KEY_RIGHTS_NONE)
         group.pinned_by.discard(task.tid)
-        self._metadata.kernel_upsert(vkey, group.pkey, len(group.pinned_by))
+        try:
+            self._metadata.kernel_upsert(vkey, group.pkey,
+                                         len(group.pinned_by))
+        except BaseException:
+            # Rights are already revoked and the pin dropped — roll
+            # forward by retrying the record update, never backwards
+            # into a re-pinned state.
+            self._repair_record(group)
+            raise
 
     @contextmanager
     def domain(self, task: "Task", vkey: int, prot: int):
@@ -342,32 +440,48 @@ class Libmpk:
         if prot == PROT_EXEC:
             self._make_group_exec_only(task, group)
             return
-        if group.exec_only:
-            # Leaving execute-only: scrub the reserved key out of the
-            # PTEs immediately — otherwise these pages would silently
-            # rejoin a *future* exec-only group that reuses the key.
-            self._leave_exec_only(vkey)
-            group.pkey = None
-            self._kernel_update_range(task, group, prot, DEFAULT_PKEY)
+        try:
+            if group.exec_only:
+                # Leaving execute-only: scrub the reserved key out of
+                # the PTEs immediately — otherwise these pages would
+                # silently rejoin a *future* exec-only group that
+                # reuses the key.
+                self._leave_exec_only(vkey)
+                group.pkey = None
+                try:
+                    self._kernel_update_range(task, group, prot,
+                                              DEFAULT_PKEY)
+                except BaseException:
+                    with suppress(Exception):
+                        self._kernel_update_range(task, group, prot,
+                                                  DEFAULT_PKEY)
+                    raise
+                group.current_prot = prot
+                self._models[vkey] = _MODEL_GLOBAL
+                self._metadata.kernel_upsert(vkey, None,
+                                             len(group.pinned_by))
+                return
+
+            pkey = cache.lookup(vkey)
+            if pkey is not None:
+                self._mprotect_hit(task, group, pkey, prot)
+            elif cache.should_evict_on_miss():
+                pkey = self._load_group(task, group, prot)
+                self._apply_rights_globally(task, pkey,
+                                            rights_for_prot(prot))
+            else:
+                # Fallback: enforce with page bits, process-wide.
+                self._kernel.sys_mprotect(task, group.base, group.length,
+                                          prot)
             group.current_prot = prot
             self._models[vkey] = _MODEL_GLOBAL
-            self._metadata.kernel_upsert(vkey, None,
+            self._metadata.kernel_upsert(vkey, group.pkey,
                                          len(group.pinned_by))
-            return
-
-        pkey = cache.lookup(vkey)
-        if pkey is not None:
-            self._mprotect_hit(task, group, pkey, prot)
-        elif cache.should_evict_on_miss():
-            pkey = self._load_group(task, group, prot)
-            self._apply_rights_globally(task, pkey, rights_for_prot(prot))
-        else:
-            # Fallback: enforce with page bits, process-wide by nature.
-            self._kernel.sys_mprotect(task, group.base, group.length, prot)
-        group.current_prot = prot
-        self._models[vkey] = _MODEL_GLOBAL
-        self._metadata.kernel_upsert(vkey, group.pkey,
-                                     len(group.pinned_by))
+        except BaseException:
+            # Whatever progress stood (a load, an exec-only exit) is
+            # kept; only the record is forced back into agreement.
+            self._repair_record(group)
+            raise
 
     def _mprotect_hit(self, task: "Task", group: PageGroup, pkey: int,
                       prot: int) -> None:
@@ -462,7 +576,18 @@ class Libmpk:
             "eviction_policy": cache.policy,
             "memory_overhead_bytes": self.memory_overhead_bytes(),
             "protected_bytes": sum(g.length for g in groups),
+            "begin_wait_calls": self._begin_wait_calls,
+            "begin_wait_attempts": self._begin_wait_attempts,
+            "begin_wait_waits": self._begin_wait_waits,
+            "begin_wait_cycles": self._begin_wait_cycles,
         }
+
+    def audit(self):
+        """Cross-check every state layer (groups, key cache, page
+        table, metadata region, pins, cycle conservation); returns an
+        :class:`~repro.faults.audit.AuditReport`."""
+        from repro.faults.audit import audit_libmpk
+        return audit_libmpk(self)
 
     # ------------------------------------------------------------------
     # Internals.
@@ -481,6 +606,26 @@ class Libmpk:
 
     def _charge(self, cycles: float, site: str) -> None:
         self._kernel.clock.charge(cycles, site=site)
+
+    def _repair_record(self, group: PageGroup) -> None:
+        """Failure-path fix-up: force ``group``'s metadata record back
+        into agreement with the in-memory state.  Idempotent; a second
+        failure here is swallowed and left for the audit to report."""
+        if self._metadata is None:
+            return
+        with suppress(Exception):
+            self._metadata.kernel_upsert(
+                group.vkey, group.pkey, len(group.pinned_by),
+                flags=1 if group.exec_only else 0)
+
+    def _task_death_hook(self, task: "Task", info) -> None:
+        """A thread killed by a signal implicitly mpk_ends its open
+        domains: pins drop so the keys become evictable again (the
+        kernel knows the pin counts via the metadata region)."""
+        for group in self._groups.values():
+            if task.tid in group.pinned_by:
+                group.pinned_by.discard(task.tid)
+                self._repair_record(group)
 
     def _kernel_update_range(self, task: "Task", group: PageGroup,
                              prot: int, pkey: int,
@@ -507,10 +652,31 @@ class Libmpk:
             victim_vkey = cache.choose_victim(
                 lambda v: not self._groups[v].pinned)
             pkey = cache.evict(victim_vkey)
-            self._unload_group(task, self._groups[victim_vkey])
+            try:
+                self._unload_group(task, self._groups[victim_vkey])
+            except BaseException:
+                # The victim rolled itself forward to "evicted"; the
+                # key is unbound but not free — return it to the pool.
+                cache.refund(pkey)
+                raise
             cache.bind(group.vkey, pkey)
         group.pkey = pkey
-        self._kernel_update_range(task, group, page_prot, pkey)
+        try:
+            self._kernel_update_range(task, group, page_prot, pkey)
+        except BaseException:
+            # Undo the load: drop the binding and reset the pages to
+            # their evicted state (idempotent if the PTE write never
+            # happened).
+            group.pkey = None
+            self._page_prots.pop(group.vkey, None)
+            with suppress(Exception):
+                cache.release(group.vkey)
+            with suppress(Exception):
+                self._kernel_update_range(task, group,
+                                          self._evicted_prot(group),
+                                          DEFAULT_PKEY)
+            self._repair_record(group)
+            raise
         self._page_prots[group.vkey] = page_prot
         return pkey
 
@@ -527,15 +693,30 @@ class Libmpk:
         enforced by page bits, preserving mprotect semantics without a
         hardware key.
         """
-        model = self._models.get(group.vkey, _MODEL_DOMAIN)
-        if model == _MODEL_GLOBAL:
-            evicted_prot = group.current_prot
-        else:
-            evicted_prot = group.prot & PROT_EXEC
-        self._kernel_update_range(task, group, evicted_prot, DEFAULT_PKEY)
+        evicted_prot = self._evicted_prot(group)
         group.pkey = None
         self._page_prots.pop(group.vkey, None)
-        self._metadata.kernel_upsert(group.vkey, None, len(group.pinned_by))
+        try:
+            self._kernel_update_range(task, group, evicted_prot,
+                                      DEFAULT_PKEY)
+            self._metadata.kernel_upsert(group.vkey, None,
+                                         len(group.pinned_by))
+        except BaseException:
+            # The binding is gone either way: roll forward — retry the
+            # PTE reset (idempotent) and repair the record.
+            with suppress(Exception):
+                self._kernel_update_range(task, group, evicted_prot,
+                                          DEFAULT_PKEY)
+            self._repair_record(group)
+            raise
+
+    def _evicted_prot(self, group: PageGroup) -> int:
+        """The page-bit permission an evicted group falls back to (see
+        :meth:`_unload_group`'s docstring for the rationale)."""
+        model = self._models.get(group.vkey, _MODEL_DOMAIN)
+        if model == _MODEL_GLOBAL:
+            return group.current_prot
+        return group.prot & PROT_EXEC
 
     def _quiesce_key(self, task: "Task", pkey: int) -> None:
         """Clear every thread's PKRU rights for a freshly (re)bound key
@@ -566,15 +747,31 @@ class Libmpk:
         if group.cached and not group.exec_only:
             # Leave the ordinary cache; the reserved key takes over.
             cache.release(group.vkey)
-        self._kernel_update_range(task, group, PROT_EXEC, self._xo_pkey,
-                                  pte_prot=PROT_READ | PROT_EXEC)
-        group.pkey = self._xo_pkey
-        group.exec_only = True
-        group.current_prot = PROT_EXEC
-        self._xo_groups.add(group.vkey)
-        self._apply_rights_globally(task, self._xo_pkey, KEY_RIGHTS_NONE)
-        self._metadata.kernel_upsert(group.vkey, group.pkey,
-                                     len(group.pinned_by), flags=1)
+            group.pkey = None
+        try:
+            self._kernel_update_range(task, group, PROT_EXEC,
+                                      self._xo_pkey,
+                                      pte_prot=PROT_READ | PROT_EXEC)
+            group.pkey = self._xo_pkey
+            group.exec_only = True
+            group.current_prot = PROT_EXEC
+            self._xo_groups.add(group.vkey)
+            self._apply_rights_globally(task, self._xo_pkey,
+                                        KEY_RIGHTS_NONE)
+            self._metadata.kernel_upsert(group.vkey, group.pkey,
+                                         len(group.pinned_by), flags=1)
+        except BaseException:
+            # Drive the group to a consistent *evicted* state (the key
+            # stays reserved; a later exec-only group reuses it).
+            self._xo_groups.discard(group.vkey)
+            group.exec_only = False
+            group.pkey = None
+            with suppress(Exception):
+                self._kernel_update_range(task, group,
+                                          self._evicted_prot(group),
+                                          DEFAULT_PKEY)
+            self._repair_record(group)
+            raise
 
     def _reserve_exec_only_key(self, task: "Task") -> int:
         """Reserve a key for execute-only groups, evicting the LRU
@@ -587,7 +784,11 @@ class Libmpk:
             victim_vkey = cache.choose_victim(
                 lambda v: not self._groups[v].pinned)
             pkey = cache.evict(victim_vkey)
-            self._unload_group(task, self._groups[victim_vkey])
+            try:
+                self._unload_group(task, self._groups[victim_vkey])
+            except BaseException:
+                cache.refund(pkey)
+                raise
             cache.reserve_key(pkey)
             return pkey
 

@@ -89,6 +89,15 @@ class KeyCache:
     def cached_vkeys(self) -> list[int]:
         return list(self._lru)
 
+    def bindings(self) -> dict[int, int]:
+        """A snapshot of every vkey→pkey binding (audit use)."""
+        return dict(self._lru)
+
+    @property
+    def free_keys(self) -> tuple[int, ...]:
+        """The currently free hardware keys (audit use)."""
+        return tuple(self._free)
+
     # ------------------------------------------------------------------
     # Assignment and eviction.
     # ------------------------------------------------------------------
@@ -140,6 +149,16 @@ class KeyCache:
         if vkey in self._lru:
             raise MpkError(f"vkey {vkey} is already cached")
         self._lru[vkey] = pkey
+
+    def refund(self, pkey: int) -> None:
+        """Return a key obtained from :meth:`evict` to the free pool
+        *without* binding it (crash-recovery path: the eviction's page
+        work completed but the new tenant's load failed)."""
+        if pkey not in self._all:
+            raise MpkError(f"pkey {pkey} is not managed by this cache")
+        if pkey in self._lru.values() or pkey in self._free:
+            raise MpkError(f"pkey {pkey} is not in limbo")
+        self._free.append(pkey)
 
     def release(self, vkey: int) -> int:
         """Unbind ``vkey`` and return its key to the free pool

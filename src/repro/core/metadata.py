@@ -144,6 +144,30 @@ class MetadataRegion:
         entry = self._process.page_table.lookup(vpn)
         entry.frame.write(addr % PAGE_SIZE, data)
 
+    def kernel_read_record(
+            self, vkey: int) -> tuple[int, int | None, int, int] | None:
+        """Read ``vkey``'s record through the kernel alias.
+
+        Charge-free and MMU-free (the auditor must be able to inspect
+        state without perturbing the clock it is auditing).  Returns
+        (vkey, pkey-or-None, pinned, flags) or None when no slot exists.
+        """
+        slot = self._slots.get(vkey)
+        if slot is None:
+            return None
+        base, offset = self._slot_addr(slot * RECORD_SIZE)
+        addr = base + offset
+        entry = self._process.page_table.lookup_populated(addr // PAGE_SIZE)
+        if entry is None:
+            return None  # slot taken but record never written
+        raw = entry.frame.read(addr % PAGE_SIZE, RECORD_SIZE)
+        rvkey, pkey, pinned, flags = _RECORD.unpack(raw)
+        return rvkey, (None if pkey == -1 else pkey), pinned, flags
+
+    def slotted_vkeys(self) -> list[int]:
+        """Every vkey holding a metadata slot (audit use)."""
+        return list(self._slots)
+
     # ------------------------------------------------------------------
     # User-side (read-only mapping) operations.
     # ------------------------------------------------------------------

@@ -27,7 +27,17 @@ class MachineFault(ReproError):
 
 
 class SegmentationFault(MachineFault):
-    """Page-permission (or unmapped-page) violation — SIGSEGV."""
+    """Page-permission (or unmapped-page) violation — SIGSEGV.
+
+    ``unmapped`` distinguishes the two SIGSEGV ``si_code`` flavours:
+    True means no mapping existed (SEGV_MAPERR), False means the page
+    bits denied the access (SEGV_ACCERR).
+    """
+
+    def __init__(self, message: str, *, addr: int | None = None,
+                 access: str | None = None, unmapped: bool = False) -> None:
+        super().__init__(message, addr=addr, access=access)
+        self.unmapped = unmapped
 
 
 class PkeyFault(SegmentationFault):
@@ -108,6 +118,39 @@ class MpkVkeyInUse(MpkError):
 
 class MpkMetadataTampering(MpkError):
     """Load-time/call-site verification rejected a libmpk invocation."""
+
+
+# --------------------------------------------------------------------------
+# Fault plane (repro.faults).
+# --------------------------------------------------------------------------
+
+class InjectedFault(ReproError):
+    """A failure fired by the deterministic fault injector.
+
+    Carries the charge-site label and the 1-based occurrence count at
+    which the injection plan triggered, so a failing campaign run can be
+    replayed exactly by re-arming the same (site, occurrence) pair.
+    """
+
+    def __init__(self, message: str, *, site: str | None = None,
+                 occurrence: int | None = None) -> None:
+        super().__init__(message)
+        self.site = site
+        self.occurrence = occurrence
+
+
+class TaskKilled(ReproError):
+    """A task died from an unhandled (or doubly-faulting) signal.
+
+    The process stays usable: sibling tasks keep running, and libmpk's
+    task-death hook has already unpinned the dead thread's page groups.
+    """
+
+    def __init__(self, message: str, *, tid: int | None = None,
+                 siginfo=None) -> None:
+        super().__init__(message)
+        self.tid = tid
+        self.siginfo = siginfo
 
 
 class SandboxViolation(ReproError):

@@ -1,0 +1,179 @@
+"""Crash-consistency auditing: do the four state layers still agree?
+
+libmpk's correctness rests on four replicas of the same truth staying
+in lock-step: the :class:`~repro.core.groups.PageGroup` records
+(userspace bookkeeping), the :class:`~repro.core.keycache.KeyCache`
+bindings (vkey→pkey scheduling), the page-table pkey bits (what the
+hardware actually enforces), and the :class:`MetadataRegion` records
+(the attack-hardened mirror of §4.3).  A failure injected mid-operation
+is allowed to abort the operation — it is *not* allowed to leave these
+four disagreeing, because a later operation would then grant or revoke
+the wrong pages.
+
+:func:`audit_libmpk` cross-checks all four (plus the obs conservation
+invariant) and returns every violation found.  The campaign runner
+calls it after every injected failure; ``Libmpk.audit()`` exposes it as
+a public API.
+
+Invariants checked
+------------------
+1. **Key accounting** — free + bound + reserved keys partition the
+   cache's capacity; no hardware key backs two virtual keys.
+2. **Group ↔ cache** — a cached group's ``pkey`` equals its cache
+   binding; an uncached group has no binding; every binding names a
+   live group; exec-only groups carry the reserved execute-only key.
+3. **Page table** — every populated PTE (and VMA) inside a group's
+   range carries the group's key when cached, the default key when
+   evicted.  (Page *prot* bits are deliberately not audited: eviction
+   legitimately narrows them, and global-model groups park their prot
+   in page bits.)
+4. **Metadata region** — each group has a record whose pkey, pin count
+   and exec-only flag match; no orphan records for dissolved groups.
+5. **Pins** — ``pinned_by`` only names live tasks (task death must
+   unpin).
+6. **Conservation** — ``obs.audit()``: per-site counters still sum to
+   the clock (no cycle entered or left the system unattributed).
+
+Intentionally *not* checked: cross-thread PKRU agreement (lazy
+do_pkey_sync makes divergence a legitimate transient state — Figure 7)
+and TLB contents (stale entries until a shootdown are faithful
+hardware behaviour).
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from repro.consts import DEFAULT_PKEY, page_number
+
+if typing.TYPE_CHECKING:
+    from repro.core.api import Libmpk
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one consistency audit."""
+
+    violations: list[str] = field(default_factory=list)
+    checks: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __str__(self) -> str:
+        if self.ok:
+            return f"audit ok ({self.checks} checks)"
+        lines = [f"audit FAILED ({len(self.violations)} violations, "
+                 f"{self.checks} checks):"]
+        lines += [f"  - {v}" for v in self.violations]
+        return "\n".join(lines)
+
+
+def audit_libmpk(lib: "Libmpk") -> AuditReport:
+    """Cross-check every state layer of one libmpk instance."""
+    report = AuditReport()
+    cache = lib._cache
+    process = lib._process
+    machine = lib._kernel.machine
+
+    def check(condition: bool, message: str) -> None:
+        report.checks += 1
+        if not condition:
+            report.violations.append(message)
+
+    # -- 6: conservation first (cheap, and failure poisons the rest). --
+    ok, delta = machine.obs.audit()
+    check(ok, f"cycle conservation broken: aggregator off by {delta}")
+
+    if cache is None:
+        return report  # not initialized: nothing else to audit
+
+    groups = lib._groups
+    bindings = cache.bindings()
+
+    # -- 1: key accounting. --
+    bound = list(bindings.values())
+    check(len(bound) == len(set(bound)),
+          f"hardware key double-booked: bindings {bindings}")
+    free = cache.free_keys
+    reserved = cache.reserved_keys
+    check(len(free) + len(bound) + len(reserved) == cache.capacity,
+          f"key partition broken: {len(free)} free + {len(bound)} bound "
+          f"+ {len(reserved)} reserved != capacity {cache.capacity}")
+    check(not (set(free) & set(bound)) and not (set(free) & reserved),
+          f"key in two pools: free={free} bound={bound} "
+          f"reserved={sorted(reserved)}")
+
+    # -- 2: group <-> cache agreement. --
+    for vkey in bindings:
+        check(vkey in groups,
+              f"cache binds vkey {vkey} which has no page group")
+    for vkey, group in groups.items():
+        if group.exec_only:
+            check(group.pkey == lib._xo_pkey,
+                  f"exec-only group {vkey} has pkey {group.pkey}, "
+                  f"reserved key is {lib._xo_pkey}")
+            check(lib._xo_pkey in reserved,
+                  f"exec-only key {lib._xo_pkey} is not reserved")
+        elif group.cached:
+            check(bindings.get(vkey) == group.pkey,
+                  f"group {vkey} says pkey {group.pkey} but cache "
+                  f"binds {bindings.get(vkey)}")
+        else:
+            check(vkey not in bindings,
+                  f"group {vkey} says evicted but cache binds "
+                  f"{bindings.get(vkey)}")
+
+    # -- 3: page-table (and VMA) pkey bits. --
+    page_table = process.page_table
+    for vkey, group in groups.items():
+        expected = group.pkey if group.pkey is not None else DEFAULT_PKEY
+        first = page_number(group.base)
+        last = page_number(group.base + group.length)
+        for vpn in page_table.populated_vpns_in_range(first, last):
+            entry = page_table.lookup_populated(vpn)
+            check(entry.pkey == expected,
+                  f"group {vkey}: PTE for page {vpn:#x} carries pkey "
+                  f"{entry.pkey}, expected {expected}")
+        for vma in process.mm.vmas.find_range(group.base,
+                                              group.base + group.length):
+            if vma.start >= group.base and vma.end <= group.base + \
+                    group.length:
+                check(vma.pkey == expected,
+                      f"group {vkey}: VMA [{vma.start:#x},{vma.end:#x}) "
+                      f"carries pkey {vma.pkey}, expected {expected}")
+
+    # -- 4: metadata region agreement. --
+    metadata = lib._metadata
+    if metadata is not None:
+        for vkey, group in groups.items():
+            record = metadata.kernel_read_record(vkey)
+            if record is None:
+                check(False, f"group {vkey} has no metadata record")
+                continue
+            rvkey, rpkey, rpinned, rflags = record
+            check(rvkey == vkey,
+                  f"metadata slot for {vkey} holds record for {rvkey}")
+            check(rpkey == group.pkey,
+                  f"group {vkey}: metadata says pkey {rpkey}, group "
+                  f"says {group.pkey}")
+            check(rpinned == len(group.pinned_by),
+                  f"group {vkey}: metadata says {rpinned} pins, group "
+                  f"has {len(group.pinned_by)}")
+            check(bool(rflags & 1) == group.exec_only,
+                  f"group {vkey}: metadata exec-only flag {rflags & 1} "
+                  f"!= group.exec_only {group.exec_only}")
+        for vkey in metadata.slotted_vkeys():
+            check(vkey in groups,
+                  f"orphan metadata record for dissolved vkey {vkey}")
+
+    # -- 5: pins name live tasks only. --
+    live = {t.tid for t in process.live_tasks()}
+    for vkey, group in groups.items():
+        dead = group.pinned_by - live
+        check(not dead,
+              f"group {vkey} pinned by dead task(s) {sorted(dead)}")
+
+    return report

@@ -1,0 +1,303 @@
+"""Exhaustive fault-injection campaigns with per-run consistency audits.
+
+A *campaign* answers the robustness question systematically: for every
+point where a failure could strike, does the system come back to a
+consistent state?  The charge-site stream makes "every point" finite
+and enumerable:
+
+1. **Census** — run the workload once on a fresh testbed with a passive
+   :class:`~repro.faults.inject.FaultInjector` attached and record how
+   many times each charge site fires.
+2. **Sweep** — for every (site, occurrence) pair in the census (or a
+   seeded-random sample of them), rebuild the testbed from scratch, arm
+   one one-shot :func:`~repro.faults.inject.raise_error` plan at that
+   exact point, and replay the workload.  The simulator is
+   deterministic, so the run is bit-identical to the census up to the
+   injection point — the plan is guaranteed to fire.
+3. **Audit** — after every run, :func:`~repro.faults.audit.audit_libmpk`
+   cross-checks the state layers.  Any violation fails the campaign, no
+   matter how gracefully the workload itself coped.
+
+Outcomes per run: ``recovered`` (the workload completed — its steps may
+have individually degraded), ``degraded`` (a
+:class:`~repro.errors.ReproError` escaped the workload), ``task-killed``
+(a signal killed a task), ``not-fired`` (the plan never matched — a
+census/replay mismatch, always a failure) and ``unexpected-error``
+(a non-simulator exception — always a failure).
+"""
+
+from __future__ import annotations
+
+import random
+import typing
+from dataclasses import dataclass, field
+
+from repro.consts import (
+    MAP_ANONYMOUS,
+    MAP_PRIVATE,
+    PAGE_SIZE,
+    PROT_EXEC,
+    PROT_READ,
+    PROT_WRITE,
+)
+from repro.errors import ReproError, TaskKilled
+from repro.faults.audit import audit_libmpk
+from repro.faults.inject import FaultInjector, raise_error
+
+RECOVERED = "recovered"
+DEGRADED = "degraded"
+TASK_KILLED = "task-killed"
+NOT_FIRED = "not-fired"
+UNEXPECTED = "unexpected-error"
+
+#: Outcomes a run may legitimately end in (the audit still gates them).
+ALLOWED_OUTCOMES = frozenset({RECOVERED, DEGRADED, TASK_KILLED})
+
+_FLAGS = MAP_ANONYMOUS | MAP_PRIVATE
+
+
+@dataclass
+class RunRecord:
+    """One injected replay of the workload."""
+
+    site: str
+    occurrence: int
+    outcome: str
+    error: str = ""
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome in ALLOWED_OUTCOMES and not self.violations
+
+
+@dataclass
+class CampaignReport:
+    """Everything a campaign learned."""
+
+    workload: str
+    mode: str
+    census: dict[str, int]
+    runs: list[RunRecord] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(run.ok for run in self.runs)
+
+    @property
+    def distinct_sites(self) -> list[str]:
+        return sorted({run.site for run in self.runs})
+
+    def outcome_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for run in self.runs:
+            counts[run.outcome] = counts.get(run.outcome, 0) + 1
+        return counts
+
+    def failures(self) -> list[RunRecord]:
+        return [run for run in self.runs if not run.ok]
+
+    def format(self) -> str:
+        total_points = sum(self.census.values())
+        lines = [
+            f"fault campaign: workload={self.workload} mode={self.mode}",
+            f"  census: {len(self.census)} sites, "
+            f"{total_points} injectable occurrences",
+            f"  runs: {len(self.runs)} over "
+            f"{len(self.distinct_sites)} distinct sites",
+        ]
+        for outcome, count in sorted(self.outcome_counts().items()):
+            lines.append(f"    {outcome:<18} {count}")
+        failures = self.failures()
+        if failures:
+            lines.append(f"  FAILED runs: {len(failures)}")
+            for run in failures:
+                lines.append(f"    {run.site}@{run.occurrence}: "
+                             f"{run.outcome} {run.error}")
+                for violation in run.violations:
+                    lines.append(f"      audit: {violation}")
+        else:
+            lines.append("  all runs consistent (0 audit violations)")
+        return "\n".join(lines)
+
+
+class Table1Workload:
+    """A compact slice of the paper's Table 1 surface.
+
+    Covers the raw syscalls (pkey_alloc/pkey_mprotect/mprotect/munmap/
+    pkey_free) and every libmpk call family — mmap/malloc, begin/end
+    under genuine key pressure (the build step burns hardware keys down
+    to a 3-entry cache so the sweep hits the eviction path), global
+    mpk_mprotect, the exec-only round trip, disown and munmap.  Steps
+    absorb :class:`~repro.errors.ReproError` individually: an injected
+    failure degrades one step and the rest of the workload keeps
+    driving the — possibly rolled-back — state, exactly how a resilient
+    application would.
+    """
+
+    name = "table1"
+
+    #: Hardware keys claimed before mpk_init so the key cache holds
+    #: only 3 keys and a handful of groups already force eviction.
+    BURNED_KEYS = 12
+
+    def build(self):
+        from repro.bench import make_testbed
+
+        testbed = make_testbed(threads=2, with_libmpk=False, num_cores=4)
+        burned = [testbed.kernel.sys_pkey_alloc(testbed.task, 0, 0)
+                  for _ in range(self.BURNED_KEYS)]
+        from repro import Libmpk
+
+        testbed.lib = Libmpk(testbed.process)
+        testbed.lib.mpk_init(testbed.task, evict_rate=1.0)
+        # Hand one key back so the workload's raw pkey_alloc succeeds.
+        testbed.kernel.sys_pkey_free(testbed.task, burned[0])
+        return testbed
+
+    def run(self, testbed) -> int:
+        kernel, task, lib = testbed.kernel, testbed.task, testbed.lib
+        rw = PROT_READ | PROT_WRITE
+        state: dict[str, int] = {}
+        degraded = 0
+
+        def raw_syscalls():
+            pkey = kernel.sys_pkey_alloc(task, 0, 0)
+            scratch = kernel.sys_mmap(task, 2 * PAGE_SIZE, rw, _FLAGS)
+            kernel.sys_pkey_mprotect(task, scratch, PAGE_SIZE, rw, pkey)
+            kernel.sys_mprotect(task, scratch + PAGE_SIZE, PAGE_SIZE,
+                                PROT_READ)
+            kernel.sys_munmap(task, scratch, 2 * PAGE_SIZE)
+            kernel.sys_pkey_free(task, pkey)
+
+        def heap_group():
+            lib.mpk_mmap(task, 1, 2 * PAGE_SIZE, rw)
+            state["addr"] = lib.mpk_malloc(task, 1, 256)
+
+        def domain_write():
+            if "addr" not in state:
+                return
+            with lib.domain(task, 1, rw):
+                task.write(state["addr"], b"table one")
+
+        def adopt_arena():
+            arena = kernel.sys_mmap(task, 3 * PAGE_SIZE, rw, _FLAGS)
+            for index, vkey in enumerate((2, 3, 4)):
+                lib.mpk_adopt(task, vkey, arena + index * PAGE_SIZE,
+                              PAGE_SIZE, rw)
+
+        def churn_domains():
+            # With a 3-key cache and vkey 1 already bound, the third
+            # begin below misses and evicts the LRU binding.
+            for vkey in (2, 3, 4):
+                lib.mpk_begin(task, vkey, rw)
+                lib.mpk_end(task, vkey)
+
+        def global_and_exec_only():
+            lib.mpk_mprotect(task, 2, PROT_READ)
+            lib.mpk_mprotect(task, 2, PROT_EXEC)
+            lib.mpk_mprotect(task, 2, rw)
+
+        def teardown():
+            if "addr" in state:
+                lib.mpk_free(task, 1, state["addr"])
+            lib.mpk_disown(task, 3, rw)
+            lib.mpk_munmap(task, 1)
+
+        for step in (raw_syscalls, heap_group, domain_write, adopt_arena,
+                     churn_domains, global_and_exec_only, teardown):
+            try:
+                step()
+            except ReproError:
+                degraded += 1
+        return degraded
+
+
+def run_campaign(workload=None, mode: str = "exhaustive",
+                 sites: typing.Iterable[str] | None = None,
+                 max_occurrences_per_site: int | None = None,
+                 max_runs: int | None = None, seed: int = 11,
+                 on_run=None) -> CampaignReport:
+    """Sweep injected failures over ``workload`` and audit every run.
+
+    ``mode="exhaustive"`` replays once per (site, occurrence) pair in
+    the census; ``mode="random"`` replays a seeded sample of
+    ``max_runs`` pairs.  ``sites`` restricts the sweep to matching site
+    patterns (exact or ``prefix.*``); ``max_occurrences_per_site=1``
+    is the CI smoke configuration.  ``on_run`` (if given) receives each
+    :class:`RunRecord` as it completes.
+    """
+    from repro.faults.inject import _site_matches
+
+    workload = workload or Table1Workload()
+    census = _take_census(workload)
+
+    points: list[tuple[str, int]] = []
+    for site in sorted(census):
+        if sites is not None and not any(
+                _site_matches(pattern, site) for pattern in sites):
+            continue
+        limit = census[site]
+        if max_occurrences_per_site is not None:
+            limit = min(limit, max_occurrences_per_site)
+        points.extend((site, occurrence)
+                      for occurrence in range(1, limit + 1))
+
+    if mode == "random":
+        rng = random.Random(seed)
+        sample = min(max_runs or 25, len(points))
+        points = sorted(rng.sample(points, sample))
+    elif mode == "exhaustive":
+        if max_runs is not None:
+            points = points[:max_runs]
+    else:
+        raise ValueError(f"unknown campaign mode: {mode!r}")
+
+    report = CampaignReport(workload=workload.name, mode=mode,
+                            census=census)
+    for site, occurrence in points:
+        record = _one_run(workload, site, occurrence)
+        report.runs.append(record)
+        if on_run is not None:
+            on_run(record)
+    return report
+
+
+def _take_census(workload) -> dict[str, int]:
+    testbed = workload.build()
+    injector = FaultInjector()
+    obs = testbed.kernel.machine.obs
+    obs.add_sink(injector)
+    try:
+        workload.run(testbed)
+    finally:
+        obs.remove_sink(injector)
+    return injector.counts
+
+
+def _one_run(workload, site: str, occurrence: int) -> RunRecord:
+    testbed = workload.build()
+    injector = FaultInjector()
+    plan = injector.arm(site, occurrence, raise_error())
+    obs = testbed.kernel.machine.obs
+    obs.add_sink(injector)
+    outcome, error = RECOVERED, ""
+    try:
+        workload.run(testbed)
+        if not plan.fired:
+            outcome = NOT_FIRED
+            error = "plan never matched (census/replay divergence)"
+    except TaskKilled as exc:
+        outcome, error = TASK_KILLED, str(exc)
+    except ReproError as exc:
+        outcome, error = DEGRADED, f"{type(exc).__name__}: {exc}"
+    except Exception as exc:  # noqa: BLE001 — classified, not swallowed
+        outcome, error = UNEXPECTED, f"{type(exc).__name__}: {exc}"
+    finally:
+        obs.remove_sink(injector)
+
+    violations: list[str] = []
+    if testbed.lib is not None:
+        violations = list(audit_libmpk(testbed.lib).violations)
+    return RunRecord(site=site, occurrence=occurrence, outcome=outcome,
+                     error=error, violations=violations)

@@ -1,0 +1,222 @@
+"""Deterministic failure injection over the charge-site stream.
+
+Every simulated cycle flows through :meth:`~repro.hw.cycles.Clock.charge`
+with a dotted ``layer.op.component`` site label, so "the Nth PTE update
+of this run" or "the next keycache lookup" is a well-defined, exactly
+reproducible point in time.  :class:`FaultInjector` is a
+:class:`~repro.obs.ChargeSink` that counts occurrences per site and
+fires *plans* — raise an exception, stretch the operation by extra
+cycles, or run an arbitrary callback — when a plan's (site, occurrence)
+pair comes up.
+
+Three arming modes:
+
+* ``arm(site, occurrence)`` — scripted: fire exactly at the Nth hit
+  (1-based) of a site; patterns like ``"kernel.mprotect.*"`` match a
+  whole subsystem.
+* ``arm_random(...)`` — seeded-random: every matching charge fires with
+  probability ``rate`` under a private ``random.Random(seed)``, capped
+  at ``max_fires``.  Deterministic for a fixed seed and workload.
+* exhaustive sweeps live one level up, in
+  :mod:`repro.faults.campaign`, which replays a workload once per
+  recorded occurrence.
+
+Plans are one-shot by default, which is what makes recovery code
+testable: the rollback path re-executes the same sites (PTE resets,
+metadata repair writes) and must not re-trigger the injection that
+unwound it.  While a plan's action runs, the injector suspends itself,
+so an action that charges cycles (the delay action re-charges the
+victim site) cannot recurse.
+"""
+
+from __future__ import annotations
+
+import random
+import typing
+from dataclasses import dataclass
+
+from repro.errors import InjectedFault
+from repro.obs import ChargeSink
+
+
+@dataclass
+class InjectionEvent:
+    """What a firing plan's action gets to see."""
+
+    site: str
+    occurrence: int     # 1-based per-site hit count at firing time
+    cycles: float
+    now: float
+    seq: int
+
+
+@dataclass
+class InjectionPlan:
+    """One armed injection: fire ``action`` at hit ``occurrence`` of
+    any site matching ``pattern`` (one-shot unless ``repeat``)."""
+
+    pattern: str
+    occurrence: int
+    action: typing.Callable[[InjectionEvent], None]
+    repeat: bool = False
+    fired: int = 0
+    label: str = ""
+
+    def matches(self, site: str, occurrence: int) -> bool:
+        if not self.repeat and self.fired:
+            return False
+        return occurrence == self.occurrence and _site_matches(
+            self.pattern, site)
+
+
+def _site_matches(pattern: str, site: str) -> bool:
+    """Exact match, or a ``prefix.*`` subsystem wildcard."""
+    if pattern.endswith(".*"):
+        return site.startswith(pattern[:-1]) or site == pattern[:-2]
+    return site == pattern
+
+
+# ---------------------------------------------------------------------------
+# Actions.
+# ---------------------------------------------------------------------------
+
+def raise_error(exc_type: type = InjectedFault, message: str | None = None):
+    """Action: raise ``exc_type`` at the injection point.
+
+    :class:`~repro.errors.InjectedFault` (the default) gets the firing
+    site/occurrence attached; other exception types (``OutOfMemory``,
+    ``PkeyFault``...) are constructed with the message alone.
+    """
+    def action(event: InjectionEvent) -> None:
+        text = message or (f"injected failure at {event.site} "
+                           f"(occurrence {event.occurrence})")
+        if issubclass(exc_type, InjectedFault):
+            raise exc_type(text, site=event.site,
+                           occurrence=event.occurrence)
+        raise exc_type(text)
+    return action
+
+
+def delay(clock, extra_cycles: float):
+    """Action: stretch the operation — charge ``extra_cycles`` more to
+    the victim site (a slow IPI ack, a contended lock, an SMI)."""
+    def action(event: InjectionEvent) -> None:
+        clock.charge(extra_cycles, site=event.site)
+    return action
+
+
+# ---------------------------------------------------------------------------
+# The injector sink.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FiredRecord:
+    """Journal entry for one plan firing."""
+
+    site: str
+    occurrence: int
+    label: str
+    now: float
+
+
+class FaultInjector(ChargeSink):
+    """Charge sink that fires scripted failures at exact charge sites.
+
+    Attach with ``machine.obs.add_sink(injector)`` *after* building the
+    system under test, so setup charges do not skew occurrence counts;
+    detach with ``remove_sink`` before auditing.
+    """
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {}
+        self._plans: list[InjectionPlan] = []
+        self._rng: random.Random | None = None
+        self._random_rate = 0.0
+        self._random_pattern = "*"
+        self._random_action = None
+        self._random_fires_left = 0
+        self._suspended = False
+        self.fired: list[FiredRecord] = []
+
+    # ------------------------------------------------------------------
+    # Arming.
+    # ------------------------------------------------------------------
+
+    def arm(self, site: str, occurrence: int = 1, action=None,
+            repeat: bool = False, label: str = "") -> InjectionPlan:
+        """Fire ``action`` at the ``occurrence``-th hit of ``site``.
+
+        ``action`` defaults to raising :class:`InjectedFault`;
+        ``site`` may end in ``.*`` to match a subsystem prefix.
+        """
+        if occurrence < 1:
+            raise ValueError("occurrence is 1-based")
+        plan = InjectionPlan(pattern=site, occurrence=occurrence,
+                             action=action or raise_error(),
+                             repeat=repeat,
+                             label=label or f"{site}@{occurrence}")
+        self._plans.append(plan)
+        return plan
+
+    def arm_random(self, seed: int, rate: float, action=None,
+                   pattern: str = "*", max_fires: int = 1) -> None:
+        """Seeded-random mode: each charge matching ``pattern`` fires
+        with probability ``rate``, at most ``max_fires`` times total."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1]: {rate}")
+        self._rng = random.Random(seed)
+        self._random_rate = rate
+        self._random_pattern = pattern
+        self._random_action = action or raise_error()
+        self._random_fires_left = max_fires
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    def occurrences(self, site: str) -> int:
+        """Hits of ``site`` seen so far (injection clock, not census)."""
+        return self._counts.get(site, 0)
+
+    @property
+    def counts(self) -> dict[str, int]:
+        return dict(self._counts)
+
+    # ------------------------------------------------------------------
+    # ChargeSink.
+    # ------------------------------------------------------------------
+
+    def on_charge(self, site: str, cycles: float, now: float,
+                  seq: int) -> None:
+        if self._suspended:
+            return
+        count = self._counts.get(site, 0) + 1
+        self._counts[site] = count
+        event = InjectionEvent(site=site, occurrence=count,
+                               cycles=cycles, now=now, seq=seq)
+        for plan in self._plans:
+            if plan.matches(site, count):
+                plan.fired += 1
+                self._fire(plan.label, plan.action, event)
+        if (self._rng is not None and self._random_fires_left > 0
+                and _site_matches_any(self._random_pattern, site)
+                and self._rng.random() < self._random_rate):
+            self._random_fires_left -= 1
+            self._fire(f"random:{site}@{count}", self._random_action,
+                       event)
+
+    def _fire(self, label: str, action, event: InjectionEvent) -> None:
+        self.fired.append(FiredRecord(site=event.site,
+                                      occurrence=event.occurrence,
+                                      label=label, now=event.now))
+        self._suspended = True
+        try:
+            action(event)
+        finally:
+            self._suspended = False
+
+
+def _site_matches_any(pattern: str, site: str) -> bool:
+    if pattern == "*":
+        return True
+    return _site_matches(pattern, site)

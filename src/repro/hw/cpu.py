@@ -158,7 +158,8 @@ class Core:
             # structures as authoritative for mapping existence but keep
             # permission bits from the TLB entry when present.
             raise SegmentationFault(
-                f"{kind} of unmapped address {addr:#x}", addr=addr, access=kind)
+                f"{kind} of unmapped address {addr:#x}", addr=addr,
+                access=kind, unmapped=True)
         if cached is None:
             self.clock.charge(self.costs.tlb_miss_walk,
                               site="hw.tlb.walk")

@@ -96,6 +96,19 @@ class CostModel:
     mpk_cache_lookup: float = 25.0    # vkey -> pkey hashmap probe
     mpk_metadata_op: float = 41.4     # metadata-page read / LRU update
 
+    # ---- Signal delivery (the fault plane's SIGSEGV model).  Linux's
+    # SIGSEGV round trip is dominated by the trap, sigframe setup with
+    # the xstate (PKRU included) save, and the sigreturn restore. ----
+    signal_deliver: float = 850.0   # trap + siginfo/sigframe setup
+    sigreturn: float = 380.0        # sigcontext (incl. PKRU) restore
+    signal_kill: float = 2400.0     # unhandled signal: task teardown
+
+    # ---- mpk_begin_wait backoff (capped exponential, §4.2's "sleeps
+    # until a key is available" strategy).  Base is a fraction of a
+    # context switch; the cap bounds the longest sleep at 8 switches. ----
+    begin_wait_base: float = 450.0
+    begin_wait_cap: float = 14_400.0
+
     # ---- mmap/munmap (used by workloads, not directly measured). ----
     mmap_base: float = 900.0
     mmap_per_page: float = 25.0

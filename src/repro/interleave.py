@@ -146,14 +146,27 @@ def run_schedule(factories: list[Script], schedule: tuple[int, ...],
 
 
 def explore(factories: list[Script], invariant=None, setup=None,
-            max_schedules: int = 300, seed: int = 7) -> ExplorationResult:
+            max_schedules: int = 300, seed: int = 7,
+            replay: tuple[int, ...] | None = None) -> ExplorationResult:
     """Run every interleaving (if few enough) or a random sample.
 
     ``setup(context)`` runs before each schedule — use it to build a
     fresh machine per interleaving.  ``invariant(context)`` runs after
     every step.  Raises :class:`InterleavingFailure` on the first
     violating schedule.
+
+    ``replay`` short-circuits exploration: run exactly that one
+    schedule (the one a previous :class:`InterleavingFailure` carried)
+    under the same setup and invariant — the one-call reproducer for a
+    failure found by a sweep.
     """
+    if replay is not None:
+        schedule = tuple(replay)
+        run_schedule(list(factories), schedule, invariant=invariant,
+                     setup=setup)
+        return ExplorationResult(schedules_run=1,
+                                 steps_run=len(schedule),
+                                 exhaustive=False)
     lengths = _script_lengths(list(factories), setup)
     total = _count_schedules(lengths)
     exhaustive = total <= max_schedules

@@ -22,7 +22,8 @@ from repro.consts import (
     PROT_EXEC,
     PROT_READ,
 )
-from repro.errors import InvalidArgument
+from repro.errors import InvalidArgument, MachineFault, TaskKilled
+from repro.faults.signals import Siginfo, siginfo_from_fault
 from repro.hw.machine import Machine
 from repro.hw.pkru import KEY_RIGHTS_NONE
 from repro.obs import traced
@@ -44,6 +45,10 @@ class Process:
         self.mm = MM(kernel.machine)
         self.pkeys = PkeyAllocator()
         self.tasks: list[Task] = []
+        # ``hook(task, siginfo)`` callbacks run when a task is killed by
+        # a signal, *before* it leaves the task list — libmpk registers
+        # one to unpin the dead thread's page groups.
+        self.task_death_hooks: list = []
         self.main_task = self.spawn_task()
 
     @property
@@ -250,6 +255,91 @@ class Kernel:
             self.clock.charge(self.costs.resched_ack_wait,
                               site="kernel.sync.ipi_ack_wait")
         return sent
+
+    # ------------------------------------------------------------------
+    # Signal delivery (the fault plane; see repro.faults.signals).
+    # ------------------------------------------------------------------
+
+    def deliver_fault(self, task: Task, fault: MachineFault) -> bool:
+        """Convert an MMU fault into a SIGSEGV delivered to ``task``.
+
+        The trap path: build the siginfo, queue the handler invocation
+        as task_work, and drive the task through the kernel-exit path
+        (exactly how Linux delivers a synchronous signal — the fault
+        returns to userspace *into* the handler).  Returns True when
+        the handler resolved the fault (the caller retries the access).
+        Raises :class:`~repro.errors.TaskKilled` when the signal was
+        unhandled, the handler declined-by-default (no handler for
+        SIGSEGV), or a second fault arrived mid-handler.
+        """
+        info = siginfo_from_fault(fault)
+        self.clock.charge(self.costs.signal_deliver,
+                          site="kernel.signal.deliver")
+        if task._in_signal_handler:
+            # A fault while the handler runs: double fault, no recovery.
+            self._execute_kill(task, info)
+            raise TaskKilled(
+                f"task {task.tid} killed by nested {info.describe()} "
+                "inside its signal handler", tid=task.tid, siginfo=info)
+        outcome = {"retry": False}
+        self.ktask_work_add(task, self._signal_work(info, outcome))
+        self.scheduler.kernel_exit(task)
+        if task.state == "dead":
+            raise TaskKilled(
+                f"task {task.tid} killed by unhandled {info.describe()}",
+                tid=task.tid, siginfo=info)
+        return outcome["retry"]
+
+    def signal_task(self, target: Task, info: Siginfo) -> None:
+        """Cross-thread signal (tgkill analogue): queue the handler
+        invocation on ``target`` and kick it through the kernel-exit
+        path if it is running; a sleeping target handles the signal at
+        its next context-switch-in.  An unhandled signal kills the
+        target without unwinding the sender."""
+        self.clock.charge(self.costs.signal_deliver,
+                          site="kernel.signal.deliver")
+        self.ktask_work_add(target, self._signal_work(info, {}))
+        self.kick(target)
+
+    def _signal_work(self, info: Siginfo, outcome: dict):
+        """The task_work that runs the handler at kernel exit."""
+        def work(task: Task) -> None:
+            handler = task._sigactions.get(info.signo)
+            if handler is None:
+                self._execute_kill(task, info)
+                return
+            # Sigframe setup: snapshot PKRU into the saved context the
+            # handler may patch; sigreturn installs whatever it holds.
+            info.saved_pkru = task.pkru
+            task._in_signal_handler = True
+            try:
+                with task.trusted_gate():
+                    result = handler(task, info)
+            finally:
+                task._in_signal_handler = False
+                if task.state != "dead":
+                    task.pkru = info.saved_pkru
+                    if task.running:
+                        self.machine.core(task.core_id).load_pkru(
+                            task.pkru)
+                    self.clock.charge(self.costs.sigreturn,
+                                      site="kernel.signal.sigreturn")
+            outcome["retry"] = bool(result)
+        return work
+
+    def _execute_kill(self, task: Task, info: Siginfo) -> None:
+        """Terminate ``task`` from kernel context: run death hooks (so
+        libmpk unpins its groups), drop pending work, leave the core.
+        The *process* stays fully usable."""
+        if task.state == "dead":
+            return
+        self.clock.charge(self.costs.signal_kill,
+                          site="kernel.signal.kill")
+        task.exit_signal = info
+        task._task_works.clear()
+        for hook in list(task.process.task_death_hooks):
+            hook(task, info)
+        task.process.exit_task(task)
 
     # ------------------------------------------------------------------
 

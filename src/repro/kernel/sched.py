@@ -136,11 +136,20 @@ class Scheduler:
     # Kernel exit path (task_work + PKRU reload).
     # ------------------------------------------------------------------
 
-    def _kernel_exit(self, task: "Task") -> None:
-        """Model the return-to-userspace path for ``task``."""
+    def kernel_exit(self, task: "Task") -> None:
+        """Model the return-to-userspace path for ``task``.
+
+        Drains task_work (the lazy-PKRU-sync and signal-delivery hook)
+        and reloads the task's PKRU into its core.  Public because the
+        kernel's trap-return path (signal delivery after an MMU fault)
+        drives it directly.
+        """
         ran = task.run_task_works()
         if ran:
             self.machine.clock.charge(ran * self.machine.costs.task_work_run,
                                       site="kernel.sched.task_work_run")
         if task.running:
             self.machine.core(task.core_id).load_pkru(task.pkru)
+
+    # Backwards-compatible private alias.
+    _kernel_exit = kernel_exit

@@ -49,6 +49,14 @@ class Task:
         # when sandboxed, WRPKRU may only execute inside a trusted gate.
         self.wrpkru_sandboxed = False
         self._gate_depth = 0
+        # Signal state (the fault plane): registered handlers, whether a
+        # handler is currently on the (conceptual) signal stack, and the
+        # siginfo the task died from, if any.
+        self._fault_handler = None
+        self._sigactions: dict[int, typing.Callable] = {}
+        self._signals_default = False
+        self._in_signal_handler = False
+        self.exit_signal = None
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -143,14 +151,57 @@ class Task:
         """
         self._fault_handler = handler
 
+    # ------------------------------------------------------------------
+    # POSIX-style signals (the fault plane; see repro.faults.signals).
+    # ------------------------------------------------------------------
+
+    def sigaction(self, signo: int, handler):
+        """Register ``handler(task, siginfo)`` for ``signo``; returns
+        the previous handler (None unregisters).
+
+        A truthy return from the handler retries the faulting access
+        once; a falsy return declines (the raw fault propagates); an
+        exception raised by the handler unwinds past the faulting
+        access — the siglongjmp recovery pattern.  Registering any
+        handler enables signal delivery for this task.
+        """
+        previous = self._sigactions.get(signo)
+        if handler is None:
+            self._sigactions.pop(signo, None)
+        else:
+            self._sigactions[signo] = handler
+        return previous
+
+    def enable_signals(self) -> None:
+        """Opt into signal *semantics* without a handler: an unhandled
+        fault then kills this task cleanly (process survives) instead
+        of unwinding the whole simulation — the worker-respawn model."""
+        self._signals_default = True
+
+    @property
+    def signals_enabled(self) -> bool:
+        return self._signals_default or bool(self._sigactions)
+
+    #: Deliveries attempted for one access before giving up on a
+    #: handler that keeps claiming success while the fault persists.
+    _SIGNAL_RETRIES = 4
+
     def _with_fault_handler(self, operation):
         try:
             return operation()
         except MachineFault as fault:
-            handler = getattr(self, "_fault_handler", None)
-            if handler is None or not handler(self, fault):
-                raise
-            return operation()  # retry once after the handler fixed it
+            handler = self._fault_handler
+            if handler is not None and handler(self, fault):
+                return operation()  # retry once after the handler fixed it
+            if self.signals_enabled:
+                for _ in range(self._SIGNAL_RETRIES):
+                    if not self.kernel.deliver_fault(self, fault):
+                        break  # handler declined: surface the raw fault
+                    try:
+                        return operation()
+                    except MachineFault as again:
+                        fault = again
+            raise fault
 
     def read(self, addr: int, length: int) -> bytes:
         """MMU-checked userspace load."""

@@ -1,0 +1,126 @@
+"""Application-level graceful degradation: httpd workers and the JIT.
+
+The integration payoff of the fault plane: a pkey violation inside one
+httpd worker (or one JIT guest) is contained — the process, its other
+workers, and libmpk's bookkeeping all keep working.
+"""
+
+import pytest
+
+from repro.consts import PROT_READ, PROT_WRITE
+from repro.apps.jit import ENGINES, JsEngine, KeyPerPageWx
+from repro.apps.jit.engine import GuestCrash
+from repro.apps.sslserver import HttpServer, SslLibrary
+from repro.apps.sslserver.workers import RequestAborted, WorkerPool
+
+RW = PROT_READ | PROT_WRITE
+
+
+@pytest.fixture
+def server(kernel, process, task, lib):
+    ssl = SslLibrary(kernel, process, task, mode="libmpk", lib=lib)
+    return HttpServer(kernel, process, task, ssl)
+
+
+def _snoop_key_heap(server):
+    """A compromised request handler: reads the private-key heap
+    directly, outside any open domain."""
+    def request(worker):
+        worker.read(server.ssl.key_heap_base, 16)
+    return request
+
+
+class TestWorkerPoolAbort:
+    def test_normal_requests_round_robin(self, kernel, process, server):
+        pool = WorkerPool(kernel, process, server, workers=2)
+        assert pool.serve() and pool.serve() and pool.serve()
+        assert pool.stats()["requests_ok"] == 3
+
+    def test_pkey_violation_aborts_request_only(self, kernel, process,
+                                                server, lib):
+        pool = WorkerPool(kernel, process, server, workers=2,
+                          crash_policy="abort")
+        assert pool.serve()
+        assert not pool.dispatch(_snoop_key_heap(server))
+        stats = pool.stats()
+        assert stats["requests_aborted"] == 1
+        assert stats["workers_killed"] == 0
+        assert stats["live_workers"] == 2
+        # The same workers keep serving, and libmpk stayed consistent.
+        assert pool.serve()
+        assert lib.audit().ok
+
+    def test_abort_carries_the_siginfo(self, kernel, process, server,
+                                       lib):
+        pool = WorkerPool(kernel, process, server, workers=1,
+                          crash_policy="abort")
+        worker = pool.workers[0]
+        with pytest.raises(RequestAborted) as exc_info:
+            _snoop_key_heap(server)(worker)
+        assert exc_info.value.info.is_pkey_fault
+        assert exc_info.value.info.si_pkey == lib.group(
+            SslLibrary.PKEY_GROUP).pkey
+
+
+class TestWorkerPoolKill:
+    def test_killed_worker_is_respawned(self, kernel, process, server,
+                                        lib):
+        pool = WorkerPool(kernel, process, server, workers=2,
+                          crash_policy="kill")
+        doomed = pool.workers[0]
+        assert not pool.dispatch(_snoop_key_heap(server))
+        stats = pool.stats()
+        assert stats["workers_killed"] == 1
+        assert stats["live_workers"] == 2  # replacement is in the slot
+        assert doomed.state == "dead"
+        assert pool.workers[0] is not doomed
+        # Service continues on both slots.
+        assert pool.serve() and pool.serve()
+        assert lib.audit().ok
+
+    def test_invalid_policy_rejected(self, kernel, process, server):
+        with pytest.raises(ValueError):
+            WorkerPool(kernel, process, server, crash_policy="panic")
+
+
+class TestJitWxRecovery:
+    @pytest.fixture
+    def engine(self, kernel, process, lib):
+        backend = KeyPerPageWx(kernel, lib)
+        return JsEngine(kernel, process, ENGINES["chakracore"], backend)
+
+    def test_guest_store_is_contained(self, engine, lib):
+        engine.enable_wx_violation_recovery()
+        addr = engine.compile_function(256)
+        engine.execute_native(addr, 256)
+        # Untrusted guest code tries to overwrite the compiled stub.
+        assert not engine.guest_store(addr, b"\xcc" * 4)
+        assert engine.guest_crashes == 1
+        (info,) = engine.wx_violations
+        assert info.is_pkey_fault
+        # The code is intact, the engine keeps compiling and running.
+        engine.execute_native(addr, 256)
+        other = engine.compile_function(128)
+        engine.execute_native(other, 128)
+        assert lib.audit().ok
+
+    def test_unrelated_fault_is_declined(self, engine):
+        engine.enable_wx_violation_recovery()
+        from repro.errors import MachineFault
+
+        with pytest.raises(MachineFault):
+            engine.exec_task.write(0xDEAD_0000, b"x")
+        assert engine.wx_violations == []
+
+    def test_without_recovery_the_fault_is_raw(self, engine):
+        from repro.errors import PkeyFault
+
+        addr = engine.compile_function(64)
+        with pytest.raises(PkeyFault):
+            engine.exec_task.write(addr, b"\xcc")
+
+    def test_guest_crash_propagates_outside_guest_store(self, engine):
+        engine.enable_wx_violation_recovery()
+        addr = engine.compile_function(64)
+        with pytest.raises(GuestCrash):
+            engine.exec_task.write(addr, b"\xcc")
