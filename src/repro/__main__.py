@@ -9,6 +9,7 @@ examples       run every example script in sequence
 stats          run a sample workload, print per-site cycle attribution
 profile        run a sample workload, print the hierarchical span profile
 faultcampaign  sweep injected failures over a workload, audit every run
+hostbench      time access-heavy workloads on the host, fast vs slow MMU
 """
 
 from __future__ import annotations
@@ -43,7 +44,7 @@ def cmd_info(_args: argparse.Namespace) -> int:
         ("pkey_free", costs.syscall_overhead() + costs.pkey_free_kernel),
         ("mprotect (1 page)", costs.syscall_overhead()
          + costs.mprotect_base + costs.vma_find + costs.pte_update
-         + costs.tlb_flush_full),
+         + costs.tlb_flush_page),
         ("libmpk hit path", costs.wrpkru + costs.mpk_cache_lookup
          + costs.mpk_metadata_op),
     ]
@@ -146,6 +147,36 @@ def cmd_faultcampaign(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_hostbench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench import hostbench
+
+    workloads = args.only.split(",") if args.only else None
+    try:
+        report = hostbench.run_hostbench(repeat=args.repeat,
+                                         workloads=workloads)
+    except AssertionError as exc:
+        print(f"hostbench FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(hostbench.format_report(report))
+    out_path = pathlib.Path(args.output)
+    hostbench.write_report(report, out_path)
+    print(f"\nwrote {out_path}")
+    if args.check_baseline:
+        baseline = json.loads(
+            pathlib.Path(args.check_baseline).read_text())
+        problems = hostbench.check_against_baseline(report, baseline)
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        gated = report["benchmarks"][hostbench.GATED_WORKLOAD]
+        print(f"baseline check passed: {hostbench.GATED_WORKLOAD} "
+              f"speedup {gated['speedup']:.2f}x")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -179,6 +210,18 @@ def main(argv: list[str] | None = None) -> int:
     campaign.add_argument("--max-runs", type=int, default=None)
     campaign.add_argument("--seed", type=int, default=11,
                           help="sample seed for --mode random")
+    hostbench = sub.add_parser(
+        "hostbench",
+        help="wall-clock MMU hot-path benchmark (fast vs slow path)")
+    hostbench.add_argument("--repeat", type=int, default=3,
+                           help="timed repetitions per mode (min wins)")
+    hostbench.add_argument("--only", default=None,
+                           help="comma-separated workload subset")
+    hostbench.add_argument("--output",
+                           default=str(REPO_ROOT / "BENCH_hotpath.json"))
+    hostbench.add_argument("--check-baseline", default=None,
+                           help="baseline JSON to gate regressions "
+                                "against")
     args = parser.parse_args(argv)
     if getattr(args, "depth", None) == 0:
         args.depth = None
@@ -190,6 +233,7 @@ def main(argv: list[str] | None = None) -> int:
         "stats": cmd_stats,
         "profile": cmd_profile,
         "faultcampaign": cmd_faultcampaign,
+        "hostbench": cmd_hostbench,
     }[args.command]
     return handler(args)
 

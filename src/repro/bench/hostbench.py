@@ -1,0 +1,222 @@
+"""Wall-clock benchmark harness for the MMU hot path.
+
+Simulated cycles measure the *modeled* machine; this module measures
+the *simulator itself* — how much host time the access-heavy workloads
+burn — so the perf trajectory of the hot path is tracked in CI instead
+of anecdotally.  Each workload runs twice, with the MMU fast path
+enabled and disabled, which doubles as the strongest correctness gate
+we have: the two runs must agree on final simulated time and on every
+per-site cycle total, bit for bit.
+
+``python -m repro hostbench`` writes machine-readable
+``BENCH_hotpath.json`` at the repo root; ``--check-baseline`` compares
+the fig8 cache-access speedup against a committed baseline and fails
+on a >25% regression.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.bench.fixtures import TestBed, make_testbed
+from repro.consts import PAGE_SIZE, PROT_READ, PROT_WRITE
+
+RW = PROT_READ | PROT_WRITE
+
+#: The regression gate: fail when the measured fig8 speedup drops below
+#: this fraction of the baseline speedup (a >25% regression).
+REGRESSION_FLOOR = 0.75
+GATED_WORKLOAD = "fig8_cache"
+
+
+# ---------------------------------------------------------------------------
+# Workloads.  Each returns (setup_state) from ``setup`` and is timed
+# only over ``run`` — testbed construction is not what we benchmark.
+# ---------------------------------------------------------------------------
+
+_FIG8_BUFFER_PAGES = 16  # 64 KiB per protection group
+
+
+def _fig8_cache_setup(bed: TestBed):
+    """Figure-8-shaped state: warm key-cache groups backing buffers."""
+    lib, task = bed.lib, bed.task
+    buffers = []
+    for vkey in range(100, 108):
+        addr = lib.mpk_mmap(task, vkey,
+                            _FIG8_BUFFER_PAGES * PAGE_SIZE, RW)
+        lib.mpk_mprotect(task, vkey, RW)
+        buffers.append((vkey, addr))
+    return buffers
+
+
+def _fig8_cache_run(bed: TestBed, buffers) -> None:
+    """The access-heavy half of Figure 8: every mpk_mprotect toggle is
+    followed by streaming reads/writes through the protected buffers —
+    the pattern whose wall-clock the MMU fast path exists to fix."""
+    lib, task = bed.lib, bed.task
+    size = _FIG8_BUFFER_PAGES * PAGE_SIZE
+    payload = b"\xa5" * size
+    for _ in range(40):
+        for vkey, addr in buffers:
+            lib.mpk_mprotect(task, vkey, RW)
+            task.write(addr, payload)
+            lib.mpk_mprotect(task, vkey, PROT_READ)
+            if task.read(addr, size) != payload:
+                raise AssertionError("fig8 workload read-back mismatch")
+
+
+def _table1_setup(bed: TestBed):
+    addr = bed.kernel.sys_mmap(bed.task, PAGE_SIZE, RW)
+    return addr
+
+
+def _table1_run(bed: TestBed, addr) -> None:
+    """Table-1 primitives in a loop: syscall-dominated, so the fast
+    path buys little here — tracked to catch regressions in the
+    syscall path's host cost."""
+    kernel, task = bed.kernel, bed.task
+    for i in range(150):
+        key = kernel.sys_pkey_alloc(task)
+        kernel.sys_pkey_mprotect(task, addr, PAGE_SIZE,
+                                 PROT_READ if i % 2 else RW, key)
+        task.read(addr, 64)
+        kernel.sys_mprotect(task, addr, PAGE_SIZE, RW)
+        task.write(addr, b"t1")
+        kernel.sys_pkey_free(task, key)
+
+
+def _fig14_memcached_setup(bed: TestBed):
+    """A Figure-14-like slab: one large mapping managed with
+    pkey_mprotect over big ranges (the bulk-overlay path)."""
+    slab_pages = 2048
+    addr = bed.kernel.sys_mmap(bed.task, slab_pages * PAGE_SIZE, RW)
+    key = bed.kernel.sys_pkey_alloc(bed.task)
+    return addr, slab_pages, key
+
+
+def _fig14_memcached_run(bed: TestBed, state) -> None:
+    kernel, task = bed.kernel, bed.task
+    addr, slab_pages, key = state
+    item = b"\x5a" * 1024
+    # SET phase: touch items across the slab (demand paging + writes).
+    for i in range(0, slab_pages, 4):
+        task.write(addr + i * PAGE_SIZE, item)
+    # Epoch protection flips over the whole slab (bulk path).
+    for _ in range(4):
+        kernel.sys_pkey_mprotect(task, addr, slab_pages * PAGE_SIZE,
+                                 PROT_READ, key)
+        for i in range(0, slab_pages, 8):  # GET phase
+            task.read(addr + i * PAGE_SIZE, 1024)
+        kernel.sys_pkey_mprotect(task, addr, slab_pages * PAGE_SIZE,
+                                 RW, key)
+        for i in range(0, slab_pages, 8):
+            task.write(addr + i * PAGE_SIZE, item)
+
+
+WORKLOADS = {
+    "fig8_cache": (_fig8_cache_setup, _fig8_cache_run,
+                   {"with_libmpk": True}),
+    "table1": (_table1_setup, _table1_run, {"with_libmpk": False}),
+    "fig14_memcached": (_fig14_memcached_setup, _fig14_memcached_run,
+                        {"with_libmpk": False}),
+}
+
+
+# ---------------------------------------------------------------------------
+# Harness.
+# ---------------------------------------------------------------------------
+
+def _run_once(name: str, mmu_fast_path: bool):
+    """One timed run; returns (wall_seconds, sim_cycles, site_totals)."""
+    setup, run, kwargs = WORKLOADS[name]
+    bed = make_testbed(num_cores=2, mmu_fast_path=mmu_fast_path,
+                       **kwargs)
+    state = setup(bed)
+    start = time.perf_counter()
+    run(bed, state)
+    wall = time.perf_counter() - start
+    machine = bed.kernel.machine
+    ok, delta = machine.obs.audit()
+    if not ok:
+        raise AssertionError(
+            f"{name} (fast={mmu_fast_path}): conservation audit failed "
+            f"(delta={delta}, {machine.obs.invariant_failures()})")
+    return wall, machine.clock.now, dict(machine.obs.aggregator.cycles)
+
+
+def run_workload(name: str, repeat: int = 3) -> dict:
+    """Time ``name`` fast and slow; verify bit-identical simulation."""
+    walls = {True: [], False: []}
+    sim = {}
+    sites = {}
+    for fast in (True, False):
+        for _ in range(repeat):
+            wall, cycles, site_totals = _run_once(name, fast)
+            walls[fast].append(wall)
+            sim[fast] = cycles
+            sites[fast] = site_totals
+    if sim[True] != sim[False]:
+        raise AssertionError(
+            f"{name}: simulated time diverges — fast={sim[True]!r} "
+            f"slow={sim[False]!r}")
+    if sites[True] != sites[False]:
+        diff = {k: (sites[True].get(k), sites[False].get(k))
+                for k in set(sites[True]) | set(sites[False])
+                if sites[True].get(k) != sites[False].get(k)}
+        raise AssertionError(f"{name}: per-site totals diverge: {diff}")
+    wall_fast = min(walls[True])
+    wall_slow = min(walls[False])
+    return {
+        "sim_cycles": sim[True],
+        "wall_fast_s": round(wall_fast, 6),
+        "wall_slow_s": round(wall_slow, 6),
+        "speedup": round(wall_slow / wall_fast, 3),
+    }
+
+
+def run_hostbench(repeat: int = 3, workloads=None) -> dict:
+    names = list(workloads or WORKLOADS)
+    results = {name: run_workload(name, repeat=repeat)
+               for name in names}
+    return {
+        "schema": 1,
+        "unit": {"wall": "seconds", "sim": "cycles"},
+        "note": ("speedup = slow-path wall / fast-path wall; simulated "
+                 "results are verified bit-identical between the two"),
+        "benchmarks": results,
+    }
+
+
+def check_against_baseline(report: dict, baseline: dict) -> list[str]:
+    """Regression check; returns a list of failure messages (empty when
+    the gate passes)."""
+    problems = []
+    gated = report["benchmarks"].get(GATED_WORKLOAD)
+    base = baseline.get("benchmarks", {}).get(GATED_WORKLOAD)
+    if gated is None or base is None:
+        return [f"baseline or report missing '{GATED_WORKLOAD}'"]
+    floor = REGRESSION_FLOOR * base["speedup"]
+    if gated["speedup"] < floor:
+        problems.append(
+            f"{GATED_WORKLOAD}: speedup {gated['speedup']:.2f}x fell "
+            f"below {floor:.2f}x ({REGRESSION_FLOOR:.0%} of baseline "
+            f"{base['speedup']:.2f}x)")
+    return problems
+
+
+def format_report(report: dict) -> str:
+    lines = [f"{'workload':<18s} {'sim cycles':>16s} {'slow (s)':>10s} "
+             f"{'fast (s)':>10s} {'speedup':>8s}"]
+    for name, row in report["benchmarks"].items():
+        lines.append(f"{name:<18s} {row['sim_cycles']:>16,.1f} "
+                     f"{row['wall_slow_s']:>10.3f} "
+                     f"{row['wall_fast_s']:>10.3f} "
+                     f"{row['speedup']:>7.2f}x")
+    return "\n".join(lines)
+
+
+def write_report(report: dict, path) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -640,7 +640,7 @@ class Libmpk:
         stats = self._process.mm.protect(group.base, group.length, prot,
                                          pkey=pkey, pte_prot=pte_prot)
         self._kernel._charge_protect(stats, pkey_variant=True)
-        self._kernel.scheduler.tlb_shootdown(self._process, task)
+        self._kernel._protect_shootdown(self._process, task, stats)
 
     def _load_group(self, task: "Task", group: PageGroup,
                     page_prot: int) -> int:

@@ -9,6 +9,27 @@ orthogonal to execution, which is what enables execute-only memory).
 WRPKRU is modeled with its serialization side effect (Figure 2): the
 instruction drains the pipeline, so instructions issued right after it
 lose out-of-order overlap for a window of instructions.
+
+The MMU hot path
+----------------
+Every simulated byte the workloads move funnels through the MMU, so the
+translation path exists twice:
+
+* **Fast path** (``mmu_fast_path=True``, the default): a TLB hit whose
+  generation stamp matches the page table is *authoritative* —
+  prot/pkey/frame are served from the :class:`TlbEntry` and the page
+  table is never consulted.  ``read``/``write``/``fetch`` additionally
+  batch their bookkeeping: each page is resolved once and the per-page
+  ``mem_access`` (and zero-cost ``tlb_hit``) charges are folded into a
+  single :meth:`Clock.charge` per call.
+* **Slow path** (``mmu_fast_path=False``): the original per-page
+  generator walk that validates every access against the page table.
+
+Both paths charge the same sites by the same total amounts and observe
+the same TLB-stale semantics, so simulated time and per-site attribution
+are bit-identical either way — only the *host* cost differs (the
+property suite in ``tests/properties/test_mmu_equivalence.py`` drives
+random interleavings through both and asserts exact equality).
 """
 
 from __future__ import annotations
@@ -30,12 +51,16 @@ class Core:
     """One logical core (hyperthread)."""
 
     def __init__(self, core_id: int, clock: Clock, costs: CostModel,
-                 meltdown_mitigated: bool = False) -> None:
+                 meltdown_mitigated: bool = False,
+                 mmu_fast_path: bool = True) -> None:
         self.core_id = core_id
         self.clock = clock
         self.costs = costs
         self.pkru = PKRU.deny_all_but_default()
         self.tlb = TLB(clock, costs)
+        # TLB-authoritative hits + batched transfer charging (host-side
+        # optimization; simulated behaviour is identical either way).
+        self.mmu_fast_path = mmu_fast_path
         # Remaining instructions that execute without out-of-order overlap
         # because a WRPKRU recently serialized the pipeline.
         self._serial_shadow = 0
@@ -150,51 +175,102 @@ class Core:
         if kind not in _ACCESS_KINDS:
             raise ValueError(f"unknown access kind: {kind!r}")
         vpn = page_number(addr)
-        cached = self.tlb.lookup(vpn)
+        _frame, prot, pkey, _hit = self._translate(page_table, vpn, addr,
+                                                   kind)
+        self.clock.charge(self.costs.mem_access, site="hw.mem.access")
+        self._enforce(prot, pkey, addr, kind)
+        return page_table.lookup_populated(vpn)
+
+    def _translate(self, page_table: PageTable, vpn: int, addr: int,
+                   kind: str, defer_hit_charge: bool = False):
+        """Resolve ``vpn`` to ``(frame, prot, pkey)`` through the TLB.
+
+        Raises :class:`SegmentationFault` when no translation exists.
+        Charges the page walk on a miss; charges the (zero-cost) TLB hit
+        unless ``defer_hit_charge`` (the batched transfer path folds hit
+        charges into one :meth:`Clock.charge`).  Returns a fourth value:
+        True when the translation was a TLB hit.
+
+        Counters first, charges after: the architectural access counter
+        and the TLB outcome are recorded before any cycle charge, so the
+        MMU counter-conservation invariant holds even when a fault
+        injector raises out of a charge.
+        """
+        tlb = self.tlb
+        cached = tlb.probe(vpn)
+        if cached is not None:
+            if (self.mmu_fast_path and cached.table is page_table
+                    and cached.generation == page_table.generation):
+                # Authoritative hit: the generation stamp proves no
+                # structural page-table change since the fill, so the
+                # cached attributes and frame are current.
+                self._count_access(kind)
+                tlb.record_hit(charge=not defer_hit_charge)
+                return cached.frame, cached.prot, cached.pkey, True
+            # Validating hit (fast path off, or the stamp went stale):
+            # mapping existence and the frame come from the paging
+            # structures, but permission bits stay with the TLB entry —
+            # stale permissions survive until a shootdown, exactly as on
+            # real hardware.
+            entry = page_table.lookup(vpn)
+            if entry is None:
+                tlb.record_stale_hit()
+                raise SegmentationFault(
+                    f"{kind} of unmapped address {addr:#x}", addr=addr,
+                    access=kind, unmapped=True)
+            self._count_access(kind)
+            tlb.record_hit(charge=not defer_hit_charge)
+            if self.mmu_fast_path:
+                # Re-stamp so the next hit is authoritative again.  The
+                # possibly-stale prot/pkey are deliberately kept: the
+                # slow path would keep serving them from the TLB too.
+                tlb.update(vpn, TlbEntry(
+                    frame_number=entry.frame.number, prot=cached.prot,
+                    pkey=cached.pkey, frame=entry.frame,
+                    generation=page_table.generation, table=page_table))
+            return entry.frame, cached.prot, cached.pkey, True
         entry = page_table.lookup(vpn)
         if entry is None:
-            # Stale TLB entries can outlive an unmap until a shootdown; a
-            # real machine would happily use them.  We model the paging
-            # structures as authoritative for mapping existence but keep
-            # permission bits from the TLB entry when present.
+            tlb.record_unmapped_miss()
             raise SegmentationFault(
                 f"{kind} of unmapped address {addr:#x}", addr=addr,
                 access=kind, unmapped=True)
-        if cached is None:
-            self.clock.charge(self.costs.tlb_miss_walk,
-                              site="hw.tlb.walk")
-            cached = TlbEntry(frame_number=entry.frame.number,
-                              prot=entry.prot, pkey=entry.pkey)
-            self.tlb.fill(vpn, cached)
+        self._count_access(kind)
+        tlb.record_walk_miss()
+        self.clock.charge(self.costs.tlb_miss_walk, site="hw.tlb.walk")
+        tlb.fill(vpn, TlbEntry(
+            frame_number=entry.frame.number, prot=entry.prot,
+            pkey=entry.pkey, frame=entry.frame,
+            generation=page_table.generation, table=page_table))
+        return entry.frame, entry.prot, entry.pkey, False
 
-        prot, pkey = cached.prot, cached.pkey
-        self.clock.charge(self.costs.mem_access, site="hw.mem.access")
+    def _count_access(self, kind: str) -> None:
         if kind == FETCH:
             self.instruction_fetches += 1
         else:
             self.data_accesses += 1
 
+    def _enforce(self, prot: int, pkey: int, addr: int,
+                 kind: str) -> None:
+        """The Figure-1 permission intersection for one page."""
         if kind == FETCH:
             # Instruction fetch ignores PKRU entirely (Figure 1).
             if not prot & 0x4:  # PROT_EXEC
                 raise SegmentationFault(
                     f"fetch from non-executable page at {addr:#x}",
                     addr=addr, access=kind)
-            return entry
-
+            return
         page_ok = bool(prot & 0x1) if kind == READ else bool(prot & 0x2)
         if not page_ok:
             raise SegmentationFault(
                 f"{kind} denied by page permission at {addr:#x}",
                 addr=addr, access=kind)
-
         pkey_ok = (self.pkru.can_read(pkey) if kind == READ
                    else self.pkru.can_write(pkey))
         if not pkey_ok:
             raise PkeyFault(
                 f"{kind} denied by PKRU for pkey {pkey} at {addr:#x}",
                 addr=addr, access=kind, pkey=pkey)
-        return entry
 
     # ------------------------------------------------------------------
     # Data transfer through the MMU.
@@ -202,25 +278,138 @@ class Core:
 
     def read(self, page_table: PageTable, addr: int, length: int) -> bytes:
         """MMU-checked read of ``length`` bytes starting at ``addr``."""
-        return b"".join(
-            entry.frame.read(offset, chunk)
-            for entry, offset, chunk in self._walk(page_table, addr,
-                                                   length, READ))
+        if not self.mmu_fast_path:
+            return b"".join(
+                entry.frame.read(offset, chunk)
+                for entry, offset, chunk in self._walk(page_table, addr,
+                                                       length, READ))
+        return self._transfer(page_table, addr, length, READ, None)
 
     def write(self, page_table: PageTable, addr: int, data: bytes) -> None:
         """MMU-checked write of ``data`` starting at ``addr``."""
-        cursor = 0
-        for entry, offset, chunk in self._walk(page_table, addr,
-                                               len(data), WRITE):
-            entry.frame.write(offset, data[cursor:cursor + chunk])
-            cursor += chunk
+        if not self.mmu_fast_path:
+            cursor = 0
+            for entry, offset, chunk in self._walk(page_table, addr,
+                                                   len(data), WRITE):
+                entry.frame.write(offset, data[cursor:cursor + chunk])
+                cursor += chunk
+            return
+        self._transfer(page_table, addr, len(data), WRITE, data)
 
     def fetch(self, page_table: PageTable, addr: int, length: int) -> bytes:
         """Instruction fetch (PKRU-exempt) of ``length`` bytes."""
-        return b"".join(
-            entry.frame.read(offset, chunk)
-            for entry, offset, chunk in self._walk(page_table, addr,
-                                                   length, FETCH))
+        if not self.mmu_fast_path:
+            return b"".join(
+                entry.frame.read(offset, chunk)
+                for entry, offset, chunk in self._walk(page_table, addr,
+                                                       length, FETCH))
+        return self._transfer(page_table, addr, length, FETCH, None)
+
+    def _transfer(self, page_table: PageTable, addr: int, length: int,
+                  kind: str, data: bytes | None) -> bytes | None:
+        """Fast-path transfer engine: per page, translate (TLB-first),
+        enforce, and move bytes; charge the accumulated ``mem_access``
+        and ``tlb_hit`` costs in one batch at the end.  ``data`` is the
+        payload for a write; None collects and returns bytes (read and
+        fetch).
+
+        Fault semantics match the per-page slow path exactly: chunks
+        before a faulting page are already transferred (partial writes),
+        the faulting page's ``mem_access`` is charged for permission
+        faults but not for unmapped faults, and the access counters
+        reflect every page that translated successfully.
+
+        The loop body inlines the authoritative-hit case of
+        :meth:`_translate` — a dict probe, an identity/generation
+        compare, and an LRU touch, with no Python function calls — and
+        memoizes the :meth:`_enforce` verdict per distinct
+        ``(prot, pkey)`` (PKRU cannot change mid-transfer).  This is
+        where the simulator spends its host time, so the statistics and
+        architectural counters for inlined hits are accumulated locally
+        and folded in once, in the ``finally`` block, *before* any
+        charge — preserving the counter-conservation invariant even
+        when a fault injector raises out of a charge.
+        """
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        entries = self.tlb._entries
+        entries_get = entries.get
+        move_to_end = entries.move_to_end
+        gen = page_table.generation
+        # Permission memo: re-check only when the page's (prot, pkey)
+        # differ from the previous page's (ints, no tuple allocation).
+        last_prot = last_pkey = -1
+        pieces: list[bytes] | None = [] if data is None else None
+        if data is not None and length > PAGE_SIZE:
+            data = memoryview(data)  # zero-copy per-page slices
+        auth = 0      # authoritative hits taken inline
+        hits = 0      # TLB hits resolved through _translate
+        pages = 0     # pages translated through _translate
+        cursor = 0
+        pos = addr
+        remaining = length
+        try:
+            while remaining > 0:
+                vpn = pos // PAGE_SIZE
+                cached = entries_get(vpn)
+                if (cached is not None and cached.table is page_table
+                        and cached.generation == gen):
+                    move_to_end(vpn)
+                    frame = cached.frame
+                    prot = cached.prot
+                    pkey = cached.pkey
+                    auth += 1
+                else:
+                    frame, prot, pkey, hit = self._translate(
+                        page_table, vpn, pos, kind, defer_hit_charge=True)
+                    hits += hit
+                    pages += 1
+                    # Demand paging inside lookup() bumps the
+                    # generation; re-read so later pages stay inline.
+                    gen = page_table.generation
+                if prot != last_prot or pkey != last_pkey:
+                    # Architecturally counted (above / in _translate)
+                    # even when the page permission-faults here.
+                    self._enforce(prot, pkey, pos, kind)
+                    last_prot = prot
+                    last_pkey = pkey
+                offset = pos % PAGE_SIZE
+                chunk = PAGE_SIZE - offset
+                if chunk > remaining:
+                    chunk = remaining
+                # Frame contents are moved through ``_data`` directly
+                # (offset/chunk are in-page by construction): the
+                # Frame.read/write calls and their range checks are
+                # measurable at this loop's call rate, and the slices
+                # here copy each byte once instead of twice.
+                fdata = frame._data
+                if data is None:
+                    if fdata is None:
+                        pieces.append(bytes(chunk))
+                    else:
+                        pieces.append(fdata[offset:offset + chunk])
+                else:
+                    if fdata is None:
+                        frame._data = fdata = bytearray(PAGE_SIZE)
+                    fdata[offset:offset + chunk] = \
+                        data[cursor:cursor + chunk]
+                cursor += chunk
+                pos += chunk
+                remaining -= chunk
+        finally:
+            if auth:
+                self.tlb.stats.hits += auth
+                if kind == FETCH:
+                    self.instruction_fetches += auth
+                else:
+                    self.data_accesses += auth
+            if auth or hits:
+                self.clock.charge((auth + hits) * self.costs.tlb_hit,
+                                  site="hw.tlb.hit")
+            if auth or pages:
+                self.clock.charge((auth + pages) * self.costs.mem_access,
+                                  site="hw.mem.access")
+        return b"".join(pieces) if pieces is not None else None
 
     # ------------------------------------------------------------------
     # Rogue data cache load — the §7 Meltdown discussion.
@@ -260,7 +449,8 @@ class Core:
     def _walk(self, page_table: PageTable, addr: int, length: int,
               kind: str):
         """Yield (PTE, in-page offset, chunk length) per page touched,
-        permission-checking each page."""
+        permission-checking each page (the ``mmu_fast_path=False``
+        reference path)."""
         if length < 0:
             raise ValueError("length must be non-negative")
         remaining = length

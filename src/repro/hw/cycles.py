@@ -17,8 +17,14 @@ With ``domain_switch = 50`` and ``syscall_fixed = 20`` (round trip 120):
 * pkey_alloc  = 120 + 66.3           = 186.3  (Table 1: 186.3)
 * pkey_free   = 120 + 17.2           = 137.2  (Table 1: 137.2)
 * mprotect(1 page, 1 thread)
-              = 120 + 688.5 (base) + 80 (VMA find) + 5.5 (PTE)
-                + 200 (local TLB flush)   = 1094.0  (Table 1: 1094.0)
+              = 120 + 848.5 (base) + 80 (VMA find) + 5.5 (PTE)
+                + 40 (local INVLPG)       = 1094.0  (Table 1: 1094.0)
+
+  (Small ranges are flushed precisely — Linux's flush_tlb_range issues
+  INVLPG per page below a threshold rather than a full flush, so the
+  single-page Table-1 case charges one INVLPG and the fixed base
+  absorbs the rest of the measured total.  Ranges whose INVLPG total
+  would exceed a full flush charge ``tlb_flush_full`` instead.)
 * pkey_mprotect = mprotect + 10.9    = 1104.9  (Table 1: 1104.9)
 
 The libmpk fast path (cached key, single thread) is then
@@ -75,7 +81,7 @@ class CostModel:
     pkey_free_kernel: float = 17.2
 
     # ---- mprotect / pkey_mprotect decomposition (Table 1, Figure 3). ----
-    mprotect_base: float = 688.5      # do_mprotect_pkey() fixed path
+    mprotect_base: float = 848.5      # do_mprotect_pkey() fixed path
     vma_find: float = 80.0            # rb-tree lookup per affected VMA
     vma_split: float = 120.0          # split/merge bookkeeping per boundary
     pte_update: float = 5.5           # per-page PTE rewrite

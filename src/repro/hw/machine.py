@@ -20,7 +20,8 @@ class Machine:
     def __init__(self, num_cores: int = 40,
                  memory_bytes: int = 192 << 30,
                  costs: CostModel | None = None,
-                 meltdown_mitigated: bool = False) -> None:
+                 meltdown_mitigated: bool = False,
+                 mmu_fast_path: bool = True) -> None:
         if num_cores <= 0:
             raise ValueError("num_cores must be positive")
         self.costs = costs or DEFAULT_COST_MODEL
@@ -29,9 +30,25 @@ class Machine:
         # before the clock can advance, so attribution is complete.
         self.obs = Observability(self.clock)
         self.memory = PhysicalMemory(total_frames=memory_bytes // PAGE_SIZE)
+        self.mmu_fast_path = mmu_fast_path
         self.cores = [Core(i, self.clock, self.costs,
-                           meltdown_mitigated=meltdown_mitigated)
+                           meltdown_mitigated=meltdown_mitigated,
+                           mmu_fast_path=mmu_fast_path)
                       for i in range(num_cores)]
+        # MMU counter conservation: every architecturally-counted access
+        # was served by exactly one TLB outcome (hit or charged walk).
+        self.obs.register_invariant("mmu_counter_conservation",
+                                    self._check_mmu_counters)
+
+    def _check_mmu_counters(self) -> str | None:
+        for core in self.cores:
+            stats = core.tlb.stats
+            accesses = core.data_accesses + core.instruction_fetches
+            served = stats.hits + stats.misses
+            if served != accesses:
+                return (f"core {core.core_id}: tlb hits+misses {served} "
+                        f"!= data+fetch accesses {accesses}")
+        return None
 
     @property
     def num_cores(self) -> int:

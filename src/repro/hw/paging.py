@@ -87,6 +87,12 @@ class _Overlay:
 class PageTable:
     """Per-address-space mapping from virtual page number to PTE."""
 
+    # Above this many pending overlays the table folds them all into the
+    # populated entries and starts over — bounding ``_materialize`` at
+    # O(OVERLAY_FOLD_CAP) per access no matter how adversarial the
+    # open/close churn is.
+    OVERLAY_FOLD_CAP = 32
+
     def __init__(self) -> None:
         self._entries: dict[int, PageTableEntry] = {}
         # Monotonic generation number; bumped on any structural change so
@@ -116,15 +122,41 @@ class PageTable:
             PageTableEntry._check_pkey(pkey)
         self._seq += 1
         overlay = _Overlay(start_vpn, end_vpn, prot, pkey, self._seq)
-        # Drop older overlays this one fully shadows (open/close cycles
-        # on the same region would otherwise grow the list forever).
-        self._overlays = [
-            o for o in self._overlays
-            if not (start_vpn <= o.start_vpn and o.end_vpn <= end_vpn
-                    and prot is not None and pkey is not None)
-        ]
-        self._overlays.append(overlay)
+        # Shadow-prune older overlays per field: once every field an
+        # older overlay sets is fully covered by this newer one, that
+        # field can never reach an entry (the newer overlay rewrites it
+        # afterwards in ``_materialize``'s seq order).  An overlay with
+        # no live fields left is dead.  Without the per-field rule,
+        # pkey-only overlays — the mpk_mprotect hot path — accumulated
+        # without bound and _materialize degraded to O(overlays).
+        survivors: list[_Overlay] = []
+        for o in self._overlays:
+            if start_vpn <= o.start_vpn and o.end_vpn <= end_vpn:
+                if prot is not None:
+                    o.prot = None
+                if pkey is not None:
+                    o.pkey = None
+                if o.prot is None and o.pkey is None:
+                    continue
+            survivors.append(o)
+        survivors.append(overlay)
+        self._overlays = survivors
+        if len(self._overlays) > self.OVERLAY_FOLD_CAP:
+            self._fold_overlays()
         self.generation += 1
+
+    def _fold_overlays(self) -> None:
+        """Materialize every pending overlay into the populated entries
+        and clear the list (host-side only; charges nothing).
+
+        Safe for not-yet-populated pages: the demand-paging handler
+        builds fresh PTEs from current VMA state, and :meth:`map` stamps
+        new entries with the current ``_seq`` — neither consults
+        overlays recorded before this point.
+        """
+        for vpn, entry in self._entries.items():
+            self._materialize(vpn, entry)
+        self._overlays.clear()
 
     def _materialize(self, vpn: int, entry: PageTableEntry) -> None:
         """Fold any pending overlays for ``vpn`` into the entry."""

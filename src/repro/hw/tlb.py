@@ -5,38 +5,85 @@ does *not* cache PKRU rights — PKRU is checked at access time on every
 reference, which is why MPK permission switches need no TLB flush (the
 paper's central performance argument).
 
-Statistics (hits, misses, flushes) are kept per TLB so benchmarks can
-report shootdown counts alongside cycle totals.
+Entries additionally carry a *generation stamp*: the owning page table's
+``generation`` counter at fill time, plus a reference to that page table
+and to the physical frame.  The MMU fast path
+(:meth:`repro.hw.cpu.Core.check_access`) treats a hit whose stamp still
+matches the page table as **authoritative** — prot/pkey/frame are served
+straight from the :class:`TlbEntry` without consulting the page table at
+all.  Any structural page-table change bumps the generation, so a stale
+stamp cheaply demotes the hit to the validating slow path.
+
+Statistics are aligned with *charged events* (the shootdown-accounting
+contract):
+
+* ``hits``   — probes served from the TLB for a mapped page.
+* ``misses`` — probes that missed **and** led to a charged page walk
+  plus a fill; by construction ``misses == walks == fills``.
+* ``unmapped_misses`` — probes that missed where the translation turned
+  out not to exist (the access faults; no walk is charged).
+* ``stale_hits`` — probes that hit a TLB entry whose page no longer
+  exists in the page table (possible only when something unmapped
+  without a shootdown); the access faults and no walk is charged.
+* ``full_flushes`` vs ``noop_flushes`` — a flush of a populated TLB vs
+  a flush that found nothing to drop.  Both charge the full-flush cost
+  (the hardware executes the flush instruction regardless of TLB
+  occupancy — Table-1 calibration depends on that), but only a
+  ``full_flush`` actually invalidated translations, which is what
+  shootdown audits want to count.
+* ``page_invalidations`` — INVLPG-equivalents charged, whether or not
+  the page was resident (INVLPG cost does not depend on residency).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.hw.cycles import Clock, CostModel
 
 
 @dataclass(frozen=True)
 class TlbEntry:
-    """Cached translation: frame number + permission + pkey bits."""
+    """Cached translation: frame number + permission + pkey bits.
+
+    ``frame``, ``generation`` and ``table`` exist for the MMU fast
+    path: a hit is authoritative only when ``table`` is the page table
+    being translated and ``generation`` equals its current generation
+    counter.  Entries constructed without them (legacy tests, external
+    code) simply never qualify for the fast path.
+    """
 
     frame_number: int
     prot: int
     pkey: int
+    frame: object | None = field(default=None, repr=False, compare=False)
+    generation: int = field(default=-1, compare=False)
+    table: object | None = field(default=None, repr=False, compare=False)
 
 
 @dataclass
 class TlbStats:
     hits: int = 0
-    misses: int = 0
-    full_flushes: int = 0
-    page_invalidations: int = 0
+    misses: int = 0              # walk-misses: each one charged a walk
+    unmapped_misses: int = 0     # missed and the page did not exist
+    stale_hits: int = 0          # hit an entry for a page that is gone
+    full_flushes: int = 0        # flushes that dropped >= 1 entry
+    noop_flushes: int = 0        # flushes of an already-empty TLB
+    page_invalidations: int = 0  # INVLPGs charged
+
+    @property
+    def walks(self) -> int:
+        """Charged page walks; identical to ``misses`` by construction."""
+        return self.misses
 
     def reset(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.unmapped_misses = 0
+        self.stale_hits = 0
         self.full_flushes = 0
+        self.noop_flushes = 0
         self.page_invalidations = 0
 
 
@@ -53,18 +100,44 @@ class TLB:
         self._entries: OrderedDict[int, TlbEntry] = OrderedDict()
         self.stats = TlbStats()
 
-    def lookup(self, vpn: int) -> TlbEntry | None:
-        """Probe the TLB.  Charges nothing on hit (hidden in the access);
-        the *caller* charges the walk cost on a miss after consulting the
-        page table."""
+    # ------------------------------------------------------------------
+    # Probing and outcome accounting.
+    #
+    # The MMU owns the classification: it probes (no statistics), then
+    # reports what the access turned out to be.  This is what keeps the
+    # conservation invariant ``hits + misses == data_accesses +
+    # instruction_fetches`` exact — a probe whose access never happens
+    # (unmapped fault) is counted in its own bucket, not as a miss that
+    # a later audit would expect to see a page walk for.
+    # ------------------------------------------------------------------
+
+    def probe(self, vpn: int) -> TlbEntry | None:
+        """Raw lookup: returns the cached entry (refreshing LRU order)
+        or None.  Charges nothing and records no statistics — the
+        caller classifies the outcome via the ``record_*`` methods."""
         entry = self._entries.get(vpn)
         if entry is not None:
             self._entries.move_to_end(vpn)
-            self.stats.hits += 1
+        return entry
+
+    def record_hit(self, charge: bool = True) -> None:
+        """Account a probe that served a mapped page from the TLB."""
+        self.stats.hits += 1
+        if charge:
             self._clock.charge(self._costs.tlb_hit, site="hw.tlb.hit")
-            return entry
+
+    def record_walk_miss(self) -> None:
+        """Account a probe miss that proceeds to a charged page walk
+        (the caller charges the walk and calls :meth:`fill`)."""
         self.stats.misses += 1
-        return None
+
+    def record_unmapped_miss(self) -> None:
+        """Account a probe miss where no translation exists."""
+        self.stats.unmapped_misses += 1
+
+    def record_stale_hit(self) -> None:
+        """Account a probe hit whose page no longer exists."""
+        self.stats.stale_hits += 1
 
     def fill(self, vpn: int, entry: TlbEntry) -> None:
         """Install a translation after a page walk (caller charges walk)."""
@@ -74,10 +147,29 @@ class TLB:
         if len(self._entries) > self._capacity:
             self._entries.popitem(last=False)
 
+    def update(self, vpn: int, entry: TlbEntry) -> None:
+        """Replace a resident translation in place (revalidation path);
+        unlike :meth:`fill` this is not a walk and must not evict."""
+        if vpn in self._entries:
+            self._entries[vpn] = entry
+
+    # ------------------------------------------------------------------
+    # Invalidation.
+    # ------------------------------------------------------------------
+
     def flush(self) -> None:
-        """Full flush (e.g. after mprotect); charges the flush cost."""
-        self._entries.clear()
-        self.stats.full_flushes += 1
+        """Full flush (e.g. after mprotect); charges the flush cost.
+
+        The cost is charged even when the TLB is already empty — the
+        flush instruction executes regardless of occupancy — but the
+        statistics distinguish a real flush from a no-op so shootdown
+        accounting stays truthful.
+        """
+        if self._entries:
+            self._entries.clear()
+            self.stats.full_flushes += 1
+        else:
+            self.stats.noop_flushes += 1
         self._clock.charge(self._costs.tlb_flush_full,
                            site="hw.tlb.flush_full")
 
@@ -87,6 +179,26 @@ class TLB:
         self.stats.page_invalidations += 1
         self._clock.charge(self._costs.tlb_flush_page,
                            site="hw.tlb.flush_page")
+
+    def invalidate_range(self, vpns: list[int],
+                         charge_pages: int | None = None) -> None:
+        """Precise shootdown: drop ``vpns`` and charge ``charge_pages``
+        INVLPGs in one batch.
+
+        ``charge_pages`` defaults to ``len(vpns)``.  The kernel passes
+        the *range* page count here while ``vpns`` lists only populated
+        pages — Linux's flush_tlb_range walks the whole virtual range,
+        so the INVLPG cost is range-proportional even though only
+        resident translations can actually be dropped.
+        """
+        if charge_pages is None:
+            charge_pages = len(vpns)
+        for vpn in vpns:
+            self._entries.pop(vpn, None)
+        if charge_pages:
+            self.stats.page_invalidations += charge_pages
+            self._clock.charge(charge_pages * self._costs.tlb_flush_page,
+                               site="hw.tlb.flush_page")
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -154,7 +154,7 @@ class Kernel:
             return
         stats = task.process.mm.protect(addr, length, prot)
         self._charge_protect(stats)
-        self.scheduler.tlb_shootdown(task.process, task)
+        self._protect_shootdown(task.process, task, stats)
 
     @traced("kernel.sys_pkey_mprotect")
     def sys_pkey_mprotect(self, task: Task, addr: int, length: int,
@@ -172,7 +172,7 @@ class Kernel:
             raise InvalidArgument(f"pkey {pkey} is not allocated")
         stats = task.process.mm.protect(addr, length, prot, pkey=pkey)
         self._charge_protect(stats, pkey_variant=True)
-        self.scheduler.tlb_shootdown(task.process, task)
+        self._protect_shootdown(task.process, task, stats)
 
     def _charge_protect(self, stats: ProtectStats,
                         pkey_variant: bool = False) -> None:
@@ -193,6 +193,28 @@ class Kernel:
             self.clock.charge(self.costs.pkey_mprotect_extra,
                               site="kernel.mprotect.pkey_check")
 
+    def _protect_shootdown(self, process, task: Task,
+                           stats: ProtectStats) -> None:
+        """Invalidate remote TLBs after an mprotect-family call.
+
+        Small ranges get the precise flavour — per-core cost is one
+        INVLPG per *range* page (Linux's flush_tlb_range walks the whole
+        virtual range), dropping only the translations that can actually
+        be resident (``stats.vpns``).  The precise path requires
+        ``stats.vpns_populated``: the bulk-overlay path never enumerated
+        resident pages, so it must full-flush.  Ranges where the INVLPG
+        total exceeds a full flush also full-flush, as the kernel would.
+        """
+        precise = (stats.vpns_populated
+                   and stats.pages_updated * self.costs.tlb_flush_page
+                   <= self.costs.tlb_flush_full)
+        if precise:
+            self.scheduler.tlb_shootdown(process, task, full=False,
+                                         vpns=stats.vpns,
+                                         charge_pages=stats.pages_updated)
+        else:
+            self.scheduler.tlb_shootdown(process, task)
+
     def _make_execute_only(self, task: Task, addr: int, length: int) -> None:
         """Linux's MPK-backed execute-only memory.
 
@@ -208,7 +230,7 @@ class Kernel:
                                    pte_prot=PROT_READ | PROT_EXEC)
         self._charge_protect(stats, pkey_variant=True)
         task.set_pkru_rights_from_kernel(xo_key, KEY_RIGHTS_NONE)
-        self.scheduler.tlb_shootdown(process, task)
+        self._protect_shootdown(process, task, stats)
 
     # ------------------------------------------------------------------
     # Syscalls: protection keys.

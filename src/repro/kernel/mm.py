@@ -37,9 +37,20 @@ from repro.kernel.vma import VMA, VmaTree
 class ProtectStats:
     """What one mprotect-style operation touched (for cost accounting).
 
-    ``pages_updated`` counts the pages of the *range* (that is what the
-    kernel's cost is proportional to); ``vpns`` lists only the pages
-    whose PTEs physically exist and were rewritten.
+    The contract, explicitly:
+
+    * ``pages_updated`` is **always** the page count of the range — it
+      is what the kernel's cost is proportional to, regardless of how
+      the PTE rewrite was carried out.
+    * ``vpns`` lists the populated pages whose PTEs were individually
+      rewritten, but **only when** ``vpns_populated`` is True.  The
+      bulk-overlay path (ranges of at least
+      :attr:`MM.BULK_PTE_THRESHOLD` pages) records a lazy overlay
+      instead of visiting PTEs, leaves ``vpns`` empty, and sets
+      ``vpns_populated=False`` — an empty-but-populated list ("zero
+      resident pages") and an unpopulated one ("we didn't look") are
+      different facts.  Consumers doing precise TLB invalidation must
+      fall back to a full flush when ``vpns_populated`` is False.
     """
 
     vmas_found: int = 0
@@ -47,6 +58,7 @@ class ProtectStats:
     merges: int = 0
     pages_updated: int = 0
     vpns: list[int] = field(default_factory=list)
+    vpns_populated: bool = True
 
 
 @dataclass
@@ -214,9 +226,11 @@ class MM:
                 # Large range: record one overlay instead of touching
                 # every PTE.  The syscall layer still charges the
                 # per-page cost from pages_updated; only the host-side
-                # work is O(1).
+                # work is O(1).  We did not enumerate resident pages,
+                # so the vpns list is marked unpopulated.
                 self.page_table.bulk_update(first, last, prot=effective,
                                             pkey=pkey)
+                stats.vpns_populated = False
             else:
                 for vpn in self.page_table.populated_vpns_in_range(
                         first, last):

@@ -103,34 +103,43 @@ class Scheduler:
         return True
 
     def tlb_shootdown(self, process: "Process", initiator: "Task | None",
-                      full: bool = True, vpns: list[int] | None = None) -> int:
+                      full: bool = True, vpns: list[int] | None = None,
+                      charge_pages: int | None = None) -> int:
         """Flush TLBs on every core running a task of ``process``.
 
         The initiating core flushes locally; each *other* core costs a
         shootdown IPI.  Returns the number of remote IPIs sent.
+
+        ``full=True`` (the default) flushes everything on each core.
+        ``full=False`` with ``vpns`` is the precise flavour — the
+        per-core cost is ``charge_pages`` INVLPGs (defaulting to
+        ``len(vpns)``) and only the listed translations are dropped.
+        The kernel passes the *range* page count as ``charge_pages``
+        when ``vpns`` lists only resident pages, mirroring Linux's
+        ``flush_tlb_range`` which walks the whole virtual range.
         """
         remote = 0
         for task in self.running_tasks(process):
             core = self.machine.core(task.core_id)
             if initiator is not None and task is initiator:
-                self._flush(core, full, vpns)
+                self._flush(core, full, vpns, charge_pages)
                 continue
             self.machine.clock.charge(self.machine.costs.tlb_shootdown_ipi,
                                       site="hw.tlb.shootdown_ipi")
             self.ipis_sent += 1
             remote += 1
-            self._flush(core, full, vpns)
+            self._flush(core, full, vpns, charge_pages)
         if initiator is not None and not initiator.running:
             raise RuntimeError("shootdown initiator must be running")
         return remote
 
     @staticmethod
-    def _flush(core, full: bool, vpns: list[int] | None) -> None:
+    def _flush(core, full: bool, vpns: list[int] | None,
+               charge_pages: int | None = None) -> None:
         if full or vpns is None:
             core.tlb.flush()
         else:
-            for vpn in vpns:
-                core.tlb.invalidate_page(vpn)
+            core.tlb.invalidate_range(vpns, charge_pages=charge_pages)
 
     # ------------------------------------------------------------------
     # Kernel exit path (task_work + PKRU reload).

@@ -267,6 +267,7 @@ class Observability:
         self._span_seq = 0
         self._span_subscribers: list = []
         self._profile: dict[tuple[str, ...], SpanStats] = {}
+        self._invariants: dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # Sink management (pass-through with a tiny convenience).
@@ -313,19 +314,45 @@ class Observability:
     # The conservation audit.
     # ------------------------------------------------------------------
 
-    def audit(self, rel_tol: float = 1e-9) -> tuple[bool, float]:
-        """Check ``sum(per-site counters) == clock.now``.
+    def register_invariant(self, name: str, check) -> None:
+        """Register an extra consistency check run by :meth:`audit`.
 
-        Returns ``(ok, delta)``; ``delta`` is the absolute discrepancy.
-        Tolerance covers float summation order only — a real leak (a
-        charge bypassing the sink, a reset aggregator) shows up as a
-        delta many orders of magnitude above it.
+        ``check()`` returns None when the invariant holds, or a short
+        failure description.  The machine registers the MMU counter
+        conservation check (``tlb hits + walk-misses == data accesses +
+        instruction fetches`` per core) here; subsystems can add their
+        own.  Re-registering a name replaces the previous check.
+        """
+        self._invariants[name] = check
+
+    def audit(self, rel_tol: float = 1e-9) -> tuple[bool, float]:
+        """Check ``sum(per-site counters) == clock.now`` plus every
+        registered invariant.
+
+        Returns ``(ok, delta)``; ``delta`` is the absolute cycle
+        discrepancy.  Tolerance covers float summation order only — a
+        real leak (a charge bypassing the sink, a reset aggregator)
+        shows up as a delta many orders of magnitude above it.  A
+        failing registered invariant makes ``ok`` False regardless of
+        the cycle delta; :meth:`invariant_failures` lists the details.
         """
         total = self.aggregator.total()
         delta = abs(total - self.clock.now)
         ok = math.isclose(total, self.clock.now, rel_tol=rel_tol,
                           abs_tol=1e-6)
+        if ok and self._invariants:
+            ok = not self.invariant_failures()
         return ok, delta
+
+    def invariant_failures(self) -> dict[str, str]:
+        """Name -> failure description for every failing registered
+        invariant (empty when all hold)."""
+        failures = {}
+        for name, check in self._invariants.items():
+            problem = check()
+            if problem is not None:
+                failures[name] = problem
+        return failures
 
     # ------------------------------------------------------------------
     # Rendering.

@@ -1,0 +1,291 @@
+"""The MMU fast path must be observationally invisible.
+
+Random interleavings of mmap/munmap/mprotect/pkey_mprotect and data
+accesses across two cores are run twice — ``mmu_fast_path=True`` and
+``False`` — and must produce identical per-op outcomes (bytes or fault
+class), an identical final ``clock.now``, and identical per-site cycle
+totals.  A naive eager reference model (no TLB, no overlays, PTEs
+applied immediately) independently predicts every byte and fault class,
+including the bytes a partially-faulting write leaves behind.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.consts import (
+    PAGE_SIZE,
+    PROT_NONE,
+    PROT_READ,
+    PROT_WRITE,
+    page_number,
+)
+from repro.errors import MachineFault, PkeyFault, SegmentationFault
+from repro.hw.machine import Machine
+from repro.kernel.kcore import Kernel
+
+RW = PROT_READ | PROT_WRITE
+PROTS = [PROT_NONE, PROT_READ, RW]
+N_SLOTS = 3
+MAX_PAGES = 3
+N_KEYS = 2  # allocated pkeys available to pkey_mprotect
+
+op_strategy = st.one_of(
+    st.tuples(st.just("mmap"), st.integers(0, N_SLOTS - 1),
+              st.integers(1, MAX_PAGES)),
+    st.tuples(st.just("munmap"), st.integers(0, N_SLOTS - 1)),
+    st.tuples(st.just("mprotect"), st.integers(0, N_SLOTS - 1),
+              st.sampled_from(PROTS)),
+    st.tuples(st.just("pkey_mprotect"), st.integers(0, N_SLOTS - 1),
+              st.sampled_from(PROTS), st.integers(0, N_KEYS - 1)),
+    st.tuples(st.just("read"), st.integers(0, 1),
+              st.integers(0, N_SLOTS - 1),
+              st.integers(0, MAX_PAGES * PAGE_SIZE - 1),
+              st.integers(1, 2 * PAGE_SIZE)),
+    st.tuples(st.just("write"), st.integers(0, 1),
+              st.integers(0, N_SLOTS - 1),
+              st.integers(0, MAX_PAGES * PAGE_SIZE - 1),
+              st.integers(1, 2 * PAGE_SIZE),
+              st.integers(0, 255)),
+)
+ops_strategy = st.lists(op_strategy, max_size=30)
+
+
+class Run:
+    """One simulator instance executing the op sequence."""
+
+    def __init__(self, mmu_fast_path):
+        self.kernel = Kernel(Machine(num_cores=2,
+                                     mmu_fast_path=mmu_fast_path))
+        self.process = self.kernel.create_process()
+        self.tasks = [self.process.main_task]
+        sibling = self.process.spawn_task()
+        self.kernel.scheduler.schedule(sibling, charge=False)
+        self.tasks.append(sibling)
+        # Keys allocated by the main task: it gains full rights, the
+        # sibling's PKRU keeps them denied -> pkey faults to explore.
+        self.keys = [self.kernel.sys_pkey_alloc(self.tasks[0])
+                     for _ in range(N_KEYS)]
+        self.slots = {}  # slot -> (base, npages)
+
+    def apply(self, op):
+        """Execute one op; returns a comparable outcome token."""
+        kind = op[0]
+        try:
+            if kind == "mmap":
+                _, slot, npages = op
+                if slot in self.slots:
+                    return "occupied"
+                base = self.kernel.sys_mmap(self.tasks[0],
+                                            npages * PAGE_SIZE, RW)
+                self.slots[slot] = (base, npages)
+                return ("mapped", npages)
+            if kind == "munmap":
+                _, slot = op
+                if slot not in self.slots:
+                    return "nothing"
+                base, npages = self.slots.pop(slot)
+                self.kernel.sys_munmap(self.tasks[0], base,
+                                       npages * PAGE_SIZE)
+                return "unmapped"
+            if kind == "mprotect":
+                _, slot, prot = op
+                if slot not in self.slots:
+                    return "nothing"
+                base, npages = self.slots[slot]
+                self.kernel.sys_mprotect(self.tasks[0], base,
+                                         npages * PAGE_SIZE, prot)
+                return "protected"
+            if kind == "pkey_mprotect":
+                _, slot, prot, key_idx = op
+                if slot not in self.slots:
+                    return "nothing"
+                base, npages = self.slots[slot]
+                self.kernel.sys_pkey_mprotect(self.tasks[0], base,
+                                              npages * PAGE_SIZE, prot,
+                                              self.keys[key_idx])
+                return "keyed"
+            if kind == "read":
+                _, who, slot, offset, length = op
+                if slot not in self.slots:
+                    return "nothing"
+                base, _ = self.slots[slot]
+                data = self.tasks[who].read(base + offset, length)
+                return ("data", data)
+            _, who, slot, offset, length, byte = op
+            if slot not in self.slots:
+                return "nothing"
+            base, _ = self.slots[slot]
+            self.tasks[who].write(base + offset, bytes([byte]) * length)
+            return "wrote"
+        except MachineFault as fault:
+            return ("fault", type(fault).__name__,
+                    getattr(fault, "unmapped", False))
+
+
+class Reference:
+    """Eager PTE model: immediate attribute updates, flat shadow
+    memory, no TLB and no demand-paging visible to the caller."""
+
+    def __init__(self):
+        self.slots = {}          # slot -> (base, npages)
+        self.pages = {}          # vpn -> {"prot": int, "pkey": int}
+        self.bytes = {}          # vpn -> bytearray
+        self.next_base = None    # mirrors the simulator's mmap cursor
+
+    def _fault_for(self, vpn, who, is_write):
+        page = self.pages.get(vpn)
+        if page is None:
+            return ("fault", "SegmentationFault", True)
+        needed = PROT_WRITE if is_write else PROT_READ
+        if not page["prot"] & needed:
+            return ("fault", "SegmentationFault", False)
+        # Only the allocating (main) task has rights on non-zero keys.
+        if page["pkey"] != 0 and who != 0:
+            return ("fault", "PkeyFault", False)
+        return None
+
+    def read(self, who, addr, length):
+        out = bytearray()
+        pos = addr
+        remaining = length
+        while remaining > 0:
+            vpn = page_number(pos)
+            fault = self._fault_for(vpn, who, is_write=False)
+            if fault is not None:
+                return fault
+            offset = pos % PAGE_SIZE
+            chunk = min(remaining, PAGE_SIZE - offset)
+            page_bytes = self.bytes.get(vpn)
+            if page_bytes is None:
+                out += b"\x00" * chunk
+            else:
+                out += page_bytes[offset:offset + chunk]
+            pos += chunk
+            remaining -= chunk
+        return ("data", bytes(out))
+
+    def write(self, who, addr, data):
+        pos = addr
+        cursor = 0
+        while cursor < len(data):
+            vpn = page_number(pos)
+            fault = self._fault_for(vpn, who, is_write=True)
+            if fault is not None:
+                return fault  # bytes before this page stay written
+            offset = pos % PAGE_SIZE
+            chunk = min(len(data) - cursor, PAGE_SIZE - offset)
+            page_bytes = self.bytes.setdefault(vpn,
+                                               bytearray(PAGE_SIZE))
+            page_bytes[offset:offset + chunk] = \
+                data[cursor:cursor + chunk]
+            pos += chunk
+            cursor += chunk
+        return "wrote"
+
+    def apply(self, op, sim_outcome):
+        """Mirror ``op``; mapping ops learn addresses from the sim."""
+        kind = op[0]
+        if kind == "mmap":
+            _, slot, npages = op
+            if slot in self.slots:
+                return "occupied"
+            # Address choice is the simulator's (deterministic cursor);
+            # adopt it rather than re-model gap placement.
+            assert sim_outcome == ("mapped", npages)
+            return None  # caller registers the base separately
+        if kind == "munmap":
+            _, slot = op
+            if slot not in self.slots:
+                return "nothing"
+            base, npages = self.slots.pop(slot)
+            for vpn in range(page_number(base),
+                             page_number(base) + npages):
+                self.pages.pop(vpn, None)
+                self.bytes.pop(vpn, None)
+            return "unmapped"
+        if kind == "mprotect":
+            _, slot, prot = op
+            if slot not in self.slots:
+                return "nothing"
+            base, npages = self.slots[slot]
+            for vpn in range(page_number(base),
+                             page_number(base) + npages):
+                self.pages[vpn]["prot"] = prot
+            return "protected"
+        if kind == "pkey_mprotect":
+            _, slot, prot, key_idx = op
+            if slot not in self.slots:
+                return "nothing"
+            base, npages = self.slots[slot]
+            for vpn in range(page_number(base),
+                             page_number(base) + npages):
+                self.pages[vpn]["prot"] = prot
+                self.pages[vpn]["pkey"] = key_idx + 1  # any nonzero
+            return "keyed"
+        if kind == "read":
+            _, who, slot, offset, length = op
+            if slot not in self.slots:
+                return "nothing"
+            base, _ = self.slots[slot]
+            return self.read(who, base + offset, length)
+        _, who, slot, offset, length, byte = op
+        if slot not in self.slots:
+            return "nothing"
+        base, _ = self.slots[slot]
+        return self.write(who, base + offset, bytes([byte]) * length)
+
+    def register_mmap(self, slot, base, npages):
+        self.slots[slot] = (base, npages)
+        for vpn in range(page_number(base), page_number(base) + npages):
+            self.pages[vpn] = {"prot": RW, "pkey": 0}
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops_strategy)
+def test_fast_path_is_observationally_invisible(operations):
+    fast, slow = Run(mmu_fast_path=True), Run(mmu_fast_path=False)
+    reference = Reference()
+    for op in operations:
+        out_fast = fast.apply(op)
+        out_slow = slow.apply(op)
+        assert out_fast == out_slow, f"divergence on {op}"
+        # Reference-model cross-check (fault class + bytes).  The
+        # reference has no pkey-fault/segfault *ordering* subtleties to
+        # hide: the simulator checks page bits before PKRU, and so does
+        # Reference._fault_for.
+        ref_out = reference.apply(op, out_fast)
+        if op[0] == "mmap" and ref_out is None:
+            if out_fast != "occupied":
+                base, npages = fast.slots[op[1]]
+                reference.register_mmap(op[1], base, npages)
+        else:
+            assert ref_out == out_fast, f"reference diverges on {op}"
+    # Bit-identical simulated time and attribution.
+    assert fast.kernel.clock.now == slow.kernel.clock.now
+    assert dict(fast.kernel.machine.obs.aggregator.cycles) == \
+        dict(slow.kernel.machine.obs.aggregator.cycles)
+    # Both runs satisfy the conservation audit (cycles + MMU counters).
+    assert fast.kernel.machine.obs.audit()[0]
+    assert slow.kernel.machine.obs.audit()[0]
+
+
+@settings(max_examples=10, deadline=None)
+@given(ops_strategy)
+def test_fault_classes_match_reference(operations):
+    """Focused re-run asserting only fault classification, with the
+    sibling task doing all accesses (maximum pkey-fault exposure)."""
+    run = Run(mmu_fast_path=True)
+    reference = Reference()
+    for op in operations:
+        if op[0] in ("read", "write"):
+            op = (op[0], 1, *op[2:])  # force the sibling
+        out = run.apply(op)
+        ref_out = reference.apply(op, out)
+        if op[0] == "mmap" and ref_out is None:
+            if out != "occupied":
+                base, npages = run.slots[op[1]]
+                reference.register_mmap(op[1], base, npages)
+            continue
+        assert ref_out == out, f"reference diverges on {op}"
+        if isinstance(out, tuple) and out[0] == "fault":
+            assert out[1] in (SegmentationFault.__name__,
+                              PkeyFault.__name__)
