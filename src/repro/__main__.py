@@ -10,6 +10,8 @@ stats          run a sample workload, print per-site cycle attribution
 profile        run a sample workload, print the hierarchical span profile
 faultcampaign  sweep injected failures over a workload, audit every run
 hostbench      time access-heavy workloads on the host, fast vs slow MMU
+servebench     open-loop serving benchmark (latency percentiles), with a
+               bit-identical determinism gate
 """
 
 from __future__ import annotations
@@ -177,6 +179,22 @@ def cmd_hostbench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_servebench(args: argparse.Namespace) -> int:
+    from repro.bench import serving
+
+    try:
+        report = serving.run_servebench(seed=args.seed,
+                                        connections=args.connections)
+    except AssertionError as exc:
+        print(f"servebench FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(serving.format_report(report))
+    out_path = pathlib.Path(args.output)
+    serving.write_report(report, out_path)
+    print(f"\nwrote {out_path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -222,6 +240,15 @@ def main(argv: list[str] | None = None) -> int:
     hostbench.add_argument("--check-baseline", default=None,
                            help="baseline JSON to gate regressions "
                                 "against")
+    servebench = sub.add_parser(
+        "servebench",
+        help="open-loop serving benchmark with determinism gate")
+    servebench.add_argument("--seed", type=int, default=7,
+                            help="arrival-schedule seed")
+    servebench.add_argument("--connections", type=int, default=64,
+                            help="offered connections per scenario")
+    servebench.add_argument("--output",
+                            default=str(REPO_ROOT / "BENCH_serving.json"))
     args = parser.parse_args(argv)
     if getattr(args, "depth", None) == 0:
         args.depth = None
@@ -234,6 +261,7 @@ def main(argv: list[str] | None = None) -> int:
         "profile": cmd_profile,
         "faultcampaign": cmd_faultcampaign,
         "hostbench": cmd_hostbench,
+        "servebench": cmd_servebench,
     }[args.command]
     return handler(args)
 

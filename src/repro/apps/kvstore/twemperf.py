@@ -67,6 +67,43 @@ class Twemperf:
                     raise RuntimeError("twemperf read its own write back "
                                        "as missing")
 
+    def connection_job(self, task: "Task", conn_id: int):
+        """One client connection as a serving-engine job (generator).
+
+        The same mixed get/set stream as :meth:`_run_connection`, but
+        yielding after setup and after every request — the engine's
+        preemption points — and running on the *worker* task, so four
+        workers genuinely interleave on time-sliced cores instead of
+        being folded into an analytic capacity formula.
+        """
+        self.store.kernel.clock.charge(CONNECTION_SETUP_CYCLES,
+                                       site="apps.memcached.connect")
+        yield
+        value = bytes(self.value_size)
+        warmup = min(4, self.requests_per_connection)
+        for req in range(self.requests_per_connection):
+            key = b"key-%d-%d" % (conn_id, req % warmup)
+            if req < warmup:
+                self.store.set(task, key, value)
+            else:
+                got = self.store.get(task, key)
+                if got is None:
+                    raise RuntimeError("twemperf read its own write "
+                                       "back as missing")
+            yield
+
+    def run_open_loop(self, engine, schedule,
+                      horizon: float | None = None):
+        """Drive the store through a serving engine under an open-loop
+        arrival schedule; returns the engine's ServingReport.
+
+        The closed-form :meth:`run` stays the Figure 14 reproduction;
+        this path measures the same store under genuine multi-worker
+        contention (queue depth, latency percentiles, preemption).
+        """
+        engine.offer(schedule, self.connection_job)
+        return engine.run(horizon=horizon)
+
     def measure_connection_cost(self, task: "Task",
                                 sample_connections: int = 8) -> float:
         """Average cycles per connection, measured on the machine."""

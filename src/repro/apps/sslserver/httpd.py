@@ -110,12 +110,38 @@ class HttpServer:
         return b"\x17\x03\x03" + response_size.to_bytes(4, "big")
 
     def handle_connection(self, task: "Task", response_size: int,
-                          requests: int = 1) -> None:
-        """One client connection: setup plus ``requests`` requests."""
-        self.kernel.clock.charge(CONNECTION_SETUP_CYCLES,
-                                 site="apps.httpd.connect")
+                          requests: int = 1,
+                          charge_setup: bool = True) -> None:
+        """One client connection: setup plus ``requests`` requests.
+
+        ``charge_setup=False`` lets a load generator that overlaps many
+        connections charge the setup once per concurrent wave instead
+        of once per connection (see :class:`~repro.apps.sslserver.ab.
+        ApacheBench`).
+        """
+        if charge_setup:
+            self.kernel.clock.charge(CONNECTION_SETUP_CYCLES,
+                                     site="apps.httpd.connect")
         for _ in range(requests):
             self.handle_request(task, response_size)
+
+    def connection_job(self, task: "Task", response_size: int,
+                       requests: int = 1):
+        """One client connection as a serving-engine job.
+
+        A generator that yields after the connection setup and after
+        every request — the engine's preemption points (and where a
+        blocked ``mpk_begin_wait`` would park).  ``task`` is the
+        *worker* task serving the connection, so all SSL/libmpk work
+        runs with that thread's PKRU, exactly as a multi-worker httpd
+        would.
+        """
+        self.kernel.clock.charge(CONNECTION_SETUP_CYCLES,
+                                 site="apps.httpd.connect")
+        yield
+        for _ in range(requests):
+            self.handle_request(task, response_size)
+            yield
 
     # ------------------------------------------------------------------
     # The vulnerable heartbeat path (§6.1's Heartbleed mimicry).

@@ -49,13 +49,15 @@ class WorkerPool:
 
     def __init__(self, kernel: "Kernel", process: "Process",
                  server: "HttpServer", workers: int = 2,
-                 crash_policy: str = "abort") -> None:
+                 crash_policy: str = "abort",
+                 schedule: bool = True) -> None:
         if crash_policy not in ("abort", "kill"):
             raise ValueError(f"unknown crash policy: {crash_policy!r}")
         self.kernel = kernel
         self.process = process
         self.server = server
         self.crash_policy = crash_policy
+        self._schedule = schedule
         self.workers: list["Task"] = [self._spawn() for _ in range(workers)]
         self._next = 0
         self.requests_ok = 0
@@ -64,12 +66,23 @@ class WorkerPool:
 
     def _spawn(self) -> "Task":
         worker = self.process.spawn_task()
-        self.kernel.scheduler.schedule(worker, charge=False)
+        if self._schedule:
+            self.kernel.scheduler.schedule(worker, charge=False)
         if self.crash_policy == "abort":
             worker.sigaction(SIGSEGV, _abort_request)
         else:
             worker.enable_signals()
         return worker
+
+    def attach_engine(self, engine, cores: list[int]) -> None:
+        """Register every worker with a serving engine, round-robin
+        across ``cores``.  Build the pool with ``schedule=False`` so
+        the engine owns core placement from the start; the signal
+        containment policies apply unchanged to engine jobs
+        (``RequestAborted`` drops the connection, a killed worker
+        leaves the engine's pool)."""
+        for i, worker in enumerate(self.workers):
+            engine.add_worker(worker, core_id=cores[i % len(cores)])
 
     def dispatch(self, request) -> bool:
         """Run ``request(worker_task)`` on the next worker.

@@ -1,0 +1,727 @@
+"""Deterministic discrete-event serving engine and open-loop load plane.
+
+The paper's server results (Figures 10, 11, 14) come from *concurrent*
+workloads — multi-worker Apache+OpenSSL and 4-worker Memcached under
+offered connection rates.  This module provides the concurrency
+substrate those measurements need while keeping the simulator's core
+guarantee: every interleaving is a pure function of cycle state.
+
+Model
+-----
+The global :class:`~repro.hw.cycles.Clock` stays what it has always
+been — the *sum of all work performed* — so the obs conservation audit
+(``sum(per-site cycles) == clock.now``) keeps holding.  On top of it
+the engine maintains a **virtual timeline per core**: every slice of
+work a core executes advances that core's time by exactly the cycles
+the work charged.  Wall-clock-style quantities (latency, throughput,
+queue wait) are computed on the per-core timelines; cores that idle
+fast-forward to the next connection arrival, as an event-driven server
+blocks in ``epoll_wait``.
+
+Jobs are *generators*: each ``yield`` is a preemption point (a charge
+boundary where the kernel would check ``need_resched``), and yielding
+a :class:`~repro.kernel.task.WaitQueue` blocks the worker until a
+waker fires (``mpk_end`` waking ``mpk_begin_wait`` sleepers, for
+example).  The :class:`~repro.kernel.sched.QuantumSink` on the clock
+decides *when* preemption happens; the run-queue rotation decides who
+runs next.  Nothing consults wall time or unseeded randomness, so two
+runs with the same arrival schedule are bit-identical.
+
+``python -m repro servebench`` drives the two paper scenarios (httpd
+with 2 workers on 2 cores, memcached with 4 workers) twice each,
+asserts bit-identical cycle totals, and writes ``BENCH_serving.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import typing
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import MpkKeyExhaustion, TaskKilled
+from repro.apps.sslserver.workers import RequestAborted
+
+if typing.TYPE_CHECKING:
+    from repro.kernel.kcore import Kernel
+    from repro.kernel.task import Task, WaitQueue
+
+#: Paper testbed frequency (Xeon Gold 5115): converts cycles to seconds.
+CLOCK_HZ = 2.4e9
+
+
+# ---------------------------------------------------------------------------
+# Arrival schedules (the open-loop load plane).
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ArrivalSchedule:
+    """A fixed list of connection arrival times, in cycles.
+
+    Open-loop: arrivals happen at their scheduled times regardless of
+    how far behind the server is — backlog builds up as queue depth,
+    exactly the "unhandled concurrent connections" axis of Figure 14.
+    """
+
+    arrivals: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if any(b < a for a, b in zip(self.arrivals, self.arrivals[1:])):
+            raise ValueError("arrival times must be non-decreasing")
+
+    def __len__(self) -> int:
+        return len(self.arrivals)
+
+    @property
+    def span_cycles(self) -> float:
+        return self.arrivals[-1] if self.arrivals else 0.0
+
+    @classmethod
+    def uniform(cls, count: int, rate_per_sec: float,
+                clock_hz: float = CLOCK_HZ) -> "ArrivalSchedule":
+        """``count`` arrivals evenly spaced at ``rate_per_sec``."""
+        if count <= 0 or rate_per_sec <= 0:
+            raise ValueError("count and rate must be positive")
+        gap = clock_hz / rate_per_sec
+        return cls(tuple(i * gap for i in range(count)))
+
+    @classmethod
+    def poisson(cls, count: int, rate_per_sec: float, seed: int,
+                clock_hz: float = CLOCK_HZ) -> "ArrivalSchedule":
+        """``count`` arrivals with seeded-exponential inter-arrival
+        gaps (a Poisson process; no wall clock, fully reproducible)."""
+        if count <= 0 or rate_per_sec <= 0:
+            raise ValueError("count and rate must be positive")
+        rng = random.Random(seed)
+        mean_gap = clock_hz / rate_per_sec
+        now = 0.0
+        times = []
+        for _ in range(count):
+            now += rng.expovariate(1.0) * mean_gap
+            times.append(now)
+        return cls(tuple(times))
+
+
+def percentile(values: typing.Sequence[float], p: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 < p <= 100:
+        raise ValueError(f"percentile must be in (0, 100]: {p}")
+    ordered = sorted(values)
+    rank = math.ceil(p / 100.0 * len(ordered))
+    return ordered[rank - 1]
+
+
+# ---------------------------------------------------------------------------
+# Engine plumbing.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Connection:
+    """One unit of offered load."""
+
+    conn_id: int
+    arrival: float
+    job_factory: typing.Callable
+    start: float | None = None
+    finish: float | None = None
+    worker_tid: int | None = None
+    core_id: int | None = None
+    accept_charged: bool = False
+
+    @property
+    def latency(self) -> float:
+        if self.finish is None:
+            raise ValueError(f"connection {self.conn_id} never finished")
+        return self.finish - self.arrival
+
+    @property
+    def queue_wait(self) -> float:
+        if self.start is None:
+            raise ValueError(f"connection {self.conn_id} never started")
+        return self.start - self.arrival
+
+
+_IDLE = "idle"
+_READY = "ready"
+_RUNNING = "running"
+_BLOCKED = "blocked"
+_DEAD = "dead"
+
+
+@dataclass
+class _Worker:
+    task: "Task"
+    core_id: int
+    state: str = _IDLE
+    gen: typing.Iterator | None = None
+    conn: Connection | None = None
+    served: int = 0
+    aborted: int = 0
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """The engine's result: counts, latency distribution, obs snapshot."""
+
+    offered: int
+    completed: int
+    aborted: int
+    unserved: int
+    makespan_cycles: float
+    latencies: tuple[float, ...]       # per completed connection, cycles
+    queue_waits: tuple[float, ...]     # start - arrival, cycles
+    queue_depth_max: int
+    queue_depth_mean: float
+    preemptions: int
+    context_switches: int
+    blocked_waits: int
+    clock_cycles: float                # machine clock at completion
+    site_cycles: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def p50(self) -> float:
+        return percentile(self.latencies, 50)
+
+    @property
+    def p95(self) -> float:
+        return percentile(self.latencies, 95)
+
+    @property
+    def p99(self) -> float:
+        return percentile(self.latencies, 99)
+
+    @property
+    def mean_latency(self) -> float:
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.makespan_cycles <= 0:
+            return 0.0
+        return self.completed / (self.makespan_cycles / CLOCK_HZ)
+
+    def summary(self) -> dict:
+        """JSON-ready digest (cycles; latencies also in ms)."""
+        to_ms = 1000.0 / CLOCK_HZ
+        return {
+            "offered": self.offered,
+            "completed": self.completed,
+            "aborted": self.aborted,
+            "unserved": self.unserved,
+            "throughput_rps": round(self.throughput_rps, 3),
+            "makespan_cycles": self.makespan_cycles,
+            "latency_cycles": {
+                "p50": self.p50, "p95": self.p95, "p99": self.p99,
+                "mean": self.mean_latency,
+            },
+            "latency_ms": {
+                "p50": round(self.p50 * to_ms, 6),
+                "p95": round(self.p95 * to_ms, 6),
+                "p99": round(self.p99 * to_ms, 6),
+            },
+            "queue_depth_max": self.queue_depth_max,
+            "queue_depth_mean": round(self.queue_depth_mean, 3),
+            "queue_wait_mean_cycles": (
+                sum(self.queue_waits) / len(self.queue_waits)
+                if self.queue_waits else 0.0),
+            "preemptions": self.preemptions,
+            "context_switches": self.context_switches,
+            "blocked_waits": self.blocked_waits,
+            "clock_cycles": self.clock_cycles,
+        }
+
+
+class ServingEngine:
+    """Drive generator jobs over time-sliced cores, deterministically.
+
+    Construction installs a :class:`~repro.kernel.sched.QuantumSink`
+    on the machine clock; :meth:`run` removes it.  Engines are
+    single-use: build, ``add_worker``, ``offer``, ``run``.
+    """
+
+    def __init__(self, kernel: "Kernel", cores: typing.Sequence[int],
+                 quantum: float | None = None) -> None:
+        if not cores:
+            raise ValueError("engine needs at least one core")
+        if len(set(cores)) != len(cores):
+            raise ValueError("duplicate core ids")
+        for core_id in cores:
+            if kernel.scheduler.running_task(core_id) is not None:
+                raise RuntimeError(
+                    f"core {core_id} is busy; engine cores must be "
+                    "dedicated")
+        self.kernel = kernel
+        self.cores = list(cores)
+        self.quantum = (kernel.costs.sched_quantum
+                        if quantum is None else quantum)
+        self.sink = kernel.scheduler.enable_time_slicing(self.quantum)
+        self.core_time: dict[int, float] = {c: 0.0 for c in self.cores}
+        self.workers: list[_Worker] = []
+        self._by_tid: dict[int, _Worker] = {}
+        self._accept: deque[Connection] = deque()
+        self._offered: list[Connection] = []
+        self._next_conn_id = 0
+        self.records: list[Connection] = []
+        self.queue_depth_samples: list[int] = []
+        self.aborted = 0
+        self.blocked_waits = 0
+        self._ran = False
+
+    # -- setup ----------------------------------------------------------
+
+    def add_worker(self, task: "Task", core_id: int) -> None:
+        """Register ``task`` as a worker pinned to ``core_id``.
+
+        Running tasks are taken off their core first — the engine owns
+        placement from here on.
+        """
+        if core_id not in self.core_time:
+            raise ValueError(f"core {core_id} is not an engine core")
+        if task.tid in self._by_tid:
+            raise ValueError(f"task {task.tid} is already a worker")
+        if task.running:
+            self.kernel.scheduler.unschedule(task)
+        worker = _Worker(task=task, core_id=core_id)
+        self.workers.append(worker)
+        self._by_tid[task.tid] = worker
+
+    def offer(self, schedule: ArrivalSchedule,
+              job_factory: typing.Callable) -> None:
+        """Queue ``schedule``'s arrivals; each connection's job is
+        ``job_factory(worker_task, conn_id)`` — a generator yielding
+        None at preemption points or a WaitQueue to block."""
+        for arrival in schedule.arrivals:
+            self._offered.append(Connection(conn_id=self._next_conn_id,
+                                            arrival=arrival,
+                                            job_factory=job_factory))
+            self._next_conn_id += 1
+
+    # -- the event loop -------------------------------------------------
+
+    def run(self, horizon: float | None = None) -> ServingReport:
+        """Serve every offered connection (or stop once all cores pass
+        ``horizon`` cycles); returns the :class:`ServingReport`."""
+        if self._ran:
+            raise RuntimeError("engine instances are single-use")
+        if not self.workers:
+            raise RuntimeError("engine has no workers")
+        self._ran = True
+        pending = deque(sorted(self._offered,
+                               key=lambda c: (c.arrival, c.conn_id)))
+        try:
+            while True:
+                self._inject(pending)
+                if horizon is not None and all(
+                        self.core_time[c] >= horizon for c in self.cores):
+                    break
+                core_id = self._pick_core()
+                if core_id is None:
+                    if pending:
+                        # Everyone idles: leap to the next arrival.
+                        nxt = pending[0].arrival
+                        for c in self.cores:
+                            self.core_time[c] = max(self.core_time[c], nxt)
+                        continue
+                    if self._accept or any(w.state == _BLOCKED
+                                           for w in self.workers):
+                        raise RuntimeError(
+                            "serving engine stalled: queued or blocked "
+                            "work but no runnable worker (all waiters "
+                            "and no waker)")
+                    break
+                self._run_core(core_id)
+        finally:
+            self.kernel.scheduler.disable_time_slicing()
+            self._park_workers()
+        return self._report(pending)
+
+    # -- internals ------------------------------------------------------
+
+    def _core_has_work(self, core_id: int) -> bool:
+        sched = self.kernel.scheduler
+        return (sched.running_task(core_id) is not None
+                or sched.runnable_count(core_id) > 0)
+
+    def _pick_core(self) -> int | None:
+        best = None
+        for core_id in self.cores:
+            if not self._core_has_work(core_id):
+                continue
+            if best is None or self.core_time[core_id] < self.core_time[best]:
+                best = core_id
+        return best
+
+    def _inject(self, pending: deque) -> None:
+        """Move every due arrival into the accept queue.
+
+        An arrival is *due* once no in-flight work predates it: every
+        busy core's timeline has reached the arrival time (idle cores
+        never hold time back — they are parked in epoll_wait).
+        """
+        while pending:
+            busy = [self.core_time[c] for c in self.cores
+                    if self._core_has_work(c)]
+            if busy and pending[0].arrival > min(busy):
+                break
+            conn = pending.popleft()
+            self.queue_depth_samples.append(len(self._accept))
+            self.kernel.machine.obs.record_metric(
+                "apps.serving.queue_depth", len(self._accept))
+            self._accept.append(conn)
+            self._assign_idle()
+        self._assign_idle()
+
+    def _assign_idle(self) -> None:
+        """Hand queued connections to idle workers (earliest-core-time
+        worker first — it has been idle longest)."""
+        while self._accept:
+            idle = [w for w in self.workers if w.state == _IDLE]
+            if not idle:
+                return
+            worker = min(idle, key=lambda w: (self.core_time[w.core_id],
+                                              self.workers.index(w)))
+            conn = self._accept.popleft()
+            self._start_conn(worker, conn)
+            # An idle worker "sleeps" until its connection arrives.
+            self.core_time[worker.core_id] = max(
+                self.core_time[worker.core_id], conn.arrival)
+            self.kernel.scheduler.enqueue(worker.task, worker.core_id)
+            worker.state = _READY
+
+    def _start_conn(self, worker: _Worker, conn: Connection) -> None:
+        conn.worker_tid = worker.task.tid
+        conn.core_id = worker.core_id
+        worker.conn = conn
+        worker.gen = conn.job_factory(worker.task, conn.conn_id)
+
+    def _advance(self, core_id: int, fn):
+        """Run ``fn`` and bill its charged cycles to ``core_id``'s
+        virtual timeline."""
+        clock = self.kernel.clock
+        before = clock.now
+        result = fn()
+        self.core_time[core_id] += clock.now - before
+        return result
+
+    def _run_core(self, core_id: int) -> None:
+        """One scheduling slice on ``core_id``."""
+        sched = self.kernel.scheduler
+        task = sched.running_task(core_id)
+        if task is None:
+            task = self._advance(core_id, lambda: sched.dispatch(core_id))
+            if task is None:
+                return
+            self._by_tid[task.tid].state = _RUNNING
+        worker = self._by_tid[task.tid]
+        sink = self.sink
+        sink.begin_slice()
+        try:
+            while True:
+                conn = worker.conn
+                if conn is not None and not conn.accept_charged:
+                    # accept(2)/epoll bookkeeping, paid by the serving
+                    # core; marks the start of service.
+                    conn.accept_charged = True
+                    self._advance(core_id, lambda: self.kernel.clock.charge(
+                        self.kernel.costs.accept_cycles,
+                        site="apps.serving.accept"))
+                    conn.start = self.core_time[core_id]
+                    self.kernel.machine.obs.record_metric(
+                        "apps.serving.queue_wait", conn.queue_wait)
+                try:
+                    step = self._advance(core_id,
+                                         lambda: next(worker.gen))
+                except StopIteration:
+                    self._finish_conn(worker, core_id)
+                    if worker.state != _RUNNING:
+                        return
+                    continue
+                except TaskKilled:
+                    self._crash(worker, core_id, killed=True)
+                    return
+                except RequestAborted:
+                    self._abort_conn(worker)
+                    if worker.state != _RUNNING:
+                        return
+                    continue
+                if step is not None:
+                    self._block(worker, core_id, step)
+                    return
+                if sink.need_resched:
+                    if sched.runnable_count(core_id) > 0:
+                        sched.preempt(core_id)
+                        worker.state = _READY
+                        return
+                    # Alone on the core: keep running, fresh slice.
+                    sink.begin_slice()
+        finally:
+            sink.end_slice()
+
+    def _finish_conn(self, worker: _Worker, core_id: int) -> None:
+        conn = worker.conn
+        conn.finish = self.core_time[core_id]
+        self.records.append(conn)
+        worker.served += 1
+        worker.conn = None
+        worker.gen = None
+        if self._accept:
+            # The worker thread loops straight into the next queued
+            # connection — no context switch, as in a real accept loop.
+            self._start_conn(worker, self._accept.popleft())
+        else:
+            self.kernel.scheduler.unschedule(worker.task)
+            worker.state = _IDLE
+
+    def _block(self, worker: _Worker, core_id: int,
+               wait_queue: "WaitQueue") -> None:
+        """The job yielded a WaitQueue: park the worker off-core."""
+        sched = self.kernel.scheduler
+        sched.unschedule(worker.task)
+        worker.task.state = "blocked"
+        worker.state = _BLOCKED
+        self.blocked_waits += 1
+        wait_queue.add(worker.task,
+                       on_wake=lambda task, w=worker: self._on_wake(w))
+
+    def _on_wake(self, worker: _Worker) -> None:
+        if worker.task.state == "dead":
+            return
+        self.kernel.scheduler.enqueue(worker.task, worker.core_id)
+        worker.state = _READY
+
+    def _abort_conn(self, worker: _Worker) -> None:
+        """A signal handler abandoned the request (RequestAborted):
+        the connection is lost but the worker keeps serving."""
+        worker.aborted += 1
+        self.aborted += 1
+        worker.conn = None
+        worker.gen = None
+        if self._accept:
+            self._start_conn(worker, self._accept.popleft())
+        else:
+            self.kernel.scheduler.unschedule(worker.task)
+            worker.state = _IDLE
+
+    def _crash(self, worker: _Worker, core_id: int,
+               killed: bool) -> None:
+        """Containment for a killed worker: the connection is lost and
+        the worker leaves the pool (its task is already dead and
+        off-core via the kernel's kill path)."""
+        worker.aborted += 1
+        self.aborted += 1
+        worker.conn = None
+        worker.gen = None
+        worker.state = _DEAD
+
+    def _park_workers(self) -> None:
+        """Teardown: drain run queues, cancel leftover waits, and leave
+        no worker on a core."""
+        sched = self.kernel.scheduler
+        for core_id in self.cores:
+            queue = sched.run_queues.get(core_id)
+            if queue:
+                queue.clear()
+            task = sched.running_task(core_id)
+            if task is not None and task.tid in self._by_tid:
+                sched.unschedule(task)
+        for worker in self.workers:
+            if worker.state == _DEAD:
+                continue
+            if worker.task.waiting_on is not None:
+                worker.task.waiting_on.remove(worker.task)
+            if worker.task.state == "blocked":
+                worker.task.state = "runnable"
+            worker.state = _IDLE
+
+    def _report(self, pending: deque) -> ServingReport:
+        completed = [c for c in self.records if c.finish is not None]
+        completed.sort(key=lambda c: c.conn_id)
+        latencies = tuple(c.latency for c in completed)
+        waits = tuple(c.queue_wait for c in completed)
+        in_flight = sum(1 for w in self.workers if w.conn is not None)
+        unserved = len(pending) + len(self._accept) + in_flight
+        depth_samples = self.queue_depth_samples
+        makespan = max((c.finish for c in completed), default=0.0)
+        sched = self.kernel.scheduler
+        return ServingReport(
+            offered=len(self._offered),
+            completed=len(completed),
+            aborted=self.aborted,
+            unserved=unserved,
+            makespan_cycles=makespan,
+            latencies=latencies,
+            queue_waits=waits,
+            queue_depth_max=max(depth_samples, default=0),
+            queue_depth_mean=(sum(depth_samples) / len(depth_samples)
+                              if depth_samples else 0.0),
+            preemptions=sched.preemptions,
+            context_switches=sched.context_switches,
+            blocked_waits=self.blocked_waits,
+            clock_cycles=self.kernel.clock.now,
+            site_cycles=dict(
+                self.kernel.machine.obs.aggregator.cycles),
+        )
+
+
+def blocking_begin(lib, task: "Task", vkey: int, prot: int,
+                   max_spins: int = 64):
+    """Generator fragment for engine jobs: ``mpk_begin`` that *blocks*
+    the worker on key exhaustion instead of raising.
+
+    Use as ``yield from blocking_begin(lib, task, vkey, prot)`` inside
+    a job; the worker parks on ``lib.key_waiters`` and is woken by
+    ``mpk_end``/``mpk_munmap``/``mpk_disown`` on another worker.
+    """
+    for _ in range(max_spins):
+        try:
+            lib.mpk_begin(task, vkey, prot)
+            return
+        except MpkKeyExhaustion:
+            task.kernel.clock.charge(task.kernel.costs.futex_block,
+                                     site="libmpk.keycache.wait")
+            yield lib.key_waiters
+    raise MpkKeyExhaustion(
+        f"blocking_begin: no key after {max_spins} wakes")
+
+
+# ---------------------------------------------------------------------------
+# The servebench scenarios (python -m repro servebench).
+# ---------------------------------------------------------------------------
+
+def _run_httpd_scenario(seed: int, connections: int,
+                        requests_per_connection: int,
+                        response_size: int, workers: int,
+                        num_cores: int, rate_per_sec: float) -> ServingReport:
+    """httpd: ``workers`` SSL workers over ``num_cores`` cores, libmpk
+    guarding the private key, Poisson arrivals."""
+    from repro import Kernel, Libmpk, Machine
+    from repro.apps.sslserver import HttpServer, SslLibrary
+    from repro.apps.sslserver.ab import ApacheBench
+    from repro.apps.sslserver.workers import WorkerPool
+
+    kernel = Kernel(Machine(num_cores=max(num_cores + 2, 8)))
+    process = kernel.create_process()  # main task occupies core 0
+    main = process.main_task
+    lib = Libmpk(process)
+    lib.mpk_init(main)
+    ssl = SslLibrary(kernel, process, main, mode="libmpk", lib=lib)
+    server = HttpServer(kernel, process, main, ssl)
+    cores = list(range(1, num_cores + 1))
+    engine = ServingEngine(kernel, cores=cores)
+    pool = WorkerPool(kernel, process, server, workers=workers,
+                      schedule=False)
+    pool.attach_engine(engine, cores)
+    schedule = ArrivalSchedule.poisson(connections, rate_per_sec,
+                                       seed=seed)
+    bench = ApacheBench(server)
+    return bench.run_open_loop(
+        engine, schedule, response_size,
+        requests_per_connection=requests_per_connection)
+
+
+def _run_memcached_scenario(seed: int, connections: int,
+                            workers: int, num_cores: int,
+                            rate_per_sec: float) -> ServingReport:
+    """memcached: the paper's 4 workers, mpk_begin protection,
+    twemperf-style get/set connections."""
+    from repro import Kernel, Libmpk, Machine
+    from repro.apps.kvstore import Memcached, Twemperf
+    from repro.apps.kvstore.slab import SLAB_BYTES
+
+    kernel = Kernel(Machine(num_cores=max(num_cores + 2, 8)))
+    process = kernel.create_process()  # main task occupies core 0
+    main = process.main_task
+    lib = Libmpk(process)
+    lib.mpk_init(main)
+    store = Memcached(kernel, process, main, mode="mpk_begin", lib=lib,
+                      slab_bytes=4 * SLAB_BYTES, hash_buckets=1 << 10)
+    perf = Twemperf(store, workers=workers)
+    cores = list(range(1, num_cores + 1))
+    engine = ServingEngine(kernel, cores=cores)
+    for i in range(workers):
+        worker = process.spawn_task()
+        engine.add_worker(worker, core_id=cores[i % num_cores])
+    schedule = ArrivalSchedule.poisson(connections, rate_per_sec,
+                                       seed=seed + 1)
+    engine.offer(schedule, perf.connection_job)
+    return engine.run()
+
+
+SCENARIOS = {
+    # 4 workers over 2 cores: two runnable workers per core, so the
+    # quantum actually preempts (1 worker/core would never time-slice).
+    "httpd": lambda seed, connections: _run_httpd_scenario(
+        seed, connections, requests_per_connection=4,
+        response_size=4096, workers=4, num_cores=2,
+        rate_per_sec=60_000.0),
+    # The paper's 4 twemperf workers; offered rate above the 2-core
+    # service capacity so backlog (queue depth) builds open-loop.
+    "memcached": lambda seed, connections: _run_memcached_scenario(
+        seed, connections, workers=4, num_cores=2,
+        rate_per_sec=3_000.0),
+}
+
+
+def run_servebench(seed: int = 7, connections: int = 64) -> dict:
+    """Run every scenario twice; assert bit-identical determinism.
+
+    The determinism gate is the engine's whole value proposition: same
+    seed and arrival schedule must reproduce ``clock.now``, every
+    per-site cycle total, and the full latency vector, bit for bit.
+    """
+    results = {}
+    for name, scenario in SCENARIOS.items():
+        first = scenario(seed, connections)
+        second = scenario(seed, connections)
+        if first.clock_cycles != second.clock_cycles:
+            raise AssertionError(
+                f"{name}: clock diverges across identical runs — "
+                f"{first.clock_cycles!r} vs {second.clock_cycles!r}")
+        if first.site_cycles != second.site_cycles:
+            diff = {k: (first.site_cycles.get(k),
+                        second.site_cycles.get(k))
+                    for k in set(first.site_cycles)
+                    | set(second.site_cycles)
+                    if first.site_cycles.get(k)
+                    != second.site_cycles.get(k)}
+            raise AssertionError(f"{name}: per-site totals diverge: "
+                                 f"{diff}")
+        if first.latencies != second.latencies:
+            raise AssertionError(f"{name}: latency vectors diverge")
+        results[name] = first
+    return {
+        "schema": 1,
+        "unit": {"latency": "cycles (ms alongside)",
+                 "throughput": "connections/sec at 2.4 GHz"},
+        "seed": seed,
+        "connections": connections,
+        "note": ("open-loop serving benchmark; every scenario ran "
+                 "twice with identical seeds and produced bit-identical "
+                 "cycle totals and latency vectors"),
+        "benchmarks": {name: report.summary()
+                       for name, report in results.items()},
+    }
+
+
+def format_report(report: dict) -> str:
+    lines = [f"{'scenario':<12s} {'conns':>6s} {'done':>6s} "
+             f"{'thru (conn/s)':>14s} {'p50 (ms)':>10s} "
+             f"{'p95 (ms)':>10s} {'p99 (ms)':>10s} {'preempt':>8s}"]
+    for name, row in report["benchmarks"].items():
+        ms = row["latency_ms"]
+        lines.append(
+            f"{name:<12s} {row['offered']:>6d} {row['completed']:>6d} "
+            f"{row['throughput_rps']:>14,.1f} {ms['p50']:>10.4f} "
+            f"{ms['p95']:>10.4f} {ms['p99']:>10.4f} "
+            f"{row['preemptions']:>8d}")
+    return "\n".join(lines)
+
+
+def write_report(report: dict, path) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

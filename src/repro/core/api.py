@@ -52,6 +52,7 @@ from repro.core.heap import GroupHeap
 from repro.core.keycache import KeyCache
 from repro.core.metadata import CallSiteRegistry, MetadataRegion
 from repro.core.sync import do_pkey_sync
+from repro.kernel.task import WaitQueue
 
 if typing.TYPE_CHECKING:
     from repro.kernel.kcore import Kernel, Process
@@ -84,6 +85,9 @@ class Libmpk:
         self._begin_wait_attempts = 0
         self._begin_wait_waits = 0
         self._begin_wait_cycles = 0.0
+        # Threads blocked in mpk_begin_wait park here; any call that
+        # can free or unpin a hardware key wakes them.
+        self.key_waiters = WaitQueue("libmpk.key_waiters")
         # A thread killed by a signal implicitly ends its open domains.
         process.task_death_hooks.append(self._task_death_hook)
 
@@ -126,6 +130,12 @@ class Libmpk:
         self._cache = KeyCache(keys, evict_rate, policy=policy)
         self._metadata = MetadataRegion(self._kernel, self._process, task)
         self._registry = CallSiteRegistry(static_vkeys)
+        # Key-cache counter conservation, checked by obs.audit()
+        # alongside the MMU/TLB invariant: every lookup resolved to
+        # exactly one of hit or miss.
+        self._obs.register_invariant(
+            f"keycache_counters.pid{self._process.pid}",
+            self._cache.check_counters)
 
     # ------------------------------------------------------------------
     # mpk_mmap / mpk_munmap
@@ -248,6 +258,7 @@ class Libmpk:
             with suppress(Exception):
                 self._metadata.kernel_remove(vkey)
             raise
+        self._wake_key_waiters()
 
     @traced("libmpk.mpk_munmap")
     def mpk_munmap(self, task: "Task", vkey: int) -> None:
@@ -281,6 +292,7 @@ class Libmpk:
             with suppress(Exception):
                 self._metadata.kernel_remove(vkey)
             raise
+        self._wake_key_waiters()
 
     # ------------------------------------------------------------------
     # mpk_begin / mpk_end — domain-based thread-local isolation.
@@ -349,20 +361,26 @@ class Libmpk:
     @traced("libmpk.mpk_begin_wait")
     def mpk_begin_wait(self, task: "Task", vkey: int, prot: int,
                        on_wait=None, max_attempts: int = 64) -> int:
-        """mpk_begin that handles key exhaustion by waiting.
+        """mpk_begin that handles key exhaustion by genuinely blocking.
 
         The paper leaves exhaustion to the caller ("mpk_begin() raises
         an exception and lets the calling thread handle it (e.g.,
-        sleeps until a key is available)"); this helper packages the
-        obvious strategy: on :class:`~repro.errors.MpkKeyExhaustion`,
-        back off — a capped exponential sleep charged as
-        ``libmpk.keycache.wait`` — then invoke ``on_wait(attempt)`` if
-        given (it must make progress, e.g. by completing other work
-        that ends a domain) and retry.  Returns the number of attempts
-        taken; raises after ``max_attempts``.  Attempt/wait telemetry
-        lands in :meth:`stats`.
+        sleeps until a key is available)"); this helper parks the
+        thread on :attr:`key_waiters` — a futex-style wait queue woken
+        by ``mpk_end``/``mpk_munmap``/``mpk_disown`` whenever a pin
+        drops or a key frees — instead of the scripted exponential
+        backoff it used to burn.  The futex-wait entry is charged as
+        ``libmpk.keycache.wait``; cycles that elapse while parked land
+        in :meth:`stats` as ``begin_wait_cycles``.
+
+        ``on_wait(attempt)``, when given, is the serial-mode progress
+        hook: it runs while the thread is parked and must make progress
+        (e.g. complete other work that ends a domain).  Without it, an
+        unwoken wait would deadlock — a single-threaded caller with no
+        waker — so the call raises immediately rather than spinning.
+        Returns the number of attempts taken; raises after
+        ``max_attempts``.
         """
-        costs = self._kernel.costs
         self._begin_wait_calls += 1
         for attempt in range(1, max_attempts + 1):
             try:
@@ -370,17 +388,48 @@ class Libmpk:
                 self._begin_wait_attempts += attempt
                 return attempt
             except MpkKeyExhaustion:
-                backoff = min(costs.begin_wait_base * (2 ** (attempt - 1)),
-                              costs.begin_wait_cap)
-                self._charge(backoff, site="libmpk.keycache.wait")
-                self._begin_wait_waits += 1
-                self._begin_wait_cycles += backoff
-                if on_wait is not None:
-                    on_wait(attempt)
+                if not self._wait_for_key(task, attempt, on_wait):
+                    self._begin_wait_attempts += attempt
+                    raise MpkKeyExhaustion(
+                        "mpk_begin_wait: all hardware keys pinned and "
+                        "no waker (no on_wait hook and no concurrent "
+                        "thread to free a key) — would deadlock"
+                    ) from None
         self._begin_wait_attempts += max_attempts
         raise MpkKeyExhaustion(
             f"mpk_begin_wait: no hardware key freed after "
             f"{max_attempts} attempts")
+
+    def _wait_for_key(self, task: "Task", attempt: int, on_wait) -> bool:
+        """Park ``task`` on the key wait queue until a waker fires or
+        the ``on_wait`` progress hook returns.  True means "retry"."""
+        costs = self._kernel.costs
+        self._charge(costs.futex_block, site="libmpk.keycache.wait")
+        self._begin_wait_waits += 1
+        parked_at = self._kernel.clock.now
+        woken: list["Task"] = []
+        self.key_waiters.add(task, on_wake=woken.append)
+        try:
+            if on_wait is not None:
+                on_wait(attempt)
+        finally:
+            self._begin_wait_cycles += self._kernel.clock.now - parked_at
+            if not woken:
+                self.key_waiters.remove(task)
+        # A wake or a progress hook both justify a retry; with neither,
+        # nothing can ever free a key and the caller must not spin.
+        return bool(woken) or on_wait is not None
+
+    def _wake_key_waiters(self) -> None:
+        """Wake every thread blocked in :meth:`mpk_begin_wait` (a key
+        freed or a pin dropped).  Free when nobody waits, so workloads
+        that never block see identical cycle totals."""
+        waiting = len(self.key_waiters)
+        if not waiting:
+            return
+        self._charge(waiting * self._kernel.costs.futex_wake,
+                     site="libmpk.keycache.wake")
+        self.key_waiters.wake_all()
 
     @traced("libmpk.mpk_end")
     def mpk_end(self, task: "Task", vkey: int) -> None:
@@ -406,6 +455,8 @@ class Libmpk:
             # into a re-pinned state.
             self._repair_record(group)
             raise
+        # The dropped pin may make an eviction victim available.
+        self._wake_key_waiters()
 
     @contextmanager
     def domain(self, task: "Task", vkey: int, prot: int):
@@ -622,10 +673,14 @@ class Libmpk:
         """A thread killed by a signal implicitly mpk_ends its open
         domains: pins drop so the keys become evictable again (the
         kernel knows the pin counts via the metadata region)."""
+        dropped = False
         for group in self._groups.values():
             if task.tid in group.pinned_by:
                 group.pinned_by.discard(task.tid)
                 self._repair_record(group)
+                dropped = True
+        if dropped:
+            self._wake_key_waiters()
 
     def _kernel_update_range(self, task: "Task", group: PageGroup,
                              prot: int, pkey: int,

@@ -52,9 +52,13 @@ class KeyCache:
         self.policy = policy
         self._rng = random.Random(seed)
         self._reserved: set[int] = set()
-        self._miss_count = 0
+        # True when the most recent lookup() missed and its eviction
+        # decision is still outstanding — lets should_evict_on_miss()
+        # avoid double-counting that miss (see the method docstring).
+        self._decision_pending = False
         self.stats_hits = 0
         self.stats_misses = 0
+        self.stats_lookups = 0
         self.stats_evictions = 0
         self.stats_fallbacks = 0
 
@@ -73,13 +77,16 @@ class KeyCache:
     def lookup(self, vkey: int) -> int | None:
         """Return the cached hardware key for ``vkey`` (refreshing LRU
         recency), or None on a miss."""
+        self.stats_lookups += 1
         pkey = self._lru.get(vkey)
         if pkey is None:
             self.stats_misses += 1
+            self._decision_pending = True
             return None
         if self.policy == "lru":
             self._lru.move_to_end(vkey)
         self.stats_hits += 1
+        self._decision_pending = False
         return pkey
 
     def peek(self, vkey: int) -> int | None:
@@ -173,14 +180,44 @@ class KeyCache:
     # ------------------------------------------------------------------
 
     def should_evict_on_miss(self) -> bool:
-        """Deterministic eviction-rate gate for mpk_mprotect misses."""
-        self._miss_count += 1
-        before = math.floor((self._miss_count - 1) * self.evict_rate)
-        after = math.floor(self._miss_count * self.evict_rate)
+        """Deterministic eviction-rate gate for mpk_mprotect misses.
+
+        The error-diffusion counter is the *unified* miss counter
+        ``stats_misses``: a miss recorded by :meth:`lookup` leaves its
+        decision pending and is consumed here, while a standalone call
+        (policy unit tests exercise the gate without a cache) counts
+        as its own miss.  Historically a private ``_miss_count`` only
+        saw mprotect-miss decisions, so it drifted from ``stats_misses``
+        whenever ``mpk_begin`` paths missed — the diffusion pattern then
+        depended on which API observed the miss instead of on the global
+        miss ordinal.
+        """
+        if self._decision_pending:
+            self._decision_pending = False
+        else:
+            self.stats_misses += 1
+        n = self.stats_misses
+        before = math.floor((n - 1) * self.evict_rate)
+        after = math.floor(n * self.evict_rate)
         decided = after > before
         if not decided:
             self.stats_fallbacks += 1
         return decided
+
+    def check_counters(self) -> str | None:
+        """The ``hits + misses == lookups`` invariant (obs audit hook).
+
+        Returns None when consistent, else a description.  Misses
+        synthesized by standalone :meth:`should_evict_on_miss` calls
+        (no preceding lookup) are legal for policy unit tests but break
+        the identity, which is exactly what the audit should flag in
+        production use.
+        """
+        if self.stats_hits + self.stats_misses == self.stats_lookups:
+            return None
+        return (f"keycache counters drifted: hits={self.stats_hits} + "
+                f"misses={self.stats_misses} != lookups="
+                f"{self.stats_lookups}")
 
     # ------------------------------------------------------------------
     # Reservation (execute-only key, §4.2).

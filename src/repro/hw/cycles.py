@@ -111,9 +111,18 @@ class CostModel:
 
     # ---- mpk_begin_wait backoff (capped exponential, §4.2's "sleeps
     # until a key is available" strategy).  Base is a fraction of a
-    # context switch; the cap bounds the longest sleep at 8 switches. ----
+    # context switch; the cap bounds the longest sleep at 8 switches.
+    # Retained for cost-model compatibility; the wait path now blocks
+    # on a futex (below) instead of burning scripted backoff. ----
     begin_wait_base: float = 450.0
     begin_wait_cap: float = 14_400.0
+
+    # ---- Futex-style wait queues (mpk_begin_wait blocking) and the
+    # serving engine's time-sliced cores (repro.bench.serving). ----
+    futex_block: float = 450.0      # enter the kernel and park on a queue
+    futex_wake: float = 250.0       # pop + make one waiter runnable
+    sched_quantum: float = 100_000.0  # default preemption quantum
+    accept_cycles: float = 600.0    # accept(2)/epoll bookkeeping per conn
 
     # ---- mmap/munmap (used by workloads, not directly measured). ----
     mmap_base: float = 900.0

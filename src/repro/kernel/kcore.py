@@ -63,6 +63,8 @@ class Process:
     def exit_task(self, task: Task) -> None:
         if task.running:
             self.kernel.scheduler.unschedule(task)
+        if task.waiting_on is not None:
+            task.waiting_on.remove(task)
         task.state = "dead"
         self.tasks.remove(task)
 

@@ -1,10 +1,15 @@
-"""Deterministic scheduler: core assignment, context switches, IPIs.
+"""Deterministic scheduler: core assignment, run queues, IPIs, slicing.
 
-The simulator does not time-slice; tests and benchmarks place tasks on
-cores explicitly and the "concurrency" the paper depends on — which
-sibling threads are *currently running* when an mprotect needs a TLB
-shootdown or a do_pkey_sync needs rescheduling IPIs — is fully
-deterministic.
+Tests and benchmarks may still place tasks on cores explicitly — the
+"concurrency" the paper depends on (which sibling threads are
+*currently running* when an mprotect needs a TLB shootdown or a
+do_pkey_sync needs rescheduling IPIs) stays fully deterministic.  On
+top of that, the scheduler now carries per-core FIFO run queues and an
+opt-in time-slicing mode: a :class:`QuantumSink` charge-sink on the
+cycle clock accumulates the running slice's cycles and raises
+``need_resched`` when the quantum expires, so preemption points are a
+pure function of cycle state (the serving engine in
+``repro.bench.serving`` polls the flag at its jobs' yield points).
 
 Two IPI flavours matter for the paper's measurements:
 
@@ -19,12 +24,54 @@ Two IPI flavours matter for the paper's measurements:
 from __future__ import annotations
 
 import typing
+from collections import deque
 
 from repro.hw.machine import Machine
+from repro.obs import ChargeSink
 
 if typing.TYPE_CHECKING:
     from repro.kernel.kcore import Process
     from repro.kernel.task import Task
+
+
+class QuantumSink(ChargeSink):
+    """Clock sink that watches the running time slice.
+
+    Between :meth:`begin_slice` and :meth:`end_slice` every charged
+    cycle accrues to the slice; once ``slice_used`` reaches the quantum
+    the sink latches ``need_resched``.  It never forces a switch itself
+    — tasks are preempted only at their own yield points, where the
+    engine polls the flag — so interleavings depend on nothing but the
+    cycle totals the simulation already produces deterministically.
+    """
+
+    def __init__(self, quantum: float) -> None:
+        if quantum <= 0:
+            raise ValueError("quantum must be positive")
+        self.quantum = quantum
+        self.slice_used = 0.0
+        self.need_resched = False
+        self.active = False
+        self.slices = 0
+        self.expirations = 0
+
+    def begin_slice(self) -> None:
+        self.slice_used = 0.0
+        self.need_resched = False
+        self.active = True
+        self.slices += 1
+
+    def end_slice(self) -> None:
+        self.active = False
+
+    def on_charge(self, site: str, cycles: float, now: float,
+                  seq: int) -> None:
+        if not self.active:
+            return
+        self.slice_used += cycles
+        if not self.need_resched and self.slice_used >= self.quantum:
+            self.need_resched = True
+            self.expirations += 1
 
 
 class Scheduler:
@@ -35,6 +82,9 @@ class Scheduler:
         self._core_task: dict[int, "Task"] = {}
         self.ipis_sent = 0
         self.context_switches = 0
+        self.preemptions = 0
+        self.run_queues: dict[int, deque["Task"]] = {}
+        self._quantum_sink: QuantumSink | None = None
 
     # ------------------------------------------------------------------
     # Placement.
@@ -77,11 +127,83 @@ class Scheduler:
             tasks = [t for t in tasks if t.process is process]
         return sorted(tasks, key=lambda t: t.tid)
 
+    def running_task(self, core_id: int) -> "Task | None":
+        """The task currently on ``core_id`` (None when the core idles)."""
+        return self._core_task.get(core_id)
+
     def _first_free_core(self) -> int:
         for core_id in range(self.machine.num_cores):
             if core_id not in self._core_task:
                 return core_id
         raise RuntimeError("no free core")
+
+    # ------------------------------------------------------------------
+    # Run queues + time slicing.
+    # ------------------------------------------------------------------
+
+    def enable_time_slicing(self, quantum: float) -> QuantumSink:
+        """Install a :class:`QuantumSink` on the cycle clock.
+
+        Returns the sink; callers bracket execution with
+        ``begin_slice``/``end_slice`` and poll ``need_resched`` at
+        their yield points.
+        """
+        if self._quantum_sink is not None:
+            raise RuntimeError("time slicing is already enabled")
+        sink = QuantumSink(quantum)
+        self.machine.clock.add_sink(sink)
+        self._quantum_sink = sink
+        return sink
+
+    def disable_time_slicing(self) -> None:
+        if self._quantum_sink is None:
+            return
+        self.machine.clock.remove_sink(self._quantum_sink)
+        self._quantum_sink = None
+
+    @property
+    def quantum_sink(self) -> QuantumSink | None:
+        return self._quantum_sink
+
+    def enqueue(self, task: "Task", core_id: int) -> None:
+        """Append ``task`` to ``core_id``'s FIFO run queue."""
+        if task.running:
+            raise RuntimeError(f"{task!r} is already running")
+        if task.state == "dead":
+            raise RuntimeError(f"{task!r} is dead")
+        queue = self.run_queues.setdefault(core_id, deque())
+        if any(queued is task for queued in queue):
+            raise RuntimeError(f"{task!r} is already queued")
+        task.state = "runnable"
+        queue.append(task)
+
+    def runnable_count(self, core_id: int) -> int:
+        return len(self.run_queues.get(core_id, ()))
+
+    def dispatch(self, core_id: int) -> "Task | None":
+        """Context-switch the head of ``core_id``'s run queue onto the
+        core (charging the switch).  Returns the dispatched task, or
+        None when the queue is empty."""
+        queue = self.run_queues.get(core_id)
+        if not queue:
+            return None
+        if core_id in self._core_task:
+            raise RuntimeError(f"core {core_id} is busy")
+        task = queue.popleft()
+        self.schedule(task, core_id=core_id)
+        return task
+
+    def preempt(self, core_id: int) -> "Task":
+        """Take the running task off ``core_id`` at a quantum boundary
+        and requeue it at the tail.  The switch cost is charged when
+        the next task dispatches."""
+        task = self._core_task.get(core_id)
+        if task is None:
+            raise RuntimeError(f"core {core_id} is idle")
+        self.unschedule(task)
+        self.enqueue(task, core_id)
+        self.preemptions += 1
+        return task
 
     # ------------------------------------------------------------------
     # IPIs.
@@ -118,19 +240,31 @@ class Scheduler:
         when ``vpns`` lists only resident pages, mirroring Linux's
         ``flush_tlb_range`` which walks the whole virtual range.
         """
+        # Validate before any IPI is charged or any TLB touched: a
+        # half-executed shootdown that then raises would leave the
+        # cycle ledger and ipis_sent permanently skewed.
+        if initiator is not None and not initiator.running:
+            raise RuntimeError("shootdown initiator must be running")
         remote = 0
+        flushed_initiator = False
         for task in self.running_tasks(process):
             core = self.machine.core(task.core_id)
             if initiator is not None and task is initiator:
                 self._flush(core, full, vpns, charge_pages)
+                flushed_initiator = True
                 continue
             self.machine.clock.charge(self.machine.costs.tlb_shootdown_ipi,
                                       site="hw.tlb.shootdown_ipi")
             self.ipis_sent += 1
             remote += 1
             self._flush(core, full, vpns, charge_pages)
-        if initiator is not None and not initiator.running:
-            raise RuntimeError("shootdown initiator must be running")
+        if initiator is not None and not flushed_initiator:
+            # The initiator may be running a task of a *different*
+            # process (the kernel editing another mm).  Cores have no
+            # ASIDs here, so its TLB can still hold stale translations
+            # of the flushed process — the local flush is mandatory.
+            self._flush(self.machine.core(initiator.core_id), full, vpns,
+                        charge_pages)
         return remote
 
     @staticmethod

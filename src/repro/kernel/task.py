@@ -32,6 +32,82 @@ if typing.TYPE_CHECKING:
     from repro.kernel.kcore import Kernel, Process
 
 
+class WaitQueue:
+    """A futex-style FIFO wait queue.
+
+    Waiters park here with an optional ``on_wake(task)`` callback; a
+    waker pops them in arrival order.  The queue itself never touches
+    core placement — blocking a *running* task off its core is the
+    scheduler's (or the serving engine's) job — it only tracks who is
+    waiting and notifies them, so the same primitive backs both the
+    synchronous ``mpk_begin_wait`` retry path and the serving engine's
+    genuinely-blocking workers.
+    """
+
+    def __init__(self, name: str = "wait") -> None:
+        self.name = name
+        self._waiters: deque[tuple[Task, typing.Callable | None]] = deque()
+        self.stats_waits = 0
+        self.stats_wakes = 0
+
+    def __len__(self) -> int:
+        return len(self._waiters)
+
+    def waiters(self) -> list["Task"]:
+        return [task for task, _ in self._waiters]
+
+    def add(self, task: "Task", on_wake: typing.Callable | None = None) -> None:
+        """Park ``task`` on the queue (FIFO)."""
+        if any(waiter is task for waiter, _ in self._waiters):
+            raise RuntimeError(
+                f"task {task.tid} is already waiting on {self.name!r}")
+        if task.waiting_on is not None:
+            raise RuntimeError(
+                f"task {task.tid} is already waiting on "
+                f"{task.waiting_on.name!r}")
+        task.waiting_on = self
+        self._waiters.append((task, on_wake))
+        self.stats_waits += 1
+
+    def remove(self, task: "Task") -> bool:
+        """Cancel ``task``'s wait (timeout / give-up path).  Returns
+        True when the task was actually queued."""
+        for i, (waiter, _) in enumerate(self._waiters):
+            if waiter is task:
+                del self._waiters[i]
+                task.waiting_on = None
+                return True
+        return False
+
+    def _wake(self, entry: tuple["Task", typing.Callable | None]) -> "Task":
+        task, on_wake = entry
+        task.waiting_on = None
+        if task.state == "blocked":
+            task.state = "runnable"
+        self.stats_wakes += 1
+        if on_wake is not None:
+            on_wake(task)
+        return task
+
+    def wake_one(self) -> "Task | None":
+        """Wake the oldest waiter; returns it (None when empty)."""
+        if not self._waiters:
+            return None
+        return self._wake(self._waiters.popleft())
+
+    def wake_all(self) -> list["Task"]:
+        """Wake every waiter in FIFO order (the thundering-herd flavour
+        — deterministic, and correct for key-exhaustion waits where any
+        freed key may satisfy any waiter)."""
+        woken = []
+        while self._waiters:
+            woken.append(self._wake(self._waiters.popleft()))
+        return woken
+
+    def __repr__(self) -> str:
+        return f"<WaitQueue {self.name!r} waiters={len(self._waiters)}>"
+
+
 class Task:
     """One thread of a simulated process."""
 
@@ -45,6 +121,8 @@ class Task:
         self.core_id: int | None = None
         self._task_works: deque[typing.Callable[["Task"], None]] = deque()
         self.state = "runnable"
+        # The WaitQueue this task is currently parked on, if any.
+        self.waiting_on: WaitQueue | None = None
         # WRPKRU call-gating (the §7 control-flow-hijack mitigation):
         # when sandboxed, WRPKRU may only execute inside a trusted gate.
         self.wrpkru_sandboxed = False

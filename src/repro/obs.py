@@ -250,6 +250,35 @@ class _Span:
                 subscriber(record, ancestors)
 
 
+@dataclass
+class MetricSeries:
+    """Aggregate of one recorded metric site (not cycle-bearing).
+
+    Values that are *observations* rather than machine work — queue
+    depths, wait times — must not be charged on the clock (the clock is
+    the sum of work, and charging idle time would corrupt the
+    conservation audit).  They land here instead, keyed by the same
+    dotted site convention as charges.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+    last: float = 0.0
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        self.last = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
 class Observability:
     """Per-machine instrumentation facade: sinks, spans, audits.
 
@@ -268,6 +297,26 @@ class Observability:
         self._span_subscribers: list = []
         self._profile: dict[tuple[str, ...], SpanStats] = {}
         self._invariants: dict[str, object] = {}
+        self._metrics: dict[str, MetricSeries] = {}
+
+    # ------------------------------------------------------------------
+    # Metric series (non-cycle observations: queue depths, wait times).
+    # ------------------------------------------------------------------
+
+    def record_metric(self, site: str, value: float) -> None:
+        """Record one observation of ``site`` (dotted label, same
+        convention as charge sites)."""
+        series = self._metrics.get(site)
+        if series is None:
+            series = self._metrics[site] = MetricSeries()
+        series.record(value)
+
+    def metric(self, site: str) -> MetricSeries | None:
+        return self._metrics.get(site)
+
+    def metrics(self) -> dict[str, MetricSeries]:
+        """Snapshot of every recorded metric series."""
+        return dict(self._metrics)
 
     # ------------------------------------------------------------------
     # Sink management (pass-through with a tiny convenience).

@@ -52,6 +52,53 @@ class TestApacheBench:
         ab = ApacheBench(server)
         with pytest.raises(ValueError):
             ab.run(task, requests=10, response_size=10, concurrency=0)
+        with pytest.raises(ValueError):
+            ab.run(task, requests=10, response_size=10,
+                   requests_per_connection=0)
+
+    def test_ragged_final_wave_costs_exactly_one_setup(self, server, task):
+        """Wave accounting must be exact for ragged tails: 10 requests
+        at concurrency 4 is three waves (4+4+2), so exactly three
+        connection setups — the trailing sub-batch used to re-amortize
+        its setup and skew cycles-per-request with the batch boundary."""
+        from repro.apps.sslserver.httpd import CONNECTION_SETUP_CYCLES
+        ab = ApacheBench(server)
+        baseline = ab.run(task, requests=1, response_size=100,
+                          concurrency=1)
+        per_request = baseline.total_cycles - CONNECTION_SETUP_CYCLES
+        ragged = ab.run(task, requests=10, response_size=100,
+                        concurrency=4)
+        expected = 3 * CONNECTION_SETUP_CYCLES + 10 * per_request
+        assert ragged.total_cycles == pytest.approx(expected, rel=1e-6)
+        assert ragged.connections == 10
+
+    def test_cycles_per_request_stable_across_batch_boundaries(
+            self, server, task):
+        """Whole waves vs a ragged tail must not change the per-request
+        cost beyond the (amortized) setup of the extra wave."""
+        from repro.apps.sslserver.httpd import CONNECTION_SETUP_CYCLES
+        ab = ApacheBench(server)
+        whole = ab.run(task, requests=8, response_size=100, concurrency=4)
+        ragged = ab.run(task, requests=9, response_size=100, concurrency=4)
+        # 8 requests = 2 waves; 9 requests = 3 waves: one extra setup
+        # plus one extra request, nothing else.
+        extra = (ragged.total_cycles - whole.total_cycles
+                 - CONNECTION_SETUP_CYCLES)
+        per_request = whole.total_cycles / 8 - 2 * CONNECTION_SETUP_CYCLES / 8
+        assert extra == pytest.approx(per_request, rel=1e-6)
+
+    def test_pooled_connections_count_waves_not_batches(self, server, task):
+        """12 requests, 5 per connection, concurrency 2: connections
+        are 5+5+2 and waves are ceil(3/2)=2, so two setups total."""
+        from repro.apps.sslserver.httpd import CONNECTION_SETUP_CYCLES
+        ab = ApacheBench(server)
+        result = ab.run(task, requests=12, response_size=100,
+                        concurrency=2, requests_per_connection=5)
+        assert result.connections == 3
+        single = ab.run(task, requests=1, response_size=100, concurrency=1)
+        per_request = single.total_cycles - CONNECTION_SETUP_CYCLES
+        expected = 2 * CONNECTION_SETUP_CYCLES + 12 * per_request
+        assert result.total_cycles == pytest.approx(expected, rel=1e-6)
 
 
 class TestTwemperf:

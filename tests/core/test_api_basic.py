@@ -42,6 +42,27 @@ class TestInit:
             lib.mpk_init(task, evict_rate=1.5)
 
 
+class TestKeycacheCounterInvariant:
+    def test_holds_under_real_traffic(self, kernel, lib, task):
+        addr = lib.mpk_mmap(task, GROUP, PAGE_SIZE, RW)
+        with lib.domain(task, GROUP, RW):
+            task.write(addr, b"x")
+        lib.mpk_mprotect(task, GROUP, PROT_READ)
+        failures = kernel.machine.obs.invariant_failures()
+        assert not failures
+        ok, _ = kernel.machine.obs.audit()
+        assert ok
+
+    def test_audit_flags_counter_drift(self, kernel, lib, process):
+        """mpk_init registers hits + misses == lookups with obs; a
+        counter going out of sync must fail the audit."""
+        lib.cache.stats_hits += 1  # simulate a drifting counter
+        failures = kernel.machine.obs.invariant_failures()
+        assert f"keycache_counters.pid{process.pid}" in failures
+        ok, _ = kernel.machine.obs.audit()
+        assert not ok
+
+
 class TestMmapMunmap:
     def test_group_starts_inaccessible(self, lib, task):
         """Figure 5: after mpk_mmap the pkey permission is '--'."""

@@ -101,6 +101,43 @@ class TestEvictionRate:
             cache.should_evict_on_miss()
         assert cache.stats_fallbacks == 5
 
+    def test_diffusion_counts_misses_seen_by_other_apis(self):
+        """The error-diffusion gate runs over the *unified* miss
+        counter: a miss observed only by lookup() (the mpk_begin path
+        never asks for an eviction decision) still advances the
+        pattern.  A private per-decision counter drifted here — the
+        second miss of a 0.5-rate pattern must evict even when the
+        first miss never reached should_evict_on_miss()."""
+        cache = KeyCache([1], evict_rate=0.5)
+        assert cache.lookup(10) is None        # miss 1: begin-style
+        assert cache.lookup(11) is None        # miss 2: mprotect-style
+        assert cache.should_evict_on_miss()    # 0.5 rate: evict on #2
+        assert cache.stats_misses == 2
+
+    def test_decision_does_not_double_count_the_lookup_miss(self):
+        cache = KeyCache([1], evict_rate=1.0)
+        assert cache.lookup(10) is None
+        cache.should_evict_on_miss()
+        assert cache.stats_misses == 1
+        assert cache.check_counters() is None
+
+    def test_counter_identity_holds_under_mixed_traffic(self):
+        cache = KeyCache([1, 2], evict_rate=0.5)
+        cache.assign_free(10)
+        for vkey in (10, 99, 10, 98, 97, 10):
+            if cache.lookup(vkey) is None:
+                cache.should_evict_on_miss()
+        assert cache.stats_hits + cache.stats_misses == cache.stats_lookups
+        assert cache.check_counters() is None
+
+    def test_standalone_decisions_are_flagged_as_drift(self):
+        """Decisions with no preceding lookup synthesize misses; the
+        hits + misses == lookups identity then fails, and
+        check_counters() must say so (the obs audit hook)."""
+        cache = KeyCache([1], evict_rate=1.0)
+        cache.should_evict_on_miss()
+        assert cache.check_counters() is not None
+
 
 class TestReservation:
     def test_reserved_key_never_chosen_as_victim(self, cache):

@@ -4,6 +4,8 @@ import pytest
 
 from repro.consts import PAGE_SIZE, PROT_READ, PROT_WRITE
 from repro.hw.pkru import KEY_RIGHTS_NONE, KEY_RIGHTS_READ, PKRU
+from repro.kernel.sched import QuantumSink
+from repro.kernel.task import WaitQueue
 
 RW = PROT_READ | PROT_WRITE
 
@@ -109,6 +111,144 @@ class TestTaskWork:
         sleeper.task_work_add(lambda t: order.append(2))
         kernel.scheduler.schedule(sleeper)
         assert order == [1, 2]
+
+
+class TestWaitQueue:
+    def test_wake_one_is_fifo(self, process):
+        wq = WaitQueue("test")
+        a, b = process.spawn_task(), process.spawn_task()
+        wq.add(a)
+        wq.add(b)
+        assert wq.wake_one() is a
+        assert wq.wake_one() is b
+        assert wq.wake_one() is None
+
+    def test_wake_clears_waiting_state(self, process):
+        wq = WaitQueue("test")
+        waiter = process.spawn_task()
+        waiter.state = "blocked"
+        wq.add(waiter)
+        assert waiter.waiting_on is wq
+        wq.wake_all()
+        assert waiter.waiting_on is None
+        assert waiter.state == "runnable"
+
+    def test_on_wake_callback_fires(self, process):
+        wq = WaitQueue("test")
+        woken = []
+        waiter = process.spawn_task()
+        wq.add(waiter, on_wake=woken.append)
+        wq.wake_one()
+        assert woken == [waiter]
+
+    def test_double_wait_rejected(self, process):
+        wq, other = WaitQueue("a"), WaitQueue("b")
+        waiter = process.spawn_task()
+        wq.add(waiter)
+        with pytest.raises(RuntimeError):
+            wq.add(waiter)
+        with pytest.raises(RuntimeError):
+            other.add(waiter)
+
+    def test_remove_cancels_the_wait(self, process):
+        wq = WaitQueue("test")
+        waiter = process.spawn_task()
+        wq.add(waiter)
+        assert wq.remove(waiter)
+        assert waiter.waiting_on is None
+        assert not wq.remove(waiter)
+        assert wq.wake_one() is None
+
+    def test_exit_task_leaves_wait_queues(self, kernel, process):
+        """A dying waiter must not linger on the queue (a later wake
+        would resurrect a dead task)."""
+        wq = WaitQueue("test")
+        waiter = process.spawn_task()
+        wq.add(waiter)
+        process.exit_task(waiter)
+        assert len(wq) == 0
+        assert waiter.waiting_on is None
+
+
+class TestRunQueuesAndSlicing:
+    def test_enqueue_dispatch_fifo(self, kernel, process):
+        sched = kernel.scheduler
+        a, b = process.spawn_task(), process.spawn_task()
+        sched.enqueue(a, core_id=3)
+        sched.enqueue(b, core_id=3)
+        assert sched.runnable_count(3) == 2
+        assert sched.dispatch(3) is a
+        assert a.running and a.core_id == 3
+
+    def test_dispatch_on_busy_core_rejected(self, kernel, process, task):
+        sched = kernel.scheduler
+        sched.enqueue(process.spawn_task(), core_id=task.core_id)
+        with pytest.raises(RuntimeError):
+            sched.dispatch(task.core_id)
+
+    def test_preempt_requeues_at_tail(self, kernel, process):
+        sched = kernel.scheduler
+        a, b = process.spawn_task(), process.spawn_task()
+        sched.enqueue(a, core_id=3)
+        sched.enqueue(b, core_id=3)
+        sched.dispatch(3)
+        sched.preempt(3)
+        assert sched.preemptions == 1
+        assert sched.dispatch(3) is b        # a went to the tail
+        assert sched.runnable_count(3) == 1
+
+    def test_quantum_sink_latches_need_resched(self, kernel):
+        sink = kernel.scheduler.enable_time_slicing(quantum=1000.0)
+        sink.begin_slice()
+        kernel.clock.charge(600.0, site="test.work")
+        assert not sink.need_resched
+        kernel.clock.charge(600.0, site="test.work")
+        assert sink.need_resched
+        assert sink.expirations == 1
+        sink.end_slice()
+        kernel.clock.charge(5000.0, site="test.work")  # inactive: ignored
+        assert sink.slice_used == 1200.0
+        kernel.scheduler.disable_time_slicing()
+
+    def test_double_enable_rejected(self, kernel):
+        kernel.scheduler.enable_time_slicing(quantum=10.0)
+        with pytest.raises(RuntimeError):
+            kernel.scheduler.enable_time_slicing(quantum=10.0)
+        kernel.scheduler.disable_time_slicing()
+
+
+class TestShootdownRegressions:
+    def test_non_running_initiator_rejected_before_any_charge(
+            self, kernel, process):
+        """The initiator check must run before any IPI is charged: a
+        half-executed shootdown would skew the cycle ledger forever."""
+        sibling = process.spawn_task()
+        kernel.scheduler.schedule(sibling, charge=False)  # remote target
+        parked = process.spawn_task()                     # never running
+        start = kernel.clock.snapshot()
+        ipis = kernel.scheduler.ipis_sent
+        with pytest.raises(RuntimeError):
+            kernel.scheduler.tlb_shootdown(process, initiator=parked)
+        assert kernel.clock.snapshot() == start
+        assert kernel.scheduler.ipis_sent == ipis
+
+    def test_cross_process_initiator_core_is_flushed(self, kernel, process):
+        """Cores have no ASIDs: when the initiating core runs a task of
+        a *different* process, its TLB can still hold stale translations
+        of the process being flushed — the local flush is mandatory."""
+        other = kernel.create_process()
+        victim = other.main_task
+        addr = kernel.sys_mmap(victim, PAGE_SIZE, RW)
+        victim.write(addr, b"x")              # fills this core's TLB
+        core_id = victim.core_id
+        core = kernel.machine.core(core_id)
+        vpn = addr // PAGE_SIZE
+        assert core.tlb.probe(vpn) is not None
+        kernel.scheduler.unschedule(victim)
+        initiator = process.spawn_task()      # process A task, same core
+        kernel.scheduler.schedule(initiator, core_id=core_id)
+        kernel.scheduler.tlb_shootdown(other, initiator=initiator)
+        assert core.tlb.probe(vpn) is None
 
 
 class TestProcessLifecycle:

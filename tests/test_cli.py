@@ -54,6 +54,22 @@ class TestProfile:
         assert "inclusive" in out and "self" in out
 
 
+class TestServebench:
+    def test_writes_report_and_prints_table(self, capsys, tmp_path):
+        import json
+        out_path = tmp_path / "serving.json"
+        assert main(["servebench", "--connections", "8",
+                     "--output", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "httpd" in out and "memcached" in out
+        assert "p99" in out
+        report = json.loads(out_path.read_text())
+        assert set(report["benchmarks"]) == {"httpd", "memcached"}
+        for row in report["benchmarks"].values():
+            assert row["completed"] == 8
+            assert row["latency_cycles"]["p50"] > 0
+
+
 class TestParsing:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

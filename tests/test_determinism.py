@@ -50,6 +50,17 @@ def jit_workload() -> float:
     return kernel.clock.now
 
 
+def serving_workload() -> tuple[float, tuple, dict]:
+    """The full serving engine: Poisson arrivals, time-sliced cores,
+    per-site totals and the complete latency vector."""
+    from repro.bench.serving import _run_httpd_scenario
+    report = _run_httpd_scenario(seed=13, connections=10,
+                                 requests_per_connection=2,
+                                 response_size=2048, workers=4,
+                                 num_cores=2, rate_per_sec=60_000.0)
+    return report.clock_cycles, report.latencies, report.site_cycles
+
+
 def kv_workload() -> float:
     from repro.apps.kvstore import Memcached
     from repro.apps.kvstore.slab import SLAB_BYTES
@@ -79,3 +90,6 @@ class TestDeterminism:
 
     def test_kvstore_workload_is_bit_reproducible(self):
         assert kv_workload() == kv_workload()
+
+    def test_serving_engine_is_bit_reproducible(self):
+        assert serving_workload() == serving_workload()
