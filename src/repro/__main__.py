@@ -12,6 +12,8 @@ faultcampaign  sweep injected failures over a workload, audit every run
 hostbench      time access-heavy workloads on the host, fast vs slow MMU
 servebench     open-loop serving benchmark (latency percentiles), with a
                bit-identical determinism gate
+servechaos     chaos-soak campaign: seeded fault scripts over the serving
+               scenarios, with liveness, audit, and determinism gates
 """
 
 from __future__ import annotations
@@ -195,6 +197,33 @@ def cmd_servebench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_servechaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench import chaos
+
+    script = None
+    if args.replay:
+        recorded = json.loads(pathlib.Path(args.replay).read_text())
+        script = chaos.script_from_json(recorded["script"])
+        args.seed = recorded.get("seed", args.seed)
+        print(f"replaying {len(script)}-event script from "
+              f"{args.replay} (seed {args.seed})")
+    try:
+        report = chaos.run_servechaos(seed=args.seed,
+                                      connections=args.connections,
+                                      events=args.events,
+                                      script=script)
+    except AssertionError as exc:
+        print(f"servechaos FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(chaos.format_chaos_report(report))
+    out_path = pathlib.Path(args.output)
+    chaos.write_chaos_report(report, out_path)
+    print(f"\nwrote {out_path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -249,6 +278,22 @@ def main(argv: list[str] | None = None) -> int:
                             help="offered connections per scenario")
     servebench.add_argument("--output",
                             default=str(REPO_ROOT / "BENCH_serving.json"))
+    servechaos = sub.add_parser(
+        "servechaos",
+        help="chaos soak over the serving scenarios (liveness + audit "
+             "+ determinism gates)")
+    servechaos.add_argument("--seed", type=int, default=13,
+                            help="chaos-script and arrival seed")
+    servechaos.add_argument("--connections", type=int, default=32,
+                            help="offered connections per scenario")
+    servechaos.add_argument("--events", type=int, default=6,
+                            help="chaos events generated from the seed")
+    servechaos.add_argument("--replay", default=None,
+                            help="replay the script recorded in a prior "
+                                 "BENCH_chaos.json instead of generating "
+                                 "one")
+    servechaos.add_argument("--output",
+                            default=str(REPO_ROOT / "BENCH_chaos.json"))
     args = parser.parse_args(argv)
     if getattr(args, "depth", None) == 0:
         args.depth = None
@@ -262,6 +307,7 @@ def main(argv: list[str] | None = None) -> int:
         "faultcampaign": cmd_faultcampaign,
         "hostbench": cmd_hostbench,
         "servebench": cmd_servebench,
+        "servechaos": cmd_servechaos,
     }[args.command]
     return handler(args)
 

@@ -57,15 +57,22 @@ class Memcached:
     def __init__(self, kernel: "Kernel", process: "Process", task: "Task",
                  mode: str = "none", lib: "Libmpk | None" = None,
                  slab_bytes: int = 1 << 30,
-                 hash_buckets: int = 1 << 21) -> None:
+                 hash_buckets: int = 1 << 21,
+                 begin_timeout: float | None = None) -> None:
         if mode not in PROTECTION_MODES:
             raise ValueError(f"unknown protection mode: {mode!r}")
         if mode.startswith("mpk") and lib is None:
             raise ValueError(f"mode {mode!r} requires an initialized Libmpk")
+        if begin_timeout is not None and mode != "mpk_begin":
+            raise ValueError("begin_timeout only applies to mpk_begin mode")
         self.kernel = kernel
         self.process = process
         self.mode = mode
         self.lib = lib
+        # Bounded key waits (resilience layer): with a timeout, an
+        # exhausted key cache makes the request fail fast with
+        # MpkTimeout (ETIMEDOUT) instead of blocking unboundedly.
+        self.begin_timeout = begin_timeout
         self.slab_bytes = slab_bytes
         hash_bytes = hash_buckets * 8
 
@@ -104,8 +111,12 @@ class Memcached:
     def _secured(self, task: "Task"):
         mode = self.mode
         if mode == "mpk_begin":
-            self.lib.mpk_begin(task, self.SLAB_VKEY, RW)
-            self.lib.mpk_begin(task, self.HASH_VKEY, RW)
+            self._begin(task, self.SLAB_VKEY)
+            try:
+                self._begin(task, self.HASH_VKEY)
+            except MpkError:
+                self.lib.mpk_end(task, self.SLAB_VKEY)
+                raise
             try:
                 yield
             finally:
@@ -133,6 +144,17 @@ class Memcached:
                                          self.slab_bytes, PROT_NONE)
         else:
             yield
+
+    def _begin(self, task: "Task", vkey: int) -> None:
+        """Open one protected group: plain ``mpk_begin``, or the
+        deadline-bounded ``mpk_begin_wait`` when ``begin_timeout`` is
+        set (a timed-out request surfaces ETIMEDOUT to the caller —
+        shed one request, never wedge the worker)."""
+        if self.begin_timeout is None:
+            self.lib.mpk_begin(task, vkey, RW)
+        else:
+            self.lib.mpk_begin_wait(task, vkey, RW,
+                                    timeout=self.begin_timeout)
 
     # ------------------------------------------------------------------
     # The memcached command set.

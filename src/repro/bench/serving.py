@@ -41,12 +41,13 @@ import typing
 from collections import deque
 from dataclasses import dataclass, field
 
-from repro.errors import MpkKeyExhaustion, TaskKilled
+from repro.errors import MpkKeyExhaustion, MpkTimeout, TaskKilled
+from repro.kernel.task import WaitQueue
 from repro.apps.sslserver.workers import RequestAborted
 
 if typing.TYPE_CHECKING:
     from repro.kernel.kcore import Kernel
-    from repro.kernel.task import Task, WaitQueue
+    from repro.kernel.task import Task
 
 #: Paper testbed frequency (Xeon Gold 5115): converts cycles to seconds.
 CLOCK_HZ = 2.4e9
@@ -119,6 +120,25 @@ def percentile(values: typing.Sequence[float], p: float) -> float:
 # Engine plumbing.
 # ---------------------------------------------------------------------------
 
+@dataclass(frozen=True)
+class WaitSpec:
+    """What a job yields to block with a deadline.
+
+    ``yield WaitSpec(queue, timeout)`` parks the worker on ``queue``
+    for at most ``timeout`` cycles of its core's virtual time; when the
+    deadline passes first, the engine expires the wait (via
+    ``on_expire(task)`` when given — e.g. ``Libmpk.key_wait_timeout``,
+    which charges and counts the expiry — else the queue's plain
+    ``timeout``) and resumes the job by throwing
+    :class:`~repro.errors.MpkTimeout` at the yield point.  A bare
+    ``yield queue`` still means "wait forever".
+    """
+
+    queue: "WaitQueue"
+    timeout: float | None = None
+    on_expire: typing.Callable | None = None
+
+
 @dataclass
 class Connection:
     """One unit of offered load."""
@@ -131,6 +151,7 @@ class Connection:
     worker_tid: int | None = None
     core_id: int | None = None
     accept_charged: bool = False
+    retries: int = 0
 
     @property
     def latency(self) -> float:
@@ -161,6 +182,10 @@ class _Worker:
     conn: Connection | None = None
     served: int = 0
     aborted: int = 0
+    # Deadline-wait state (set while _BLOCKED on a timed WaitSpec).
+    wait_spec: WaitSpec | None = None
+    wait_deadline: float | None = None   # core-time cycles
+    timed_out: bool = False              # resume via gen.throw(MpkTimeout)
 
 
 @dataclass(frozen=True)
@@ -181,6 +206,11 @@ class ServingReport:
     blocked_waits: int
     clock_cycles: float                # machine clock at completion
     site_cycles: dict[str, float] = field(default_factory=dict)
+    # Resilience counters (graceful degradation must be accounted, not
+    # silent): offered == completed + aborted + shed + unserved.
+    shed: int = 0
+    wait_timeouts: int = 0
+    restarts: int = 0
 
     @property
     def p50(self) -> float:
@@ -232,6 +262,11 @@ class ServingReport:
             "context_switches": self.context_switches,
             "blocked_waits": self.blocked_waits,
             "clock_cycles": self.clock_cycles,
+            "shed": self.shed,
+            "shed_rate": (round(self.shed / self.offered, 4)
+                          if self.offered else 0.0),
+            "wait_timeouts": self.wait_timeouts,
+            "restarts": self.restarts,
         }
 
 
@@ -244,9 +279,12 @@ class ServingEngine:
     """
 
     def __init__(self, kernel: "Kernel", cores: typing.Sequence[int],
-                 quantum: float | None = None) -> None:
+                 quantum: float | None = None,
+                 queue_limit: int | None = None) -> None:
         if not cores:
             raise ValueError("engine needs at least one core")
+        if queue_limit is not None and queue_limit < 1:
+            raise ValueError("queue_limit must be at least 1")
         if len(set(cores)) != len(cores):
             raise ValueError("duplicate core ids")
         for core_id in cores:
@@ -270,6 +308,37 @@ class ServingEngine:
         self.aborted = 0
         self.blocked_waits = 0
         self._ran = False
+        # Admission control: the accept queue holds at most
+        # ``queue_limit`` connections per engine core; beyond that,
+        # arrivals are shed deterministically (RST, charged, counted).
+        self.queue_limit = queue_limit
+        self.shed_records: list[Connection] = []
+        self.wait_timeouts = 0
+        self.restarts = 0
+        self.readmitted = 0
+        self._supervisor = None
+        self._current_worker: _Worker | None = None
+
+    @property
+    def shed(self) -> int:
+        return len(self.shed_records)
+
+    @property
+    def current_task(self) -> "Task | None":
+        """The worker task whose job step is currently advancing (chaos
+        hooks use this to kill "whoever is running right now")."""
+        if self._current_worker is None:
+            return None
+        return self._current_worker.task
+
+    def attach_supervisor(self, supervisor) -> None:
+        """Restart dead workers through ``supervisor`` (an object with
+        ``revive(dead_task) -> Task | None``, e.g.
+        :class:`~repro.apps.sslserver.workers.Supervisor`): on a worker
+        kill the engine re-admits the in-flight connection at the head
+        of the accept queue and replaces the worker in its slot, within
+        the supervisor's restart budget."""
+        self._supervisor = supervisor
 
     # -- setup ----------------------------------------------------------
 
@@ -318,20 +387,36 @@ class ServingEngine:
                 if horizon is not None and all(
                         self.core_time[c] >= horizon for c in self.cores):
                     break
+                self._fire_due_timeouts()
                 core_id = self._pick_core()
                 if core_id is None:
-                    if pending:
+                    nxt = pending[0].arrival if pending else None
+                    waiter = self._earliest_deadline_worker()
+                    if nxt is not None and (
+                            waiter is None
+                            or nxt <= waiter.wait_deadline):
                         # Everyone idles: leap to the next arrival.
-                        nxt = pending[0].arrival
                         for c in self.cores:
                             self.core_time[c] = max(self.core_time[c], nxt)
                         continue
-                    if self._accept or any(w.state == _BLOCKED
-                                           for w in self.workers):
+                    if waiter is not None:
+                        # Nothing runnable before the earliest wait
+                        # deadline: time passes, the wait expires.
+                        self._expire_wait(waiter)
+                        continue
+                    if any(w.state == _BLOCKED for w in self.workers):
                         raise RuntimeError(
-                            "serving engine stalled: queued or blocked "
-                            "work but no runnable worker (all waiters "
-                            "and no waker)")
+                            "serving engine stalled: blocked workers "
+                            "with no waker and no deadline (all "
+                            "waiters and no waker)")
+                    if self._accept and any(w.state != _DEAD
+                                            for w in self.workers):
+                        raise RuntimeError(
+                            "serving engine stalled: queued work but "
+                            "no runnable worker")
+                    # Either everything drained, or every worker is
+                    # dead past its restart budget: stop and report
+                    # the leftovers as unserved (accounted, not hung).
                     break
                 self._run_core(core_id)
         finally:
@@ -368,12 +453,27 @@ class ServingEngine:
             if busy and pending[0].arrival > min(busy):
                 break
             conn = pending.popleft()
+            if (self.queue_limit is not None
+                    and len(self._accept)
+                    >= self.queue_limit * len(self.cores)):
+                self._shed(conn)
+                continue
             self.queue_depth_samples.append(len(self._accept))
             self.kernel.machine.obs.record_metric(
                 "apps.serving.queue_depth", len(self._accept))
             self._accept.append(conn)
             self._assign_idle()
         self._assign_idle()
+
+    def _shed(self, conn: Connection) -> None:
+        """Load shedding: the accept backlog is full, so the connection
+        is refused (TCP RST) — charged, counted, and recorded, never
+        silently dropped."""
+        self.shed_records.append(conn)
+        self.kernel.machine.obs.record_metric("apps.serving.shed", 1.0)
+        core_id = min(self.cores, key=lambda c: self.core_time[c])
+        self._advance(core_id, lambda: self.kernel.clock.charge(
+            self.kernel.costs.conn_reset, site="apps.serving.shed"))
 
     def _assign_idle(self) -> None:
         """Hand queued connections to idle workers (earliest-core-time
@@ -419,6 +519,7 @@ class ServingEngine:
         worker = self._by_tid[task.tid]
         sink = self.sink
         sink.begin_slice()
+        self._current_worker = worker
         try:
             while True:
                 conn = worker.conn
@@ -434,7 +535,7 @@ class ServingEngine:
                         "apps.serving.queue_wait", conn.queue_wait)
                 try:
                     step = self._advance(core_id,
-                                         lambda: next(worker.gen))
+                                         lambda: self._step(worker))
                 except StopIteration:
                     self._finish_conn(worker, core_id)
                     if worker.state != _RUNNING:
@@ -445,6 +546,11 @@ class ServingEngine:
                     return
                 except RequestAborted:
                     self._abort_conn(worker)
+                    if worker.state != _RUNNING:
+                        return
+                    continue
+                except MpkTimeout:
+                    self._timeout_conn(worker)
                     if worker.state != _RUNNING:
                         return
                     continue
@@ -459,7 +565,19 @@ class ServingEngine:
                     # Alone on the core: keep running, fresh slice.
                     sink.begin_slice()
         finally:
+            self._current_worker = None
             sink.end_slice()
+
+    def _step(self, worker: _Worker):
+        """Advance the worker's job one yield.  A worker resuming from
+        an expired wait gets :class:`~repro.errors.MpkTimeout` thrown
+        at its yield point instead of a plain resume."""
+        if worker.timed_out:
+            worker.timed_out = False
+            conn_id = worker.conn.conn_id if worker.conn else None
+            return worker.gen.throw(MpkTimeout(
+                f"connection {conn_id}: wait deadline expired"))
+        return next(worker.gen)
 
     def _finish_conn(self, worker: _Worker, core_id: int) -> None:
         conn = worker.conn
@@ -476,22 +594,88 @@ class ServingEngine:
             self.kernel.scheduler.unschedule(worker.task)
             worker.state = _IDLE
 
-    def _block(self, worker: _Worker, core_id: int,
-               wait_queue: "WaitQueue") -> None:
-        """The job yielded a WaitQueue: park the worker off-core."""
+    def _block(self, worker: _Worker, core_id: int, step) -> None:
+        """The job yielded a WaitQueue or WaitSpec: park the worker
+        off-core (with a core-time deadline when the spec carries a
+        timeout)."""
+        spec = step if isinstance(step, WaitSpec) else WaitSpec(step)
+        if not isinstance(spec.queue, WaitQueue):
+            raise TypeError(f"job yielded {step!r}; expected a "
+                            "WaitQueue or WaitSpec")
         sched = self.kernel.scheduler
         sched.unschedule(worker.task)
         worker.task.state = "blocked"
         worker.state = _BLOCKED
+        worker.wait_spec = spec
+        if spec.timeout is not None:
+            worker.wait_deadline = self.core_time[core_id] + spec.timeout
         self.blocked_waits += 1
-        wait_queue.add(worker.task,
-                       on_wake=lambda task, w=worker: self._on_wake(w))
+        spec.queue.add(worker.task,
+                       on_wake=lambda task, w=worker: self._on_wake(w),
+                       now=self.kernel.clock.now)
 
     def _on_wake(self, worker: _Worker) -> None:
+        worker.wait_spec = None
+        worker.wait_deadline = None
         if worker.task.state == "dead":
             return
         self.kernel.scheduler.enqueue(worker.task, worker.core_id)
         worker.state = _READY
+
+    # -- wait deadlines --------------------------------------------------
+
+    def _earliest_deadline_worker(self) -> _Worker | None:
+        """The blocked worker whose deadline expires first (ties broken
+        by tid, so expiry order is deterministic)."""
+        candidates = [w for w in self.workers
+                      if w.state == _BLOCKED
+                      and w.wait_deadline is not None]
+        if not candidates:
+            return None
+        return min(candidates,
+                   key=lambda w: (w.wait_deadline, w.task.tid))
+
+    def _fire_due_timeouts(self) -> None:
+        """Expire blocked waits whose core timeline already passed the
+        deadline (other work on the core carried time forward)."""
+        while True:
+            due = [w for w in self.workers
+                   if w.state == _BLOCKED and w.wait_deadline is not None
+                   and self.core_time[w.core_id] >= w.wait_deadline]
+            if not due:
+                return
+            self._expire_wait(min(
+                due, key=lambda w: (w.wait_deadline, w.task.tid)))
+
+    def _expire_wait(self, worker: _Worker) -> None:
+        """Time out one blocked worker: fast-forward its core to the
+        deadline, remove it from the wait queue (accounted — a wake
+        that already fired wins instead), and make it runnable so the
+        engine resumes it with MpkTimeout."""
+        spec = worker.wait_spec
+        deadline = worker.wait_deadline
+        worker.wait_spec = None
+        worker.wait_deadline = None
+        if spec is None or deadline is None:
+            return
+        core_id = worker.core_id
+        self.core_time[core_id] = max(self.core_time[core_id], deadline)
+        expire = (spec.on_expire if spec.on_expire is not None
+                  else spec.queue.timeout)
+        fired = self._advance(core_id, lambda: expire(worker.task))
+        if not fired:
+            return  # the wake won the race; _on_wake requeued us
+        worker.timed_out = True
+        self.kernel.scheduler.enqueue(worker.task, worker.core_id)
+        worker.state = _READY
+
+    def _timeout_conn(self, worker: _Worker) -> None:
+        """The job let MpkTimeout propagate: the connection is dropped
+        (counted both as aborted and, separately, as a wait timeout)."""
+        self.wait_timeouts += 1
+        self.kernel.machine.obs.record_metric(
+            "apps.serving.wait_timeout", 1.0)
+        self._abort_conn(worker)
 
     def _abort_conn(self, worker: _Worker) -> None:
         """A signal handler abandoned the request (RequestAborted):
@@ -508,14 +692,43 @@ class ServingEngine:
 
     def _crash(self, worker: _Worker, core_id: int,
                killed: bool) -> None:
-        """Containment for a killed worker: the connection is lost and
-        the worker leaves the pool (its task is already dead and
-        off-core via the kernel's kill path)."""
-        worker.aborted += 1
-        self.aborted += 1
+        """Containment for a killed worker (its task is already dead
+        and off-core via the kernel's kill path).
+
+        Without a supervisor the connection is lost and the worker
+        leaves the pool.  With one, the in-flight connection is
+        re-admitted at the head of the accept queue (retried once) and
+        the worker slot is refilled within the supervisor's restart
+        budget — respawn and backoff cycles are billed to this core's
+        timeline."""
+        conn = worker.conn
         worker.conn = None
         worker.gen = None
         worker.state = _DEAD
+        readmitted = False
+        if (conn is not None and self._supervisor is not None
+                and conn.retries < 1):
+            conn.retries += 1
+            conn.accept_charged = False
+            conn.start = None
+            conn.worker_tid = None
+            conn.core_id = None
+            self._accept.appendleft(conn)
+            self.readmitted += 1
+            readmitted = True
+        if conn is not None and not readmitted:
+            worker.aborted += 1
+            self.aborted += 1
+        if self._supervisor is not None:
+            replacement = self._advance(
+                core_id, lambda: self._supervisor.revive(worker.task))
+            if replacement is not None:
+                del self._by_tid[worker.task.tid]
+                worker.task = replacement
+                self._by_tid[replacement.tid] = worker
+                worker.state = _IDLE
+                self.restarts += 1
+                self._assign_idle()
 
     def _park_workers(self) -> None:
         """Teardown: drain run queues, cancel leftover waits, and leave
@@ -535,6 +748,9 @@ class ServingEngine:
                 worker.task.waiting_on.remove(worker.task)
             if worker.task.state == "blocked":
                 worker.task.state = "runnable"
+            worker.wait_spec = None
+            worker.wait_deadline = None
+            worker.timed_out = False
             worker.state = _IDLE
 
     def _report(self, pending: deque) -> ServingReport:
@@ -564,17 +780,26 @@ class ServingEngine:
             clock_cycles=self.kernel.clock.now,
             site_cycles=dict(
                 self.kernel.machine.obs.aggregator.cycles),
+            shed=self.shed,
+            wait_timeouts=self.wait_timeouts,
+            restarts=self.restarts,
         )
 
 
 def blocking_begin(lib, task: "Task", vkey: int, prot: int,
-                   max_spins: int = 64):
+                   max_spins: int = 64, timeout: float | None = None):
     """Generator fragment for engine jobs: ``mpk_begin`` that *blocks*
     the worker on key exhaustion instead of raising.
 
     Use as ``yield from blocking_begin(lib, task, vkey, prot)`` inside
     a job; the worker parks on ``lib.key_waiters`` and is woken by
     ``mpk_end``/``mpk_munmap``/``mpk_disown`` on another worker.
+
+    ``timeout`` bounds each individual park (core-time cycles): if the
+    deadline passes before a wake, the engine expires the wait through
+    ``lib.key_wait_timeout`` (charged as ``libmpk.keycache.
+    wait_timeout``) and :class:`~repro.errors.MpkTimeout` is raised
+    here, at the yield point, for the job to handle or propagate.
     """
     for _ in range(max_spins):
         try:
@@ -583,7 +808,11 @@ def blocking_begin(lib, task: "Task", vkey: int, prot: int,
         except MpkKeyExhaustion:
             task.kernel.clock.charge(task.kernel.costs.futex_block,
                                      site="libmpk.keycache.wait")
-            yield lib.key_waiters
+            if timeout is None:
+                yield lib.key_waiters
+            else:
+                yield WaitSpec(lib.key_waiters, timeout,
+                               on_expire=lib.key_wait_timeout)
     raise MpkKeyExhaustion(
         f"blocking_begin: no key after {max_spins} wakes")
 

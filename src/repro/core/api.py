@@ -41,6 +41,7 @@ from repro.consts import (
 from repro.errors import (
     MpkError,
     MpkKeyExhaustion,
+    MpkTimeout,
     MpkUnknownVkey,
     MpkVkeyInUse,
     NoSpace,
@@ -85,6 +86,7 @@ class Libmpk:
         self._begin_wait_attempts = 0
         self._begin_wait_waits = 0
         self._begin_wait_cycles = 0.0
+        self._wait_timeouts = 0
         # Threads blocked in mpk_begin_wait park here; any call that
         # can free or unpin a hardware key wakes them.
         self.key_waiters = WaitQueue("libmpk.key_waiters")
@@ -136,6 +138,13 @@ class Libmpk:
         self._obs.register_invariant(
             f"keycache_counters.pid{self._process.pid}",
             self._cache.check_counters)
+        # Wait-timeout conservation: every waiter expired off the key
+        # wait queue must have gone through key_wait_timeout() — i.e.
+        # been charged as libmpk.keycache.wait_timeout and counted —
+        # so no timeout path can silently drop accounting.
+        self._obs.register_invariant(
+            f"key_wait_timeouts.pid{self._process.pid}",
+            self._check_wait_timeouts)
 
     # ------------------------------------------------------------------
     # mpk_mmap / mpk_munmap
@@ -360,7 +369,8 @@ class Libmpk:
 
     @traced("libmpk.mpk_begin_wait")
     def mpk_begin_wait(self, task: "Task", vkey: int, prot: int,
-                       on_wait=None, max_attempts: int = 64) -> int:
+                       on_wait=None, max_attempts: int = 64,
+                       timeout: float | None = None) -> int:
         """mpk_begin that handles key exhaustion by genuinely blocking.
 
         The paper leaves exhaustion to the caller ("mpk_begin() raises
@@ -378,17 +388,44 @@ class Libmpk:
         (e.g. complete other work that ends a domain).  Without it, an
         unwoken wait would deadlock — a single-threaded caller with no
         waker — so the call raises immediately rather than spinning.
+
+        ``timeout`` (cycles) bounds the *total* wait: once the deadline
+        passes without a key, the waiter is cleanly removed from
+        :attr:`key_waiters`, the expiry is charged as
+        ``libmpk.keycache.wait_timeout``, and
+        :class:`~repro.errors.MpkTimeout` (ETIMEDOUT) is raised.  A
+        wake always beats a pending timeout: a thread woken at its
+        deadline still retries once.
+
         Returns the number of attempts taken; raises after
         ``max_attempts``.
         """
         self._begin_wait_calls += 1
+        started = self._kernel.clock.now
+        deadline = None
+        if timeout is not None:
+            if timeout <= 0:
+                raise MpkError(
+                    f"mpk_begin_wait: timeout must be positive cycles, "
+                    f"got {timeout!r}")
+            deadline = started + timeout
         for attempt in range(1, max_attempts + 1):
             try:
                 self.mpk_begin(task, vkey, prot)
                 self._begin_wait_attempts += attempt
                 return attempt
             except MpkKeyExhaustion:
-                if not self._wait_for_key(task, attempt, on_wait):
+                outcome = self._wait_for_key(task, attempt, on_wait,
+                                             deadline)
+                if outcome == "timeout":
+                    self._begin_wait_attempts += attempt
+                    waited = self._kernel.clock.now - started
+                    raise MpkTimeout(
+                        f"mpk_begin_wait: no hardware key for vkey "
+                        f"{vkey} within the deadline ({waited:.0f} "
+                        f"cycles waited)", vkey=vkey,
+                        waited_cycles=waited) from None
+                if outcome == "stuck":
                     self._begin_wait_attempts += attempt
                     raise MpkKeyExhaustion(
                         "mpk_begin_wait: all hardware keys pinned and "
@@ -400,25 +437,73 @@ class Libmpk:
             f"mpk_begin_wait: no hardware key freed after "
             f"{max_attempts} attempts")
 
-    def _wait_for_key(self, task: "Task", attempt: int, on_wait) -> bool:
-        """Park ``task`` on the key wait queue until a waker fires or
-        the ``on_wait`` progress hook returns.  True means "retry"."""
+    def _wait_for_key(self, task: "Task", attempt: int, on_wait,
+                      deadline: float | None = None) -> str:
+        """Park ``task`` on the key wait queue until a waker fires, the
+        ``on_wait`` progress hook returns, or ``deadline`` passes.
+
+        Returns ``"woken"`` / ``"progress"`` (retry), ``"timeout"``
+        (deadline expired — the waiter is already removed and the
+        expiry charged), or ``"stuck"`` (nothing can ever wake us).
+        """
         costs = self._kernel.costs
         self._charge(costs.futex_block, site="libmpk.keycache.wait")
         self._begin_wait_waits += 1
         parked_at = self._kernel.clock.now
         woken: list["Task"] = []
-        self.key_waiters.add(task, on_wake=woken.append)
+        self.key_waiters.add(task, on_wake=woken.append,
+                             deadline=deadline, now=parked_at)
+        # An already-expired deadline (a previous on_wait overshot it)
+        # skips the progress hook: the wait is over before it starts.
+        expired_on_entry = deadline is not None and parked_at >= deadline
         try:
-            if on_wait is not None:
+            if on_wait is not None and not expired_on_entry:
                 on_wait(attempt)
-        finally:
-            self._begin_wait_cycles += self._kernel.clock.now - parked_at
+        except BaseException:
             if not woken:
                 self.key_waiters.remove(task)
-        # A wake or a progress hook both justify a retry; with neither,
-        # nothing can ever free a key and the caller must not spin.
-        return bool(woken) or on_wait is not None
+            raise
+        finally:
+            self._begin_wait_cycles += self._kernel.clock.now - parked_at
+        if woken:
+            return "woken"
+        if deadline is not None:
+            now = self._kernel.clock.now
+            if on_wait is None and now < deadline:
+                # No waker and no progress hook: the thread simply
+                # sleeps out the rest of its timeout (a futex wait
+                # whose hrtimer fires).  The slept cycles are charged
+                # as wait time so the ledger still sums to the clock.
+                self._charge(deadline - now, site="libmpk.keycache.wait")
+                self._begin_wait_cycles += deadline - now
+                now = deadline
+            if now >= deadline and self.key_wait_timeout(task):
+                return "timeout"
+        self.key_waiters.remove(task)
+        # A progress hook justifies a retry; with neither a wake nor a
+        # hook, nothing can ever free a key and the caller must not spin.
+        return "progress" if on_wait is not None else "stuck"
+
+    def key_wait_timeout(self, task: "Task") -> bool:
+        """Expire ``task``'s parked key wait (the deadline path, also
+        driven by the serving engine for blocked workers): remove it
+        from :attr:`key_waiters`, charge the expiry, and count it.
+        Returns False when the task was not parked (a wake won)."""
+        if not self.key_waiters.timeout(task):
+            return False
+        self._charge(self._kernel.costs.futex_timeout,
+                     site="libmpk.keycache.wait_timeout")
+        self._wait_timeouts += 1
+        return True
+
+    def _check_wait_timeouts(self) -> str | None:
+        """Invariant: queue-level expiries match charged+counted ones."""
+        queued = self.key_waiters.stats_timeouts
+        if queued != self._wait_timeouts:
+            return (f"key wait queue expired {queued} waiters but only "
+                    f"{self._wait_timeouts} went through "
+                    f"key_wait_timeout() accounting")
+        return None
 
     def _wake_key_waiters(self) -> None:
         """Wake every thread blocked in :meth:`mpk_begin_wait` (a key
@@ -631,6 +716,7 @@ class Libmpk:
             "begin_wait_attempts": self._begin_wait_attempts,
             "begin_wait_waits": self._begin_wait_waits,
             "begin_wait_cycles": self._begin_wait_cycles,
+            "wait_timeouts": self._wait_timeouts,
         }
 
     def audit(self):

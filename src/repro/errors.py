@@ -108,6 +108,24 @@ class MpkKeyExhaustion(MpkError):
     """
 
 
+class MpkTimeout(MpkError):
+    """A bounded key wait expired before a hardware key freed.
+
+    ``mpk_begin_wait(timeout=...)`` raises this (the ETIMEDOUT analogue
+    of a ``futex(FUTEX_WAIT, ..., timeout)`` expiry) after cleanly
+    removing the waiter from the key wait queue; the caller decides
+    whether to shed the request, retry, or escalate.
+    """
+
+    errno = "ETIMEDOUT"
+
+    def __init__(self, message: str, *, vkey: int | None = None,
+                 waited_cycles: float | None = None) -> None:
+        super().__init__(message)
+        self.vkey = vkey
+        self.waited_cycles = waited_cycles
+
+
 class MpkUnknownVkey(MpkError):
     """The virtual key has no page group (not created via mpk_mmap())."""
 

@@ -176,4 +176,20 @@ def audit_libmpk(lib: "Libmpk") -> AuditReport:
         check(not dead,
               f"group {vkey} pinned by dead task(s) {sorted(dead)}")
 
+    # -- 7: key wait queue residue.  Every parked waiter must be a live
+    # task of this process, parked exactly once: a timed-out, woken, or
+    # killed thread that left an entry behind would absorb a future
+    # wake meant for a real waiter.
+    seen_tids: set[int] = set()
+    for entry in lib.key_waiters.entries():
+        waiter = entry.task
+        check(waiter.state != "dead" and waiter.tid in live,
+              f"dead task {waiter.tid} still parked on key_waiters")
+        check(waiter.process is process,
+              f"foreign task {waiter.tid} parked on this libmpk's "
+              f"key_waiters")
+        check(waiter.tid not in seen_tids,
+              f"task {waiter.tid} parked twice on key_waiters")
+        seen_tids.add(waiter.tid)
+
     return report

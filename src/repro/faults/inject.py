@@ -105,6 +105,36 @@ def delay(clock, extra_cycles: float):
     return action
 
 
+def kill_task(kernel, victim: typing.Callable[[], object]):
+    """Action: deliver a fatal ``SEGV_PKUERR`` to ``victim()`` through
+    the kernel's real signal path, so death hooks (libmpk pin drops,
+    supervisor accounting) run exactly as for an organic crash.
+
+    ``victim`` is resolved at firing time (e.g. ``lambda:
+    engine.current_task``); when it returns None or an already-dead
+    task the event fizzles deterministically — the occurrence count
+    still burned.  A task that dies (no handler installed) surfaces as
+    :class:`~repro.errors.TaskKilled` at the injection point; a task
+    whose SIGSEGV handler absorbs the signal keeps running (or unwinds
+    however the handler decides).
+    """
+    from repro.errors import TaskKilled
+    from repro.faults.signals import SEGV_PKUERR, SIGSEGV, Siginfo
+
+    def action(event: InjectionEvent) -> None:
+        task = victim()
+        if task is None or task.state == "dead":
+            return
+        info = Siginfo(SIGSEGV, SEGV_PKUERR, si_addr=0)
+        kernel.signal_task(task, info)
+        if task.state == "dead":
+            raise TaskKilled(
+                f"injected kill of task {task.tid} at {event.site} "
+                f"(occurrence {event.occurrence})",
+                tid=task.tid, siginfo=info)
+    return action
+
+
 # ---------------------------------------------------------------------------
 # The injector sink.
 # ---------------------------------------------------------------------------

@@ -121,8 +121,14 @@ class CostModel:
     # serving engine's time-sliced cores (repro.bench.serving). ----
     futex_block: float = 450.0      # enter the kernel and park on a queue
     futex_wake: float = 250.0       # pop + make one waiter runnable
+    futex_timeout: float = 350.0    # hrtimer expiry + dequeue + wakeup
     sched_quantum: float = 100_000.0  # default preemption quantum
     accept_cycles: float = 600.0    # accept(2)/epoll bookkeeping per conn
+
+    # ---- Resilience layer (supervision + load shedding). ----
+    worker_respawn: float = 30_000.0  # clone + worker re-init after a kill
+    watchdog_scan: float = 800.0      # wait-for graph walk per scan
+    conn_reset: float = 300.0         # shed an admitted connection (RST)
 
     # ---- mmap/munmap (used by workloads, not directly measured). ----
     mmap_base: float = 900.0

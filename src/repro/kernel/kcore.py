@@ -60,13 +60,23 @@ class Process:
         self.tasks.append(task)
         return task
 
-    def exit_task(self, task: Task) -> None:
+    def detach_task(self, task: Task) -> None:
+        """Sever ``task`` from every scheduling structure and mark it
+        dead: off its core, out of its wait queue, purged from run
+        queues.  Must happen *before* death hooks run — a hook that
+        wakes wait queues (libmpk's pin-drop) would otherwise wake the
+        dying task itself and leave a dead task in a run queue."""
         if task.running:
             self.kernel.scheduler.unschedule(task)
         if task.waiting_on is not None:
             task.waiting_on.remove(task)
+        self.kernel.scheduler.forget(task)
         task.state = "dead"
-        self.tasks.remove(task)
+
+    def exit_task(self, task: Task) -> None:
+        self.detach_task(task)
+        if task in self.tasks:
+            self.tasks.remove(task)
 
     def live_tasks(self) -> list[Task]:
         return [t for t in self.tasks if t.state != "dead"]
@@ -361,6 +371,11 @@ class Kernel:
                           site="kernel.signal.kill")
         task.exit_signal = info
         task._task_works.clear()
+        # Detach first: the death hooks may wake wait queues (libmpk's
+        # pin-drop does), and a dying task still parked there would be
+        # woken — stealing a wake from a live waiter and landing a dead
+        # task in a run queue.
+        task.process.detach_task(task)
         for hook in list(task.process.task_death_hooks):
             hook(task, info)
         task.process.exit_task(task)

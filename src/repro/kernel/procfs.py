@@ -92,6 +92,11 @@ def mpk_stats(process: "Process") -> dict:
     obs = process.kernel.machine.obs
     ok, delta = obs.audit()
     agg = obs.aggregator
+
+    def metric_count(site: str) -> int:
+        series = obs.metric(site)
+        return 0 if series is None else series.count
+
     return {
         "clock_cycles": obs.clock.now,
         "attributed_cycles": agg.total(),
@@ -100,6 +105,20 @@ def mpk_stats(process: "Process") -> dict:
         "conservation_ok": ok,
         "conservation_delta": delta,
         "by_layer": obs.breakdown(depth=1),
+        # Resilience-layer counters (supervision, shedding, deadlines,
+        # watchdog).  Metric counts, except wait_timeouts, which is the
+        # number of libmpk.keycache.wait_timeout charges — the same
+        # events the per-lib key_wait_timeouts invariant audits.
+        "resilience": {
+            "worker_deaths": metric_count("apps.supervisor.death"),
+            "restarts": metric_count("apps.supervisor.restart"),
+            "gave_up": metric_count("apps.supervisor.gave_up"),
+            "shed": metric_count("apps.serving.shed"),
+            "wait_timeouts": agg.counts.get(
+                "libmpk.keycache.wait_timeout", 0),
+            "watchdog_stalls": metric_count("kernel.watchdog.stall"),
+            "watchdog_deadlocks": metric_count("kernel.watchdog.deadlock"),
+        },
     }
 
 
@@ -115,7 +134,12 @@ def format_mpk_stats(process: "Process", depth: int | None = 2,
         f"Sites:            {stats['sites']:>16d}",
         "Conservation:     " + ("ok" if stats["conservation_ok"] else
                                 f"LEAK delta={stats['conservation_delta']:.1f}"),
-        "",
     ]
+    resilience = stats["resilience"]
+    if any(resilience.values()):
+        lines.append("Resilience:       " + "  ".join(
+            f"{name}={value}" for name, value in resilience.items()
+            if value))
+    lines.append("")
     lines.append(obs.format_breakdown(depth=depth, limit=limit))
     return "\n".join(lines)

@@ -180,6 +180,17 @@ class Scheduler:
     def runnable_count(self, core_id: int) -> int:
         return len(self.run_queues.get(core_id, ()))
 
+    def forget(self, task: "Task") -> bool:
+        """Purge ``task`` from every run queue (task-death path: a dead
+        task must never be dispatched).  Returns True when it was
+        actually queued somewhere."""
+        for queue in self.run_queues.values():
+            for queued in list(queue):
+                if queued is task:
+                    queue.remove(queued)
+                    return True
+        return False
+
     def dispatch(self, core_id: int) -> "Task | None":
         """Context-switch the head of ``core_id``'s run queue onto the
         core (charging the switch).  Returns the dispatched task, or

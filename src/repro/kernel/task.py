@@ -9,6 +9,7 @@ uses for lazy inter-thread PKRU synchronization (§4.4, Figure 7).
 
 from __future__ import annotations
 
+import dataclasses
 import typing
 from collections import deque
 
@@ -32,8 +33,21 @@ if typing.TYPE_CHECKING:
     from repro.kernel.kcore import Kernel, Process
 
 
+@dataclasses.dataclass
+class Waiter:
+    """One parked task: callbacks plus the timing the resilience layer
+    needs (when it parked, and the deadline after which it times out)."""
+
+    task: "Task"
+    on_wake: typing.Callable | None = None
+    deadline: float | None = None     # absolute cycles; None = forever
+    on_timeout: typing.Callable | None = None
+    parked_at: float = 0.0            # cycles at add() time
+    seq: int = 0                      # queue-wide arrival ordinal
+
+
 class WaitQueue:
-    """A futex-style FIFO wait queue.
+    """A futex-style FIFO wait queue with deadline-aware parking.
 
     Waiters park here with an optional ``on_wake(task)`` callback; a
     waker pops them in arrival order.  The queue itself never touches
@@ -42,23 +56,52 @@ class WaitQueue:
     waiting and notifies them, so the same primitive backs both the
     synchronous ``mpk_begin_wait`` retry path and the serving engine's
     genuinely-blocking workers.
+
+    Deadlines make lost wakeups survivable: a waiter parked with
+    ``deadline=`` (absolute cycles) is eligible for :meth:`expire`,
+    which times waiters out in *deadline* order (ties broken by arrival
+    order), independent of the FIFO wake order.  A wake always beats a
+    pending timeout: once :meth:`wake_one`/:meth:`wake_all` pops a
+    waiter it can no longer expire, so the wake-vs-timeout race is
+    resolved by whichever the (deterministic) caller drives first.
+
+    Dead tasks never come back from a wake: a task killed while parked
+    is normally detached by the kill path, and as defense in depth the
+    wake/expire paths skip-and-drop any dead entry rather than waking
+    it (or worse, letting it consume a wake a live waiter needed).
     """
 
     def __init__(self, name: str = "wait") -> None:
         self.name = name
-        self._waiters: deque[tuple[Task, typing.Callable | None]] = deque()
+        self._waiters: deque[Waiter] = deque()
+        self._next_seq = 0
         self.stats_waits = 0
         self.stats_wakes = 0
+        self.stats_timeouts = 0
+        self.stats_dead_reaped = 0
 
     def __len__(self) -> int:
         return len(self._waiters)
 
     def waiters(self) -> list["Task"]:
-        return [task for task, _ in self._waiters]
+        return [entry.task for entry in self._waiters]
 
-    def add(self, task: "Task", on_wake: typing.Callable | None = None) -> None:
-        """Park ``task`` on the queue (FIFO)."""
-        if any(waiter is task for waiter, _ in self._waiters):
+    def entries(self) -> list[Waiter]:
+        """Snapshot of the parked entries (watchdog/introspection use)."""
+        return list(self._waiters)
+
+    def add(self, task: "Task", on_wake: typing.Callable | None = None,
+            deadline: float | None = None,
+            on_timeout: typing.Callable | None = None,
+            now: float = 0.0) -> Waiter:
+        """Park ``task`` on the queue (FIFO).
+
+        ``deadline`` (absolute cycles) opts the waiter into
+        :meth:`expire`; ``on_timeout(task)`` fires instead of
+        ``on_wake`` when it does.  ``now`` stamps ``parked_at`` so the
+        watchdog can measure how long the waiter has been parked.
+        """
+        if any(entry.task is task for entry in self._waiters):
             raise RuntimeError(
                 f"task {task.tid} is already waiting on {self.name!r}")
         if task.waiting_on is not None:
@@ -66,43 +109,118 @@ class WaitQueue:
                 f"task {task.tid} is already waiting on "
                 f"{task.waiting_on.name!r}")
         task.waiting_on = self
-        self._waiters.append((task, on_wake))
+        entry = Waiter(task=task, on_wake=on_wake, deadline=deadline,
+                       on_timeout=on_timeout, parked_at=now,
+                       seq=self._next_seq)
+        self._next_seq += 1
+        self._waiters.append(entry)
         self.stats_waits += 1
+        return entry
 
     def remove(self, task: "Task") -> bool:
-        """Cancel ``task``'s wait (timeout / give-up path).  Returns
-        True when the task was actually queued."""
-        for i, (waiter, _) in enumerate(self._waiters):
-            if waiter is task:
+        """Cancel ``task``'s wait (give-up path).  Returns True when
+        the task was actually queued."""
+        for i, entry in enumerate(self._waiters):
+            if entry.task is task:
                 del self._waiters[i]
                 task.waiting_on = None
                 return True
         return False
 
-    def _wake(self, entry: tuple["Task", typing.Callable | None]) -> "Task":
-        task, on_wake = entry
+    def _wake(self, entry: Waiter) -> "Task":
+        task = entry.task
         task.waiting_on = None
         if task.state == "blocked":
             task.state = "runnable"
         self.stats_wakes += 1
-        if on_wake is not None:
-            on_wake(task)
+        if entry.on_wake is not None:
+            entry.on_wake(task)
         return task
 
+    def _pop_live(self) -> Waiter | None:
+        """Pop the oldest *live* waiter, dropping dead entries (a task
+        killed while parked must neither be woken nor absorb a wake)."""
+        while self._waiters:
+            entry = self._waiters.popleft()
+            if entry.task.state == "dead":
+                entry.task.waiting_on = None
+                self.stats_dead_reaped += 1
+                continue
+            return entry
+        return None
+
     def wake_one(self) -> "Task | None":
-        """Wake the oldest waiter; returns it (None when empty)."""
-        if not self._waiters:
+        """Wake the oldest live waiter; returns it (None when empty)."""
+        entry = self._pop_live()
+        if entry is None:
             return None
-        return self._wake(self._waiters.popleft())
+        return self._wake(entry)
 
     def wake_all(self) -> list["Task"]:
-        """Wake every waiter in FIFO order (the thundering-herd flavour
-        — deterministic, and correct for key-exhaustion waits where any
-        freed key may satisfy any waiter)."""
+        """Wake every live waiter in FIFO order (the thundering-herd
+        flavour — deterministic, and correct for key-exhaustion waits
+        where any freed key may satisfy any waiter)."""
         woken = []
-        while self._waiters:
-            woken.append(self._wake(self._waiters.popleft()))
-        return woken
+        while True:
+            entry = self._pop_live()
+            if entry is None:
+                return woken
+            woken.append(self._wake(entry))
+
+    # -- deadlines ------------------------------------------------------
+
+    def next_deadline(self) -> float | None:
+        """The earliest deadline among live parked waiters, or None."""
+        deadlines = [entry.deadline for entry in self._waiters
+                     if entry.deadline is not None
+                     and entry.task.state != "dead"]
+        return min(deadlines) if deadlines else None
+
+    def timeout(self, task: "Task") -> bool:
+        """Expire one specific waiter: remove it and fire its
+        ``on_timeout`` callback.  Returns True when the task was
+        actually parked (False = it was already woken — wake wins)."""
+        for i, entry in enumerate(self._waiters):
+            if entry.task is task:
+                del self._waiters[i]
+                task.waiting_on = None
+                if task.state == "blocked":
+                    task.state = "runnable"
+                self.stats_timeouts += 1
+                if entry.on_timeout is not None:
+                    entry.on_timeout(task)
+                return True
+        return False
+
+    def expire(self, now: float) -> list["Task"]:
+        """Time out every live waiter whose deadline has passed.
+
+        Expiry order is (deadline, arrival): a waiter with an earlier
+        deadline times out first even when it enqueued later.  Dead
+        entries are dropped silently; expired waiters leave no residue
+        in the queue.
+        """
+        due = sorted((entry for entry in list(self._waiters)
+                      if entry.deadline is not None
+                      and entry.deadline <= now),
+                     key=lambda e: (e.deadline, e.seq))
+        expired = []
+        for entry in due:
+            if entry not in self._waiters:
+                continue  # a callback re-shaped the queue
+            self._waiters.remove(entry)
+            task = entry.task
+            task.waiting_on = None
+            if task.state == "dead":
+                self.stats_dead_reaped += 1
+                continue
+            if task.state == "blocked":
+                task.state = "runnable"
+            self.stats_timeouts += 1
+            if entry.on_timeout is not None:
+                entry.on_timeout(task)
+            expired.append(task)
+        return expired
 
     def __repr__(self) -> str:
         return f"<WaitQueue {self.name!r} waiters={len(self._waiters)}>"

@@ -193,6 +193,83 @@ class TestBeginWait:
             lib.mpk_end(task, 100 + i)
 
 
+class TestBeginWaitTimeout:
+    """The deadline path: bounded waits surface ETIMEDOUT instead of
+    blocking forever."""
+
+    def _exhaust(self, lib, task):
+        for i in range(15):
+            lib.mpk_mmap(task, 100 + i, PAGE_SIZE, RW)
+            lib.mpk_begin(task, 100 + i, RW)
+
+    def test_sync_wait_sleeps_out_the_deadline(self, lib, kernel, task):
+        """With no waker, the thread sleeps the timeout away, the wait
+        is charged on the clock, and MpkTimeout (ETIMEDOUT) surfaces."""
+        from repro.errors import MpkTimeout
+        self._exhaust(lib, task)
+        lib.mpk_mmap(task, 50, PAGE_SIZE, RW)
+        before = kernel.clock.now
+        with pytest.raises(MpkTimeout) as excinfo:
+            lib.mpk_begin_wait(task, 50, RW, timeout=50_000.0)
+        assert excinfo.value.errno == "ETIMEDOUT"
+        assert excinfo.value.vkey == 50
+        assert excinfo.value.waited_cycles >= 50_000.0
+        assert kernel.clock.now - before >= 50_000.0
+        # The expiry itself is attributed to its own site.
+        agg = kernel.machine.obs.aggregator
+        assert agg.counts["libmpk.keycache.wait_timeout"] == 1
+        assert lib.stats()["wait_timeouts"] == 1
+
+    def test_timeout_leaves_no_queue_residue(self, lib, kernel, task):
+        from repro.errors import MpkTimeout
+        self._exhaust(lib, task)
+        lib.mpk_mmap(task, 50, PAGE_SIZE, RW)
+        with pytest.raises(MpkTimeout):
+            lib.mpk_begin_wait(task, 50, RW, timeout=10_000.0)
+        assert len(lib.key_waiters) == 0
+        assert task.waiting_on is None
+        report = lib.audit()
+        assert report.ok, report.violations
+        # The wait is retryable: free a key and the same call succeeds.
+        lib.mpk_end(task, 100)
+        assert lib.mpk_begin_wait(task, 50, RW, timeout=10_000.0) == 1
+        lib.mpk_end(task, 50)
+
+    def test_spinning_waiter_times_out(self, lib, task):
+        """An on_wait waker that never frees a key trips the deadline
+        (each futex round advances the clock) rather than spinning to
+        max_attempts."""
+        from repro.errors import MpkTimeout
+        self._exhaust(lib, task)
+        lib.mpk_mmap(task, 50, PAGE_SIZE, RW)
+        with pytest.raises(MpkTimeout):
+            lib.mpk_begin_wait(task, 50, RW, on_wait=lambda n: None,
+                               timeout=1_000.0, max_attempts=10_000)
+
+    def test_wake_in_time_beats_the_deadline(self, lib, task):
+        self._exhaust(lib, task)
+        lib.mpk_mmap(task, 50, PAGE_SIZE, RW)
+
+        def release_one(attempt):
+            if attempt == 1:
+                lib.mpk_end(task, 100)
+
+        attempts = lib.mpk_begin_wait(task, 50, RW,
+                                      on_wait=release_one,
+                                      timeout=1e12)
+        assert attempts == 2
+        assert lib.stats()["wait_timeouts"] == 0
+        lib.mpk_end(task, 50)
+
+    def test_timeout_validated(self, lib, task):
+        from repro.errors import MpkError
+        lib.mpk_mmap(task, 50, PAGE_SIZE, RW)
+        with pytest.raises(MpkError):
+            lib.mpk_begin_wait(task, 50, RW, timeout=0.0)
+        with pytest.raises(MpkError):
+            lib.mpk_begin_wait(task, 50, RW, timeout=-5.0)
+
+
 class TestModelTransitions:
     def test_global_to_domain_seals_siblings(self, lib, kernel,
                                              process, task):

@@ -66,3 +66,35 @@ class TestStatus:
         info = status(process)
         assert info["execute_only_pkey"] == \
             process.pkeys.execute_only_pkey
+
+
+class TestMpkStatsResilience:
+    def test_counters_start_at_zero(self, kernel, process):
+        from repro.kernel.procfs import mpk_stats
+
+        resilience = mpk_stats(process)["resilience"]
+        assert resilience == {
+            "worker_deaths": 0, "restarts": 0, "gave_up": 0,
+            "shed": 0, "wait_timeouts": 0, "watchdog_stalls": 0,
+            "watchdog_deadlocks": 0,
+        }
+
+    def test_counters_follow_the_obs_spine(self, kernel, process):
+        from repro.kernel.procfs import format_mpk_stats, mpk_stats
+
+        obs = kernel.machine.obs
+        obs.record_metric("apps.supervisor.death", 1.0)
+        obs.record_metric("apps.supervisor.restart", 1.0)
+        obs.record_metric("apps.serving.shed", 1.0)
+        obs.record_metric("apps.serving.shed", 1.0)
+        obs.record_metric("kernel.watchdog.stall", 123.0)
+        kernel.clock.charge(350.0, site="libmpk.keycache.wait_timeout")
+        resilience = mpk_stats(process)["resilience"]
+        assert resilience["worker_deaths"] == 1
+        assert resilience["restarts"] == 1
+        assert resilience["shed"] == 2
+        assert resilience["wait_timeouts"] == 1
+        assert resilience["watchdog_stalls"] == 1
+        rendered = format_mpk_stats(process)
+        assert "Resilience:" in rendered
+        assert "shed=2" in rendered

@@ -170,6 +170,106 @@ class TestWaitQueue:
         assert waiter.waiting_on is None
 
 
+class TestWaitQueueDeadlines:
+    def test_expire_orders_by_deadline_not_arrival(self, process):
+        """The earlier deadline times out first even when that waiter
+        enqueued later."""
+        wq = WaitQueue("test")
+        late = process.spawn_task()
+        early = process.spawn_task()
+        wq.add(late, deadline=200.0, now=0.0)     # enqueued first
+        wq.add(early, deadline=100.0, now=0.0)    # earlier deadline
+        assert wq.expire(150.0) == [early]
+        assert wq.expire(150.0) == []             # late not due yet
+        assert wq.expire(250.0) == [late]
+        assert len(wq) == 0
+
+    def test_expire_ties_break_by_arrival(self, process):
+        wq = WaitQueue("test")
+        a, b = process.spawn_task(), process.spawn_task()
+        wq.add(a, deadline=100.0)
+        wq.add(b, deadline=100.0)
+        assert wq.expire(100.0) == [a, b]
+
+    def test_next_deadline_is_the_minimum(self, process):
+        wq = WaitQueue("test")
+        assert wq.next_deadline() is None
+        wq.add(process.spawn_task(), deadline=300.0)
+        wq.add(process.spawn_task())               # forever waiter
+        wq.add(process.spawn_task(), deadline=100.0)
+        assert wq.next_deadline() == 100.0
+
+    def test_wake_beats_pending_timeout(self, process):
+        """The wake-vs-timeout race is deterministic: once woken, a
+        waiter can no longer time out."""
+        wq = WaitQueue("test")
+        fired = []
+        waiter = process.spawn_task()
+        wq.add(waiter, deadline=100.0, on_timeout=fired.append)
+        assert wq.wake_one() is waiter
+        assert not wq.timeout(waiter)              # wake won
+        assert wq.expire(1e9) == []
+        assert fired == []
+        assert wq.stats_wakes == 1
+        assert wq.stats_timeouts == 0
+
+    def test_timeout_fires_on_timeout_not_on_wake(self, process):
+        wq = WaitQueue("test")
+        woken, timed_out = [], []
+        waiter = process.spawn_task()
+        waiter.state = "blocked"
+        wq.add(waiter, on_wake=woken.append, deadline=50.0,
+               on_timeout=timed_out.append)
+        assert wq.timeout(waiter)
+        assert (woken, timed_out) == ([], [waiter])
+        assert waiter.waiting_on is None
+        assert waiter.state == "runnable"
+        assert wq.stats_timeouts == 1
+
+    def test_timed_out_waiter_leaves_no_residue(self, process):
+        """After expiry the waiter is fully gone: not wakeable, not
+        re-expirable, free to park again."""
+        wq = WaitQueue("test")
+        waiter = process.spawn_task()
+        wq.add(waiter, deadline=10.0)
+        assert wq.expire(10.0) == [waiter]
+        assert wq.wake_one() is None
+        assert wq.expire(1e9) == []
+        wq.add(waiter)                             # no double-wait error
+        assert wq.wake_one() is waiter
+
+    def test_expired_dead_waiter_is_reaped_not_timed_out(self, process):
+        wq = WaitQueue("test")
+        fired = []
+        waiter = process.spawn_task()
+        wq.add(waiter, deadline=10.0, on_timeout=fired.append)
+        waiter.state = "dead"
+        assert wq.expire(100.0) == []
+        assert fired == []
+        assert wq.stats_dead_reaped == 1
+        assert wq.stats_timeouts == 0
+
+    def test_killed_waiter_never_absorbs_a_wake(self, kernel, process):
+        """Regression (the kill-while-parked bug): a task killed while
+        parked must neither be woken nor steal a wake a live waiter
+        needed."""
+        from repro.faults.signals import SEGV_PKUERR, SIGSEGV, Siginfo
+
+        wq = WaitQueue("test")
+        doomed, survivor = process.spawn_task(), process.spawn_task()
+        doomed.enable_signals()
+        kernel.scheduler.schedule(doomed)  # the IPI needs a core
+        wq.add(doomed)
+        wq.add(survivor)
+        kernel.signal_task(doomed,
+                           Siginfo(SIGSEGV, SEGV_PKUERR, si_addr=0))
+        assert doomed.state == "dead"
+        # The kill path detached the dying task before its death hooks.
+        assert doomed.waiting_on is None
+        assert all(entry.task is not doomed for entry in wq.entries())
+        assert wq.wake_one() is survivor
+
+
 class TestRunQueuesAndSlicing:
     def test_enqueue_dispatch_fifo(self, kernel, process):
         sched = kernel.scheduler

@@ -1,0 +1,157 @@
+"""The key-wait watchdog: wait-for graphs, deadlock cycles, stalls."""
+
+import pytest
+
+from repro.consts import PAGE_SIZE, PROT_READ, PROT_WRITE
+from repro.kernel.watchdog import Watchdog, find_cycles, wait_for_graph
+
+RW = PROT_READ | PROT_WRITE
+
+
+def _pin_all_keys(lib, task, start_vkey=100):
+    """Pin enough groups that every hardware key is held."""
+    vkeys = []
+    while lib._cache.free_keys:
+        vkey = start_vkey + len(vkeys)
+        lib.mpk_mmap(task, vkey, PAGE_SIZE, RW)
+        lib.mpk_begin(task, vkey, RW)
+        vkeys.append(vkey)
+    return vkeys
+
+
+class TestFindCycles:
+    def test_empty(self):
+        assert find_cycles({}, set()) == []
+
+    def test_self_loop(self):
+        assert find_cycles({1: {1}}, {1}) == [[1]]
+
+    def test_two_cycle(self):
+        graph = {1: {2}, 2: {1}}
+        assert find_cycles(graph, {1, 2}) == [[1, 2]]
+
+    def test_runnable_holder_breaks_the_cycle(self):
+        """A holder that is not parked can still run mpk_end, so the
+        wait is not a deadlock."""
+        graph = {1: {2}, 2: {1}}
+        assert find_cycles(graph, {1}) == []
+
+    def test_chain_without_cycle(self):
+        graph = {1: {2}, 2: {3}}
+        assert find_cycles(graph, {1, 2, 3}) == []
+
+
+class TestWatchdogDeadlock:
+    def test_constructed_pin_cycle_is_detected(self, kernel, process,
+                                               task, lib):
+        """The acceptance scenario: every key pinned by tasks that are
+        themselves parked waiting for a key — the watchdog must name
+        the cycle, and audit() must fail until it breaks."""
+        watchdog = Watchdog(kernel)
+        watchdog.watch(lib)
+        _pin_all_keys(lib, task)
+        lib.key_waiters.add(task, now=kernel.clock.now)
+
+        graph = wait_for_graph(lib)
+        assert graph[task.tid] and task.tid in graph[task.tid]
+
+        report = watchdog.scan()
+        assert report.deadlocks == [[task.tid]]
+        assert watchdog.deadlocks_detected == 1
+        assert kernel.machine.obs.metric(
+            "kernel.watchdog.deadlock").count == 1
+
+        ok, _ = kernel.machine.obs.audit()
+        assert not ok  # the watchdog.pid invariant fails while wedged
+
+        lib.key_waiters.remove(task)
+        assert watchdog.scan().deadlocks == []
+        ok, _ = kernel.machine.obs.audit()
+        assert ok
+
+    def test_free_key_means_no_deadlock(self, kernel, process, task,
+                                        lib):
+        watchdog = Watchdog(kernel)
+        watchdog.watch(lib)
+        lib.mpk_mmap(task, 50, PAGE_SIZE, RW)
+        lib.mpk_begin(task, 50, RW)          # keys remain free
+        lib.key_waiters.add(task, now=kernel.clock.now)
+        assert watchdog.scan().deadlocks == []
+        lib.key_waiters.remove(task)
+
+    def test_evictable_group_means_no_deadlock(self, kernel, process,
+                                               task, lib):
+        """An unpinned cached group can be evicted to satisfy the
+        waiter, so parked pin-holders are not wedged."""
+        watchdog = Watchdog(kernel)
+        watchdog.watch(lib)
+        vkeys = _pin_all_keys(lib, task)
+        lib.mpk_end(task, vkeys[0])          # cached but unpinned now
+        lib.key_waiters.add(task, now=kernel.clock.now)
+        assert watchdog.scan().deadlocks == []
+        lib.key_waiters.remove(task)
+
+    def test_runnable_holder_means_no_deadlock(self, kernel, process,
+                                               task, lib):
+        """Keys all pinned by the (runnable) main task while a second
+        task waits: not a deadlock — the holder can still mpk_end."""
+        watchdog = Watchdog(kernel)
+        watchdog.watch(lib)
+        _pin_all_keys(lib, task)
+        waiter = process.spawn_task()
+        lib.key_waiters.add(waiter, now=kernel.clock.now)
+        report = watchdog.scan()
+        assert report.deadlocks == []
+        assert report.waiters == 1
+        lib.key_waiters.remove(waiter)
+
+
+class TestWatchdogStalls:
+    def test_long_parked_waiter_is_flagged(self, kernel, process, task,
+                                           lib):
+        watchdog = Watchdog(kernel, stall_threshold=1_000.0)
+        watchdog.watch(lib)
+        waiter = process.spawn_task()
+        lib.key_waiters.add(waiter, now=kernel.clock.now)
+        kernel.clock.charge(5_000.0, site="kernel.watchdog.scan")
+        report = watchdog.scan()
+        assert report.stalls and report.stalls[0][0] == waiter.tid
+        assert report.stalls[0][1] >= 1_000.0
+        assert watchdog.stalls_detected == 1
+        assert kernel.machine.obs.metric(
+            "kernel.watchdog.stall").count == 1
+        assert not report.ok
+        lib.key_waiters.remove(waiter)
+
+    def test_fresh_waiter_not_flagged(self, kernel, process, task, lib):
+        watchdog = Watchdog(kernel, stall_threshold=1_000.0)
+        watchdog.watch(lib)
+        waiter = process.spawn_task()
+        lib.key_waiters.add(waiter, now=kernel.clock.now)
+        report = watchdog.scan()
+        assert report.stalls == []
+        assert report.waiters == 1
+        lib.key_waiters.remove(waiter)
+
+    def test_scan_charges_the_watchdog_site(self, kernel, process,
+                                            task, lib):
+        watchdog = Watchdog(kernel)
+        watchdog.watch(lib)
+        before = kernel.machine.obs.aggregator.cycles.get(
+            "kernel.watchdog.scan", 0.0)
+        watchdog.scan()
+        after = kernel.machine.obs.aggregator.cycles[
+            "kernel.watchdog.scan"]
+        assert after == before + kernel.costs.watchdog_scan
+
+
+class TestWatchdogApi:
+    def test_double_watch_rejected(self, kernel, lib):
+        watchdog = Watchdog(kernel)
+        watchdog.watch(lib)
+        with pytest.raises(ValueError):
+            watchdog.watch(lib)
+
+    def test_threshold_validated(self, kernel):
+        with pytest.raises(ValueError):
+            Watchdog(kernel, stall_threshold=0.0)

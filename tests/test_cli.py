@@ -70,6 +70,28 @@ class TestServebench:
             assert row["latency_cycles"]["p50"] > 0
 
 
+class TestServechaos:
+    def test_writes_report_and_replays_it(self, capsys, tmp_path):
+        import json
+        out_path = tmp_path / "chaos.json"
+        assert main(["servechaos", "--connections", "8", "--events",
+                     "3", "--output", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "chaos script" in out
+        assert "httpd" in out and "memcached" in out
+        report = json.loads(out_path.read_text())
+        assert set(report["scenarios"]) == {"httpd", "memcached"}
+        assert len(report["script"]) == 3
+        for row in report["scenarios"].values():
+            assert row["audit_ok"] and row["liveness_ok"]
+        # Replaying the recorded script reproduces the report exactly.
+        replay_path = tmp_path / "chaos_replay.json"
+        assert main(["servechaos", "--connections", "8",
+                     "--replay", str(out_path),
+                     "--output", str(replay_path)]) == 0
+        assert json.loads(replay_path.read_text()) == report
+
+
 class TestParsing:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
