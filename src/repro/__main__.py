@@ -184,16 +184,43 @@ def cmd_hostbench(args: argparse.Namespace) -> int:
 def cmd_servebench(args: argparse.Namespace) -> int:
     from repro.bench import serving
 
+    ceiling_mb = args.mem_ceiling_mb
     try:
         report = serving.run_servebench(seed=args.seed,
-                                        connections=args.connections)
+                                        connections=args.connections,
+                                        scale=args.scale,
+                                        curves=not args.no_curves)
     except AssertionError as exc:
         print(f"servebench FAILED: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if ceiling_mb is not None:
+            import resource
+
+            # ru_maxrss is the process-lifetime high-water mark, in KiB
+            # on Linux.  A leak of per-connection state at 100k
+            # connections costs hundreds of MiB, so peak RSS separates
+            # "streaming" from "retained" without tracemalloc's ~5x
+            # wall-clock overhead.
+            peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss << 10
     print(serving.format_report(report))
-    out_path = pathlib.Path(args.output)
+    if args.output is None:
+        name = ("BENCH_serving.json" if args.scale == "smoke"
+                else f"BENCH_serving_{args.scale}.json")
+        out_path = REPO_ROOT / name
+    else:
+        out_path = pathlib.Path(args.output)
     serving.write_report(report, out_path)
     print(f"\nwrote {out_path}")
+    if ceiling_mb is not None:
+        peak_mb = peak / (1 << 20)
+        print(f"peak RSS: {peak_mb:.1f} MiB (ceiling {ceiling_mb} MiB)")
+        if peak_mb > ceiling_mb:
+            print(f"servebench FAILED: peak RSS {peak_mb:.1f} MiB "
+                  f"exceeds the {ceiling_mb} MiB ceiling — "
+                  f"per-connection state is leaking back in",
+                  file=sys.stderr)
+            return 1
     return 0
 
 
@@ -274,10 +301,25 @@ def main(argv: list[str] | None = None) -> int:
         help="open-loop serving benchmark with determinism gate")
     servebench.add_argument("--seed", type=int, default=7,
                             help="arrival-schedule seed")
-    servebench.add_argument("--connections", type=int, default=64,
-                            help="offered connections per scenario")
-    servebench.add_argument("--output",
-                            default=str(REPO_ROOT / "BENCH_serving.json"))
+    servebench.add_argument("--scale", choices=("smoke", "large"),
+                            default="smoke",
+                            help="smoke: 64 retained-record connections; "
+                                 "large: 100k streaming connections per "
+                                 "scenario")
+    servebench.add_argument("--connections", type=int, default=None,
+                            help="offered connections per scenario "
+                                 "(default: 64 smoke / 100000 large)")
+    servebench.add_argument("--no-curves", action="store_true",
+                            help="skip the latency/queue-depth vs "
+                                 "offered-load sweep")
+    servebench.add_argument("--mem-ceiling-mb", type=int, default=None,
+                            help="fail if peak RSS exceeds this many "
+                                 "MiB (streaming-memory gate)")
+    servebench.add_argument("--output", default=None,
+                            help="report path (default: "
+                                 "BENCH_serving.json, or "
+                                 "BENCH_serving_large.json at --scale "
+                                 "large)")
     servechaos = sub.add_parser(
         "servechaos",
         help="chaos soak over the serving scenarios (liveness + audit "

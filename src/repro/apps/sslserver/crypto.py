@@ -70,10 +70,28 @@ class ToyRSA:
         return 8 + (blob_n.bit_length() + 7) // 8 + \
             (blob_d.bit_length() + 7) // 8
 
+    # Host-side memo for the raw decryption: the 1024-bit modular
+    # exponentiation dominates *wall-clock* time at servebench scale
+    # (100k+ handshakes), while its simulated cost is a clock charge
+    # made by the caller.  Workloads cycle through a bounded set of
+    # pre-master secrets, so a small cache removes the host cost
+    # without touching any simulated state.  Bounded and cleared when
+    # full, so memory stays O(_MEMO_MAX) regardless of run length.
+    _MEMO_MAX = 4096
+    _decrypt_memo: dict[tuple[bytes, int], int] = {}
+
     @staticmethod
     def decrypt_with(blob: bytes, ciphertext: int) -> int:
-        n, d = ToyRSA.deserialize_private(blob)
-        return pow(ciphertext, d, n)
+        memo = ToyRSA._decrypt_memo
+        key = (blob, ciphertext)
+        result = memo.get(key)
+        if result is None:
+            n, d = ToyRSA.deserialize_private(blob)
+            result = pow(ciphertext, d, n)
+            if len(memo) >= ToyRSA._MEMO_MAX:
+                memo.clear()
+            memo[key] = result
+        return result
 
 
 def _next_prime(candidate: int) -> int:

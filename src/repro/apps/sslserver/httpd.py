@@ -25,6 +25,13 @@ PARSE_CYCLES = 2_500.0
 AES_PER_BYTE = 0.6
 CONNECTION_SETUP_CYCLES = 9_000.0
 
+# Distinct pre-master secrets cycled through by the key exchange.  The
+# simulated cost is value-independent (the decrypt charge is a
+# constant), so the period only bounds the *host-side* working set of
+# distinct RSA exponentiations — which keeps ToyRSA's decrypt memo hot
+# at 100k+-connection servebench scale.
+PRE_MASTER_PERIOD = 64
+
 
 class HttpServer:
     """One HTTPS worker bound to a process/task of the simulated machine."""
@@ -96,7 +103,8 @@ class HttpServer:
         clock.charge(PARSE_CYCLES, site="apps.httpd.parse")
         # TLS key exchange: the client encrypts a pre-master secret with
         # our public key; we decrypt it with the private key.
-        pre_master = 0x1234_5678_9ABC_DEF0 + self.requests_served
+        pre_master = (0x1234_5678_9ABC_DEF0
+                      + self.requests_served % PRE_MASTER_PERIOD)
         ciphertext = self.private_key.public.encrypt(pre_master)
         recovered = self.ssl.pkey_rsa_decrypt(task, self.private_key,
                                               ciphertext)

@@ -26,21 +26,87 @@ from collections import OrderedDict
 from repro.errors import MpkError, MpkKeyExhaustion
 
 
-#: Victim-selection policies.  The paper uses LRU; FIFO and RANDOM are
+class EvictionPolicy:
+    """Pluggable victim-selection strategy for the key cache.
+
+    The cache delegates its two policy-sensitive decisions here:
+    whether a lookup hit refreshes recency, and which candidate vkey
+    loses its hardware key under pressure.  Strategies are stateless —
+    the cache hands them its recency structure and seeded RNG — so a
+    policy object can be shared between caches and the default remains
+    bit-identical to the historical inline LRU code.
+
+    Subclass and pass an instance as ``KeyCache(policy=...)`` to ablate
+    new strategies (the ROADMAP's eviction-policy shootout) without
+    touching the cache itself.
+    """
+
+    #: Registry name (``KeyCache(policy="lru")`` resolves through
+    #: :data:`EVICTION_POLICIES`).
+    name = "base"
+
+    def on_hit(self, lru: "OrderedDict[int, int]", vkey: int) -> None:
+        """A lookup hit on ``vkey`` — refresh recency if the policy
+        tracks it.  The base policy does not."""
+
+    def choose_victim(self, candidates: list[int],
+                      rng: random.Random) -> int:
+        """Pick the vkey to evict from the non-empty, LRU-ordered
+        (oldest-first) ``candidates``."""
+        return candidates[0]
+
+
+class LruPolicy(EvictionPolicy):
+    """The paper's policy: hits refresh recency, oldest entry evicted."""
+
+    name = "lru"
+
+    def on_hit(self, lru: "OrderedDict[int, int]", vkey: int) -> None:
+        lru.move_to_end(vkey)
+
+
+class FifoPolicy(EvictionPolicy):
+    """Bind-order eviction: hits do not refresh, oldest bind evicted."""
+
+    name = "fifo"
+
+
+class RandomPolicy(EvictionPolicy):
+    """Uniform victim among the candidates (seeded — deterministic)."""
+
+    name = "random"
+
+    def choose_victim(self, candidates: list[int],
+                      rng: random.Random) -> int:
+        return rng.choice(candidates)
+
+
+#: Name -> strategy class.  The paper uses LRU; FIFO and RANDOM are
 #: provided for the ablation study in ``benchmarks/``.
-POLICIES = ("lru", "fifo", "random")
+EVICTION_POLICIES: dict[str, type[EvictionPolicy]] = {
+    cls.name: cls for cls in (LruPolicy, FifoPolicy, RandomPolicy)
+}
+
+#: Historical tuple of the built-in policy names (kept for callers that
+#: enumerate the ablation space).
+POLICIES = tuple(EVICTION_POLICIES)
 
 
 class KeyCache:
     """Scheduler for the mappings between virtual and hardware keys."""
 
     def __init__(self, hardware_keys: list[int], evict_rate: float,
-                 policy: str = "lru", seed: int = 42) -> None:
+                 policy: str | EvictionPolicy = "lru",
+                 seed: int = 42) -> None:
         if not hardware_keys:
             raise MpkError("key cache needs at least one hardware key")
         if not 0.0 <= evict_rate <= 1.0:
             raise MpkError(f"eviction rate must be in [0, 1]: {evict_rate}")
-        if policy not in POLICIES:
+        if isinstance(policy, EvictionPolicy):
+            self._policy = policy
+        elif policy in EVICTION_POLICIES:
+            self._policy = EVICTION_POLICIES[policy]()
+        else:
             raise MpkError(f"unknown eviction policy: {policy!r}")
         self._free: list[int] = sorted(hardware_keys, reverse=True)
         self._all = frozenset(hardware_keys)
@@ -49,7 +115,9 @@ class KeyCache:
         # structure yields bind order instead.
         self._lru: OrderedDict[int, int] = OrderedDict()  # vkey -> pkey
         self.evict_rate = evict_rate
-        self.policy = policy
+        # Exposed as the *name* so procfs/report serialization stays a
+        # plain string whether a name or a strategy object was passed.
+        self.policy = self._policy.name
         self._rng = random.Random(seed)
         self._reserved: set[int] = set()
         # True when the most recent lookup() missed and its eviction
@@ -83,8 +151,7 @@ class KeyCache:
             self.stats_misses += 1
             self._decision_pending = True
             return None
-        if self.policy == "lru":
-            self._lru.move_to_end(vkey)
+        self._policy.on_hit(self._lru, vkey)
         self.stats_hits += 1
         self._decision_pending = False
         return pkey
@@ -133,11 +200,10 @@ class KeyCache:
         if not candidates:
             raise MpkKeyExhaustion(
                 "all hardware protection keys are pinned or reserved")
-        if self.policy == "random":
-            return self._rng.choice(candidates)
-        # "lru" and "fifo" both take the oldest entry; they differ in
-        # whether lookup() refreshed recency above.
-        return candidates[0]
+        # "lru" and "fifo" both take the oldest entry (they differ in
+        # whether lookup() refreshed recency above); "random" draws from
+        # the cache's seeded RNG so runs stay reproducible.
+        return self._policy.choose_victim(candidates, self._rng)
 
     def evict(self, vkey: int) -> int:
         """Remove ``vkey``'s binding; its key becomes immediately

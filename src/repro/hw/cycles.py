@@ -156,11 +156,52 @@ class Clock:
     registered sinks, which is how per-site accounting, ring-buffer
     logs, and the conservation audit observe the cost model without
     the cost model knowing about them.
+
+    Site labels are **interned**: the first charge against a label
+    assigns it a small dense integer id, and sinks that implement
+    ``on_charge_id(site_id, cycles, now, seq)`` receive the id instead
+    of the string.  The hot sinks (the always-on
+    :class:`~repro.obs.SiteAggregator`, the scheduler's quantum sink)
+    then index flat arrays rather than hashing a string per charge;
+    sinks that want the label (ring logs, fault injectors) keep the
+    plain ``on_charge(site, ...)`` signature and are handed the string.
     """
 
     now: float = 0.0
     _events: int = field(default=0, repr=False)
     _sinks: list = field(default_factory=list, repr=False)
+    # site label <-> dense id interning (shared with id-capable sinks).
+    _site_ids: dict = field(default_factory=dict, repr=False)
+    _site_names: list = field(default_factory=list, repr=False)
+    # (callback, wants_id) pairs, in registration order.
+    _dispatch: list = field(default_factory=list, repr=False)
+
+    # ------------------------------------------------------------------
+    # Site interning.
+    # ------------------------------------------------------------------
+
+    def site_id(self, site: str) -> int:
+        """The dense integer id for ``site`` (interning it if new)."""
+        sid = self._site_ids.get(site)
+        if sid is None:
+            sid = len(self._site_names)
+            self._site_ids[site] = sid
+            self._site_names.append(site)
+        return sid
+
+    def site_name(self, site_id: int) -> str:
+        """The label interned as ``site_id``."""
+        return self._site_names[site_id]
+
+    def find_site(self, site: str) -> int | None:
+        """The id for ``site`` if it has been interned (no interning)."""
+        return self._site_ids.get(site)
+
+    @property
+    def site_count(self) -> int:
+        return len(self._site_names)
+
+    # ------------------------------------------------------------------
 
     def charge(self, cycles: float, site: str = "unattributed") -> None:
         """Advance time by ``cycles`` (non-negative), attributed to
@@ -171,22 +212,43 @@ class Clock:
             raise ValueError(f"negative cycle charge: {cycles}")
         self.now += cycles
         self._events += 1
-        if self._sinks:
+        if self._dispatch:
+            sid = self._site_ids.get(site)
+            if sid is None:
+                sid = self.site_id(site)
             now, events = self.now, self._events
-            for sink in self._sinks:
-                sink.on_charge(site, cycles, now, events)
+            for callback, wants_id in self._dispatch:
+                if wants_id:
+                    callback(sid, cycles, now, events)
+                else:
+                    callback(site, cycles, now, events)
 
     def add_sink(self, sink) -> None:
-        """Register a charge sink (``on_charge(site, cycles, now, seq)``
-        called on every charge, in registration order)."""
+        """Register a charge sink, called on every charge in
+        registration order.  Sinks providing
+        ``on_charge_id(site_id, cycles, now, seq)`` get the interned
+        id (fast path); otherwise ``on_charge(site, cycles, now, seq)``
+        gets the label.  A sink with a ``bind_clock`` method is handed
+        this clock first, so it can resolve ids back to labels."""
         if sink in self._sinks:
             raise ValueError("sink is already registered")
+        bind = getattr(sink, "bind_clock", None)
+        if bind is not None:
+            bind(self)
         self._sinks.append(sink)
+        self._dispatch.append(self._entry_for(sink))
+
+    def _entry_for(self, sink) -> tuple:
+        fast = getattr(sink, "on_charge_id", None)
+        if fast is not None:
+            return (fast, True)
+        return (sink.on_charge, False)
 
     def remove_sink(self, sink) -> None:
         """Unregister ``sink`` (no-op when not registered)."""
         if sink in self._sinks:
             self._sinks.remove(sink)
+            self._dispatch = [self._entry_for(s) for s in self._sinks]
 
     @property
     def sinks(self) -> tuple:

@@ -119,6 +119,9 @@ def mpk_stats(process: "Process") -> dict:
             "watchdog_stalls": metric_count("kernel.watchdog.stall"),
             "watchdog_deadlocks": metric_count("kernel.watchdog.deadlock"),
         },
+        # Every registered metric series, JSON-safe: empty series report
+        # minimum/maximum/last as None rather than leaking ±inf.
+        "metrics": obs.metrics_summary(),
     }
 
 

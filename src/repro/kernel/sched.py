@@ -64,14 +64,20 @@ class QuantumSink(ChargeSink):
     def end_slice(self) -> None:
         self.active = False
 
-    def on_charge(self, site: str, cycles: float, now: float,
-                  seq: int) -> None:
+    def on_charge_id(self, site_id: int, cycles: float, now: float,
+                     seq: int) -> None:
+        """Fast path: the sink never looks at the site label, so it
+        takes the interned-id dispatch (see Clock.add_sink)."""
         if not self.active:
             return
         self.slice_used += cycles
         if not self.need_resched and self.slice_used >= self.quantum:
             self.need_resched = True
             self.expirations += 1
+
+    def on_charge(self, site: str, cycles: float, now: float,
+                  seq: int) -> None:
+        self.on_charge_id(-1, cycles, now, seq)
 
 
 class Scheduler:

@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import functools
 import math
+import typing
 from dataclasses import dataclass
 
 #: Site used by :meth:`Clock.charge` when a caller supplies none.  The
@@ -86,41 +87,109 @@ class SiteAggregator(ChargeSink):
     part (bucket 0 holds sub-cycle and zero-cost charges), enough to
     tell "many cheap charges" from "few dear ones" per site without
     storing samples.
+
+    Storage is indexed by the clock's interned site ids (see
+    :meth:`~repro.hw.cycles.Clock.site_id`): the per-charge hot path
+    (:meth:`on_charge_id`) appends to and indexes flat lists instead of
+    probing string-keyed dicts.  The dict-shaped views (:attr:`cycles`,
+    :attr:`counts`) are rebuilt on access — they are read on report
+    boundaries, never per charge.  A standalone aggregator (no clock)
+    keeps a private intern table so direct :meth:`on_charge` calls
+    still work.
     """
 
     def __init__(self) -> None:
-        self.cycles: dict[str, float] = {}
-        self.counts: dict[str, int] = {}
-        self._histograms: dict[str, dict[int, int]] = {}
+        self._clock = None
+        self._names: list[str] = []          # private table (unbound use)
+        self._ids: dict[str, int] = {}
+        self._cycles: list[float] = []
+        self._counts: list[int] = []
+        self._histograms: list[dict[int, int] | None] = []
+
+    def bind_clock(self, clock) -> None:
+        """Share ``clock``'s intern table (called by ``add_sink``)."""
+        self._clock = clock
+
+    # -- the hot path ---------------------------------------------------
+
+    def on_charge_id(self, site_id: int, cycles: float, now: float,
+                     seq: int) -> None:
+        cy = self._cycles
+        if site_id >= len(cy):
+            grow = site_id + 1 - len(cy)
+            cy.extend([0.0] * grow)
+            self._counts.extend([0] * grow)
+            self._histograms.extend([None] * grow)
+        cy[site_id] += cycles
+        self._counts[site_id] += 1
+        bucket = int(cycles).bit_length()
+        hist = self._histograms[site_id]
+        if hist is None:
+            hist = self._histograms[site_id] = {}
+        hist[bucket] = hist.get(bucket, 0) + 1
 
     def on_charge(self, site: str, cycles: float, now: float,
                   seq: int) -> None:
-        self.cycles[site] = self.cycles.get(site, 0.0) + cycles
-        self.counts[site] = self.counts.get(site, 0) + 1
-        bucket = int(cycles).bit_length()
-        hist = self._histograms.setdefault(site, {})
-        hist[bucket] = hist.get(bucket, 0) + 1
+        self.on_charge_id(self._site_id(site), cycles, now, seq)
+
+    # -- id <-> name plumbing -------------------------------------------
+
+    def _site_id(self, site: str) -> int:
+        if self._clock is not None:
+            return self._clock.site_id(site)
+        sid = self._ids.get(site)
+        if sid is None:
+            sid = len(self._names)
+            self._ids[site] = sid
+            self._names.append(site)
+        return sid
+
+    def _site_name(self, site_id: int) -> str:
+        if self._clock is not None:
+            return self._clock.site_name(site_id)
+        return self._names[site_id]
+
+    def _items(self, values: list) -> typing.Iterator[tuple[str, object]]:
+        """(site, value) pairs for every site that has seen a charge."""
+        counts = self._counts
+        for sid, value in enumerate(values):
+            if counts[sid]:
+                yield self._site_name(sid), value
+
+    # -- dict-shaped views (report boundaries, not per charge) ----------
+
+    @property
+    def cycles(self) -> dict[str, float]:
+        return dict(self._items(self._cycles))
+
+    @property
+    def counts(self) -> dict[str, int]:
+        return dict(self._items(self._counts))
 
     # ------------------------------------------------------------------
 
     def total(self) -> float:
-        return sum(self.cycles.values())
+        return sum(self._cycles)
 
     def sites(self) -> list[str]:
-        return sorted(self.cycles)
+        return sorted(site for site, _ in self._items(self._counts))
 
     def histogram(self, site: str) -> dict[int, int]:
         """Bucket -> count for ``site``; bucket ``b`` covers charges in
         ``[2**(b-1), 2**b)`` cycles (bucket 0: below one cycle)."""
-        return dict(self._histograms.get(site, {}))
+        sid = self._ids.get(site) if self._clock is None else \
+            self._clock.find_site(site)
+        if sid is None or sid >= len(self._histograms):
+            return {}
+        return dict(self._histograms[sid] or {})
 
     def breakdown(self, depth: int | None = None) -> dict[str, float]:
         """Cycles aggregated by label prefix of ``depth`` components
         (None = full site labels).  ``depth=1`` groups by layer."""
         if depth is None:
-            return dict(self.cycles)
+            return self.cycles
         grouped: dict[str, float] = {}
-        for site, cycles in self.cycles.items():
+        for site, cycles in self._items(self._cycles):
             label = ".".join(site.split(".")[:depth])
             grouped[label] = grouped.get(label, 0.0) + cycles
         return grouped
@@ -133,9 +202,9 @@ class SiteAggregator(ChargeSink):
     def reset(self) -> None:
         """Forget everything (breaks the conservation invariant against
         a clock that has already advanced — benchmark use only)."""
-        self.cycles.clear()
-        self.counts.clear()
-        self._histograms.clear()
+        self._cycles = [0.0] * len(self._cycles)
+        self._counts = [0] * len(self._counts)
+        self._histograms = [None] * len(self._histograms)
 
 
 class RingLog(ChargeSink):
@@ -270,13 +339,30 @@ class MetricSeries:
     def record(self, value: float) -> None:
         self.count += 1
         self.total += value
-        self.minimum = min(self.minimum, value)
-        self.maximum = max(self.maximum, value)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
         self.last = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        """JSON-safe snapshot: an empty series reports ``None`` for its
+        extrema instead of the ``inf``/``-inf`` sentinels, which are
+        not valid JSON.  Report/procfs renderers must serialize series
+        through this, never the raw fields."""
+        empty = self.count == 0
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "minimum": None if empty else self.minimum,
+            "maximum": None if empty else self.maximum,
+            "last": None if empty else self.last,
+        }
 
 
 class Observability:
@@ -297,26 +383,57 @@ class Observability:
         self._span_subscribers: list = []
         self._profile: dict[tuple[str, ...], SpanStats] = {}
         self._invariants: dict[str, object] = {}
-        self._metrics: dict[str, MetricSeries] = {}
+        self._metric_ids: dict[str, int] = {}
+        self._metric_names: list[str] = []
+        self._metric_list: list[MetricSeries] = []
 
     # ------------------------------------------------------------------
     # Metric series (non-cycle observations: queue depths, wait times).
     # ------------------------------------------------------------------
 
+    def metric_id(self, site: str) -> int:
+        """Intern ``site`` as a metric and return its dense id.
+
+        Hot paths resolve the id once and call :meth:`record_metric_id`
+        per observation — a list index instead of a string-dict probe
+        per record.  Interning registers an (initially empty) series,
+        so a pre-registered site appears in :meth:`metrics` even before
+        its first observation.
+        """
+        mid = self._metric_ids.get(site)
+        if mid is None:
+            mid = len(self._metric_list)
+            self._metric_ids[site] = mid
+            self._metric_names.append(site)
+            self._metric_list.append(MetricSeries())
+        return mid
+
+    def record_metric_id(self, metric_id: int, value: float) -> None:
+        """Record one observation against an id from :meth:`metric_id`."""
+        self._metric_list[metric_id].record(value)
+
     def record_metric(self, site: str, value: float) -> None:
         """Record one observation of ``site`` (dotted label, same
         convention as charge sites)."""
-        series = self._metrics.get(site)
-        if series is None:
-            series = self._metrics[site] = MetricSeries()
-        series.record(value)
+        mid = self._metric_ids.get(site)
+        if mid is None:
+            mid = self.metric_id(site)
+        self._metric_list[mid].record(value)
 
     def metric(self, site: str) -> MetricSeries | None:
-        return self._metrics.get(site)
+        mid = self._metric_ids.get(site)
+        return None if mid is None else self._metric_list[mid]
 
     def metrics(self) -> dict[str, MetricSeries]:
         """Snapshot of every recorded metric series."""
-        return dict(self._metrics)
+        return {name: self._metric_list[mid]
+                for name, mid in self._metric_ids.items()}
+
+    def metrics_summary(self) -> dict[str, dict]:
+        """JSON-safe snapshot of every series (see
+        :meth:`MetricSeries.summary`), sorted by site."""
+        return {name: series.summary()
+                for name, series in sorted(self.metrics().items())}
 
     # ------------------------------------------------------------------
     # Sink management (pass-through with a tiny convenience).

@@ -5,11 +5,13 @@ import pytest
 
 from repro.bench.serving import (
     ArrivalSchedule,
+    PoissonArrivals,
     ServingEngine,
     _run_httpd_scenario,
     _run_memcached_scenario,
     blocking_begin,
     percentile,
+    run_servebench,
 )
 from repro.consts import PROT_READ, PROT_WRITE
 from repro.errors import MpkKeyExhaustion
@@ -44,6 +46,28 @@ class TestArrivalSchedule:
             ArrivalSchedule.uniform(0, 10.0)
         with pytest.raises(ValueError):
             ArrivalSchedule.poisson(4, 0.0, seed=1)
+
+
+class TestPoissonArrivals:
+    def test_matches_materialized_schedule_bit_for_bit(self):
+        """The lazy stream and the materialized schedule must produce
+        the *same floats* — across a batch boundary, so the internal
+        batching provably doesn't perturb the RNG sequence."""
+        count = PoissonArrivals.BATCH + 500
+        lazy = PoissonArrivals(count, 3_000.0, seed=9)
+        eager = ArrivalSchedule.poisson(count, 3_000.0, seed=9)
+        assert tuple(lazy.iter_arrivals()) == eager.arrivals
+        assert len(lazy) == count
+
+    def test_stream_is_restartable(self):
+        lazy = PoissonArrivals(16, 1_000.0, seed=2)
+        assert list(lazy.iter_arrivals()) == list(lazy.iter_arrivals())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0, 10.0, seed=1)
+        with pytest.raises(ValueError):
+            PoissonArrivals(4, 0.0, seed=1)
 
 
 class TestPercentile:
@@ -196,12 +220,51 @@ class TestServingEngine:
         assert report.unserved == 1
 
     def test_engines_are_single_use(self, kernel, process):
-        engine = self._engine(kernel, process)
+        engine = self._engine(kernel, process, name="httpd-test")
         engine.offer(ArrivalSchedule((0.0,)),
                      _charging_job(kernel, 10.0, steps=1))
         engine.run()
-        with pytest.raises(RuntimeError):
+        # The error names the engine and its cores so a log line from a
+        # multi-scenario run identifies which engine was reused.
+        with pytest.raises(RuntimeError, match=r"'httpd-test'.*\[1\]"):
             engine.run()
+
+    def test_streaming_mode_matches_retained_accounting(self):
+        """retain_records=False must not change a single simulated
+        cycle — only what the engine remembers about them."""
+        def run(retain):
+            return _run_memcached_scenario(
+                seed=11, connections=24, workers=4, num_cores=2,
+                rate_per_sec=3_000.0, retain_records=retain)
+
+        retained, streaming = run(True), run(False)
+        assert streaming.clock_cycles == retained.clock_cycles
+        assert streaming.site_cycles == retained.site_cycles
+        assert streaming.completed == retained.completed == 24
+        assert streaming.makespan_cycles == retained.makespan_cycles
+        assert streaming.latencies == ()
+        assert retained.latencies != ()
+        # Below the exact cutoff the digest percentiles are nearest-rank
+        # on the same multiset, so they match the retained vector's.
+        for p in (50, 95, 99):
+            assert streaming._latency_percentile(p) == \
+                percentile(retained.latencies, p)
+        assert streaming.queue_depth_max == retained.queue_depth_max
+        assert streaming.queue_depth_mean == retained.queue_depth_mean
+        summary = streaming.summary()
+        assert "latency_digest" in summary
+        assert "latency_digest" not in retained.summary()
+
+    def test_streaming_mode_is_bit_identical(self):
+        def run():
+            return _run_memcached_scenario(
+                seed=5, connections=20, workers=4, num_cores=2,
+                rate_per_sec=3_000.0, retain_records=False)
+
+        a, b = run(), run()
+        assert a.clock_cycles == b.clock_cycles
+        assert a.latency_digest.state() == b.latency_digest.state()
+        assert a.queue_wait_digest.state() == b.queue_wait_digest.state()
 
     def test_busy_core_rejected(self, kernel, process, task):
         with pytest.raises(RuntimeError):
@@ -344,3 +407,40 @@ class TestScenarioDeterminism:
         assert a.site_cycles == b.site_cycles
         assert a.latencies == b.latencies
         assert a.clock_cycles != clean.clock_cycles
+
+
+class TestRunServebench:
+    def test_smoke_report_shape(self):
+        report = run_servebench(seed=7, connections=8, curves=False)
+        assert set(report["benchmarks"]) == {"httpd", "memcached"}
+        for row in report["benchmarks"].values():
+            assert row["completed"] == 8
+            assert "latency_digest" not in row   # retained smoke mode
+        assert "curves" not in report
+
+    def test_large_scale_streams_digests(self):
+        """The large scale at a tiny connection count: streaming mode
+        end to end, digest summaries present, gate passing."""
+        report = run_servebench(seed=7, connections=8, scale="large",
+                                curves=False)
+        assert report["scale"] == "large"
+        for row in report["benchmarks"].values():
+            assert row["completed"] == 8
+            assert row["latency_digest"]["count"] == 8
+            assert "queue_wait_digest" in row
+
+    def test_curves_cover_every_multiplier(self):
+        from repro.bench.serving import CURVE_MULTIPLIERS
+
+        report = run_servebench(seed=7, connections=6)
+        for name in ("httpd", "memcached"):
+            points = report["curves"][name]
+            assert [pt["load_multiplier"] for pt in points] == \
+                list(CURVE_MULTIPLIERS)
+            # Heavier offered load never shrinks the queue-depth peak.
+            depths = [pt["queue_depth_max"] for pt in points]
+            assert depths == sorted(depths)
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            run_servebench(scale="galactic")

@@ -165,3 +165,63 @@ class TestReservation:
     def test_empty_key_list_rejected(self):
         with pytest.raises(MpkError):
             KeyCache([], evict_rate=1.0)
+
+
+class TestEvictionPolicyStrategy:
+    def test_default_is_lru_by_name(self, cache):
+        assert cache.policy == "lru"
+
+    def test_registry_name_resolution(self):
+        from repro.core.keycache import EVICTION_POLICIES, POLICIES
+
+        assert set(POLICIES) == {"lru", "fifo", "random"}
+        for name in POLICIES:
+            assert KeyCache([1, 2], evict_rate=1.0,
+                            policy=name).policy == name
+        assert set(EVICTION_POLICIES) == set(POLICIES)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(MpkError, match="unknown eviction policy"):
+            KeyCache([1, 2], evict_rate=1.0, policy="clairvoyant")
+
+    def test_policy_object_accepted(self):
+        """A custom strategy instance plugs straight in — the ablation
+        path the extraction exists for."""
+        from repro.core.keycache import EvictionPolicy
+
+        class NewestFirst(EvictionPolicy):
+            name = "newest-first"
+
+            def choose_victim(self, candidates, rng):
+                return candidates[-1]
+
+        cache = KeyCache([1, 2], evict_rate=1.0, policy=NewestFirst())
+        assert cache.policy == "newest-first"
+        cache.assign_free(10)
+        cache.assign_free(11)
+        assert cache.choose_victim(lambda v: True) == 11
+
+    def test_fifo_ignores_lookup_recency(self):
+        cache = KeyCache([1, 2], evict_rate=1.0, policy="fifo")
+        cache.assign_free(10)
+        cache.assign_free(11)
+        cache.lookup(10)  # would move 10 to MRU under LRU
+        assert cache.choose_victim(lambda v: True) == 10
+
+    def test_lru_refreshes_on_lookup(self, cache):
+        cache.assign_free(10)
+        cache.assign_free(11)
+        cache.lookup(10)
+        assert cache.choose_victim(lambda v: True) == 11
+
+    def test_random_is_seed_deterministic(self):
+        def victims(seed):
+            cache = KeyCache(list(range(1, 9)), evict_rate=1.0,
+                             policy="random", seed=seed)
+            for vkey in range(10, 18):
+                cache.assign_free(vkey)
+            return [cache.choose_victim(lambda v: True)
+                    for _ in range(5)]
+
+        assert victims(1) == victims(1)
+        assert victims(1) != victims(2)

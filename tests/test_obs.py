@@ -254,3 +254,90 @@ class TestPerfSummaryIntegration:
     def test_charge_sites_counted(self, machine):
         machine.core(0).execute_adds(1)
         assert machine.perf_summary()["charge_sites"] >= 1
+
+
+class TestSiteInterning:
+    def test_labels_get_dense_stable_ids(self):
+        clock = Clock()
+        a = clock.site_id("hw.test.a")
+        b = clock.site_id("hw.test.b")
+        assert (a, b) == (0, 1)
+        assert clock.site_id("hw.test.a") == a  # stable on re-intern
+        assert clock.site_name(b) == "hw.test.b"
+        assert clock.find_site("hw.test.c") is None
+        assert clock.site_count == 2
+
+    def test_bound_aggregator_shares_the_clock_table(self):
+        """The aggregator's fast path receives interned ids; its
+        dict-shaped views still resolve them back to labels."""
+        clock = Clock()
+        agg = SiteAggregator()
+        clock.add_sink(agg)
+        clock.charge(5.0, site="kernel.test.x")
+        clock.charge(7.0, site="kernel.test.x")
+        assert agg.cycles == {"kernel.test.x": pytest.approx(12.0)}
+        assert agg.counts == {"kernel.test.x": 2}
+        assert agg.histogram("kernel.test.x") != {}
+
+    def test_string_and_id_paths_agree(self):
+        """A direct on_charge call and a clock-dispatched charge land
+        in the same per-site slot."""
+        clock = Clock()
+        agg = SiteAggregator()
+        clock.add_sink(agg)
+        clock.charge(1.0, site="hw.test.a")
+        agg.on_charge("hw.test.a", 2.0, 0.0, 0)
+        assert agg.cycles["hw.test.a"] == pytest.approx(3.0)
+
+
+class TestMetricSeries:
+    def test_interned_ids_record_like_labels(self):
+        clock = Clock()
+        obs = Observability(clock)
+        mid = obs.metric_id("apps.test.depth")
+        assert obs.metric_id("apps.test.depth") == mid  # stable
+        obs.record_metric_id(mid, 3.0)
+        obs.record_metric("apps.test.depth", 5.0)
+        series = obs.metric("apps.test.depth")
+        assert series.count == 2
+        assert series.total == pytest.approx(8.0)
+        assert series.minimum == 3.0 and series.maximum == 5.0
+
+    def test_empty_series_summary_is_json_safe(self):
+        """A pre-registered series that never saw an observation must
+        not leak ±inf into JSON reports (procfs serializes these)."""
+        import json
+        import math
+
+        clock = Clock()
+        obs = Observability(clock)
+        obs.metric_id("apps.test.never_recorded")
+        summary = obs.metrics_summary()["apps.test.never_recorded"]
+        assert summary["count"] == 0
+        assert summary["minimum"] is None
+        assert summary["maximum"] is None
+        assert summary["last"] is None
+        assert not any(isinstance(v, float) and math.isinf(v)
+                       for v in summary.values())
+        json.dumps(summary)  # must not require allow_nan fallbacks
+
+    def test_metrics_summary_sorted_and_round_trips(self):
+        import json
+
+        clock = Clock()
+        obs = Observability(clock)
+        obs.record_metric("apps.b.site", 1.0)
+        obs.record_metric("apps.a.site", 2.0)
+        summary = obs.metrics_summary()
+        assert list(summary) == ["apps.a.site", "apps.b.site"]
+        assert json.loads(json.dumps(summary)) == summary
+
+    def test_mpk_stats_exposes_metrics(self, process):
+        from repro.kernel.procfs import mpk_stats
+
+        obs = process.kernel.machine.obs
+        obs.record_metric("apps.test.depth", 4.0)
+        obs.metric_id("apps.test.empty")
+        stats = mpk_stats(process)
+        assert stats["metrics"]["apps.test.depth"]["mean"] == 4.0
+        assert stats["metrics"]["apps.test.empty"]["minimum"] is None
