@@ -251,6 +251,52 @@ def cmd_servechaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_clusterbench(args: argparse.Namespace) -> int:
+    from repro.bench import cluster
+
+    try:
+        report = cluster.run_clusterbench(seed=args.seed,
+                                          nodes=args.nodes,
+                                          connections=args.connections)
+    except AssertionError as exc:
+        print(f"clusterbench FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(cluster.format_cluster_report(report))
+    if args.output:
+        out_path = pathlib.Path(args.output)
+        cluster.write_cluster_report(report, out_path)
+        print(f"\nwrote {out_path}")
+    return 0
+
+
+def cmd_clusterchaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench import cluster
+
+    script = None
+    if args.replay:
+        recorded = json.loads(pathlib.Path(args.replay).read_text())
+        script = cluster.script_from_json(recorded["script"])
+        args.seed = recorded.get("seed", args.seed)
+        print(f"replaying {len(script)}-event cluster script from "
+              f"{args.replay} (seed {args.seed})")
+    try:
+        report = cluster.run_clusterchaos(seed=args.seed,
+                                          nodes=args.nodes,
+                                          connections=args.connections,
+                                          events=args.events,
+                                          script=script)
+    except AssertionError as exc:
+        print(f"clusterchaos FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(cluster.format_cluster_report(report))
+    out_path = pathlib.Path(args.output)
+    cluster.write_cluster_report(report, out_path)
+    print(f"\nwrote {out_path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -336,6 +382,33 @@ def main(argv: list[str] | None = None) -> int:
                                  "one")
     servechaos.add_argument("--output",
                             default=str(REPO_ROOT / "BENCH_chaos.json"))
+    clusterbench = sub.add_parser(
+        "clusterbench",
+        help="healthy sharded-memcached cluster baseline over the "
+             "network plane")
+    clusterbench.add_argument("--seed", type=int, default=29,
+                              help="arrival-schedule seed")
+    clusterbench.add_argument("--nodes", type=int, default=4)
+    clusterbench.add_argument("--connections", type=int, default=96)
+    clusterbench.add_argument("--output", default=None,
+                              help="optional JSON report path")
+    clusterchaos = sub.add_parser(
+        "clusterchaos",
+        help="cluster chaos soak: node kills, partitions, delays "
+             "(determinism + audit + liveness + degradation gates)")
+    clusterchaos.add_argument("--seed", type=int, default=29,
+                              help="chaos-script and arrival seed")
+    clusterchaos.add_argument("--nodes", type=int, default=4)
+    clusterchaos.add_argument("--connections", type=int, default=96)
+    clusterchaos.add_argument("--events", type=int, default=6,
+                              help="chaos events generated from the "
+                                   "seed")
+    clusterchaos.add_argument("--replay", default=None,
+                              help="replay the script recorded in a "
+                                   "prior BENCH_cluster.json")
+    clusterchaos.add_argument("--output",
+                              default=str(REPO_ROOT
+                                          / "BENCH_cluster.json"))
     args = parser.parse_args(argv)
     if getattr(args, "depth", None) == 0:
         args.depth = None
@@ -350,6 +423,8 @@ def main(argv: list[str] | None = None) -> int:
         "hostbench": cmd_hostbench,
         "servebench": cmd_servebench,
         "servechaos": cmd_servechaos,
+        "clusterbench": cmd_clusterbench,
+        "clusterchaos": cmd_clusterchaos,
     }[args.command]
     return handler(args)
 

@@ -27,6 +27,18 @@ if typing.TYPE_CHECKING:
 CLOCK_HZ = 2.4e9
 
 
+def request_plan(conn_id: int, req: int,
+                 requests_per_connection: int) -> tuple[str, bytes]:
+    """The op and key of the ``req``-th request on connection
+    ``conn_id``: a warmup of ``min(4, R)`` sets, then gets cycling the
+    same keys.  Shared by the local :class:`Twemperf` jobs and the
+    cluster's ``FleetClient`` so single-node and fleet load offer the
+    same stream per connection."""
+    warmup = min(4, requests_per_connection)
+    key = b"key-%d-%d" % (conn_id, req % warmup)
+    return ("set" if req < warmup else "get"), key
+
+
 @dataclass(frozen=True)
 class LoadResult:
     offered_conns_per_sec: int
@@ -56,10 +68,10 @@ class Twemperf:
         self.store.kernel.clock.charge(CONNECTION_SETUP_CYCLES,
                                        site="apps.memcached.connect")
         value = bytes(self.value_size)
-        warmup = min(4, self.requests_per_connection)
         for req in range(self.requests_per_connection):
-            key = b"key-%d-%d" % (conn_id, req % warmup)
-            if req < warmup:
+            op, key = request_plan(conn_id, req,
+                                   self.requests_per_connection)
+            if op == "set":
                 self.store.set(task, key, value)
             else:
                 got = self.store.get(task, key)
@@ -80,10 +92,10 @@ class Twemperf:
                                        site="apps.memcached.connect")
         yield
         value = bytes(self.value_size)
-        warmup = min(4, self.requests_per_connection)
         for req in range(self.requests_per_connection):
-            key = b"key-%d-%d" % (conn_id, req % warmup)
-            if req < warmup:
+            op, key = request_plan(conn_id, req,
+                                   self.requests_per_connection)
+            if op == "set":
                 self.store.set(task, key, value)
             else:
                 got = self.store.get(task, key)

@@ -60,6 +60,7 @@ class WorkerPool:
         self._schedule = schedule
         self.workers: list["Task"] = [self._spawn() for _ in range(workers)]
         self._next = 0
+        self._engine = None
         self.requests_ok = 0
         self.requests_aborted = 0
         self.workers_killed = 0
@@ -80,7 +81,12 @@ class WorkerPool:
         the engine owns core placement from the start; the signal
         containment policies apply unchanged to engine jobs
         (``RequestAborted`` drops the connection, a killed worker
-        leaves the engine's pool)."""
+        leaves the engine's pool).  The engine is kept so
+        :meth:`stats` can report requests served through it —
+        engine-mode requests never pass :meth:`dispatch`, and a
+        supervisor block claiming ``requests_ok: 0`` after thousands
+        of completions is an accounting hole, not a quiet pool."""
+        self._engine = engine
         for i, worker in enumerate(self.workers):
             engine.add_worker(worker, core_id=cores[i % len(cores)])
 
@@ -128,12 +134,19 @@ class WorkerPool:
         return sum(1 for worker in self.workers if worker.state != "dead")
 
     def stats(self) -> dict:
+        # Requests flow through dispatch() (synchronous mode) or the
+        # attached engine (serving mode); the totals cover both paths.
+        requests_ok = self.requests_ok
+        requests_aborted = self.requests_aborted
+        if self._engine is not None:
+            requests_ok += self._engine.completed
+            requests_aborted += self._engine.aborted
         return {
             "workers": len(self.workers),
             "live_workers": self.live_workers(),
             "crash_policy": self.crash_policy,
-            "requests_ok": self.requests_ok,
-            "requests_aborted": self.requests_aborted,
+            "requests_ok": requests_ok,
+            "requests_aborted": requests_aborted,
             "workers_killed": self.workers_killed,
         }
 

@@ -417,7 +417,13 @@ class ServingEngine:
         self._offered_total = 0
         self._next_conn_id = 0
         self._arrival_stream: typing.Iterator | None = None
+        self._stream_done = False
+        self._static_head: tuple | None = None
         self._next_arrival: Connection | None = None
+        # Dynamic arrivals (the cluster's network plane pushes
+        # connections mid-run): a heap of (arrival, conn_id, factory),
+        # merged with the static offer stream at _peek_arrival.
+        self._pushed: list[tuple] = []
         self._popped = 0
         self.retain_records = retain_records
         self.records: list[Connection] = []
@@ -443,6 +449,12 @@ class ServingEngine:
         self.readmitted = 0
         self._supervisor = None
         self._current_worker: _Worker | None = None
+        # Per-connection outcome hooks for external drivers (the
+        # cluster's fleet client observes completions without retaining
+        # records): each is called with (conn, core_now) when set.
+        self.on_complete: typing.Callable | None = None
+        self.on_abort: typing.Callable | None = None
+        self.on_shed: typing.Callable | None = None
         # Metric sites interned once; observations then index a list
         # instead of hashing a label per event.
         obs = kernel.machine.obs
@@ -453,6 +465,16 @@ class ServingEngine:
     @property
     def shed(self) -> int:
         return self._shed_count
+
+    @property
+    def completed(self) -> int:
+        """Connections finished so far (live counter; an attached
+        pool's ``stats()`` folds this into its request accounting).
+        Retained mode keeps the records themselves; streaming mode
+        keeps only the tally."""
+        if self.retain_records:
+            return len(self.records)
+        return self._completed
 
     @property
     def current_task(self) -> "Task | None":
@@ -512,6 +534,18 @@ class ServingEngine:
     def run(self, horizon: float | None = None) -> ServingReport:
         """Serve every offered connection (or stop once all cores pass
         ``horizon`` cycles); returns the :class:`ServingReport`."""
+        self._start()
+        try:
+            while self._tick(horizon):
+                pass
+        finally:
+            self.kernel.scheduler.disable_time_slicing()
+            self._park_workers()
+        return self._report()
+
+    def _start(self) -> None:
+        """Arm the (single-use) run: freeze the offer set into the
+        merged arrival stream."""
         if self._ran:
             raise RuntimeError(
                 f"serving engine {self.name!r} (cores {self.cores}) is "
@@ -520,48 +554,98 @@ class ServingEngine:
             raise RuntimeError("engine has no workers")
         self._ran = True
         self._arrival_stream = self._merged_arrivals()
-        try:
-            while True:
-                self._inject()
-                if horizon is not None and all(
-                        self.core_time[c] >= horizon for c in self.cores):
-                    break
-                self._fire_due_timeouts()
-                core_id = self._pick_core()
-                if core_id is None:
-                    head = self._peek_arrival()
-                    nxt = head.arrival if head is not None else None
-                    waiter = self._earliest_deadline_worker()
-                    if nxt is not None and (
-                            waiter is None
-                            or nxt <= waiter.wait_deadline):
-                        # Everyone idles: leap to the next arrival.
-                        for c in self.cores:
-                            self.core_time[c] = max(self.core_time[c], nxt)
-                        continue
-                    if waiter is not None:
-                        # Nothing runnable before the earliest wait
-                        # deadline: time passes, the wait expires.
-                        self._expire_wait(waiter)
-                        continue
-                    if any(w.state == _BLOCKED for w in self.workers):
-                        raise RuntimeError(
-                            "serving engine stalled: blocked workers "
-                            "with no waker and no deadline (all "
-                            "waiters and no waker)")
-                    if self._accept and any(w.state != _DEAD
-                                            for w in self.workers):
-                        raise RuntimeError(
-                            "serving engine stalled: queued work but "
-                            "no runnable worker")
-                    # Either everything drained, or every worker is
-                    # dead past its restart budget: stop and report
-                    # the leftovers as unserved (accounted, not hung).
-                    break
-                self._run_core(core_id)
-        finally:
-            self.kernel.scheduler.disable_time_slicing()
-            self._park_workers()
+
+    def _tick(self, horizon: float | None, strict: bool = True) -> bool:
+        """One event-loop iteration; False when there is nothing left
+        to do.  In strict mode (the :meth:`run` loop) an un-wakeable
+        stall raises; externally stepped runs pass ``strict=False``
+        because an idle engine is not stuck — more work can still
+        arrive via :meth:`push`."""
+        self._inject()
+        if horizon is not None and all(
+                self.core_time[c] >= horizon for c in self.cores):
+            return False
+        self._fire_due_timeouts()
+        core_id = self._pick_core()
+        if core_id is None:
+            head = self._peek_arrival()
+            nxt = head.arrival if head is not None else None
+            waiter = self._earliest_deadline_worker()
+            if nxt is not None and (
+                    waiter is None
+                    or nxt <= waiter.wait_deadline):
+                # Everyone idles: leap to the next arrival.
+                for c in self.cores:
+                    self.core_time[c] = max(self.core_time[c], nxt)
+                return True
+            if waiter is not None:
+                # Nothing runnable before the earliest wait
+                # deadline: time passes, the wait expires.
+                self._expire_wait(waiter)
+                return True
+            if strict and any(w.state == _BLOCKED for w in self.workers):
+                raise RuntimeError(
+                    "serving engine stalled: blocked workers "
+                    "with no waker and no deadline (all "
+                    "waiters and no waker)")
+            if strict and self._accept and any(w.state != _DEAD
+                                               for w in self.workers):
+                raise RuntimeError(
+                    "serving engine stalled: queued work but "
+                    "no runnable worker")
+            # Either everything drained, or every worker is
+            # dead past its restart budget: stop and report
+            # the leftovers as unserved (accounted, not hung).
+            return False
+        self._run_core(core_id)
+        return True
+
+    # -- external stepping (the cluster driver) --------------------------
+
+    def start(self) -> None:
+        """Begin an externally stepped run: the driver interleaves this
+        engine with others via :meth:`next_time`/:meth:`step` and
+        finishes with :meth:`stop` instead of calling :meth:`run`.
+        Same single-use contract."""
+        self._start()
+
+    def push(self, arrival: float, job_factory: typing.Callable) -> int:
+        """Offer one connection dynamically, mid-run (the network plane
+        delivers requests as messages arrive).  Returns the assigned
+        conn id.  Pushed arrivals need not be monotone; they merge with
+        the static offer stream by ``(arrival, conn_id)``."""
+        conn_id = self._next_conn_id
+        self._next_conn_id += 1
+        self._offered_total += 1
+        heapq.heappush(self._pushed, (arrival, conn_id, job_factory))
+        return conn_id
+
+    def next_time(self) -> float | None:
+        """Virtual time of the engine's next event — the earliest busy
+        core, else the next arrival or earliest wait deadline — or None
+        when the engine is fully idle (nothing will happen until the
+        driver pushes more work)."""
+        head = self._calendar_head()
+        if head is not None:
+            return head[0]
+        conn = self._peek_arrival()
+        waiter = self._earliest_deadline_worker()
+        times = []
+        if conn is not None:
+            times.append(conn.arrival)
+        if waiter is not None:
+            times.append(waiter.wait_deadline)
+        return min(times) if times else None
+
+    def step(self) -> bool:
+        """Advance one event of an externally stepped run; False when
+        idle (never raises on a stall — see :meth:`_tick`)."""
+        return self._tick(None, strict=False)
+
+    def stop(self) -> ServingReport:
+        """End an externally stepped run: teardown and report."""
+        self.kernel.scheduler.disable_time_slicing()
+        self._park_workers()
         return self._report()
 
     # -- the arrival stream ---------------------------------------------
@@ -583,15 +667,29 @@ class ServingEngine:
         return heapq.merge(*streams, key=lambda t: (t[0], t[1]))
 
     def _peek_arrival(self) -> Connection | None:
-        """The next offered connection, materialized but not consumed."""
-        if self._next_arrival is None:
+        """The next offered connection, materialized but not consumed —
+        the earlier of the static offer stream and the pushed heap,
+        keyed ``(arrival, conn_id)``."""
+        if self._next_arrival is not None:
+            return self._next_arrival
+        if (self._static_head is None and not self._stream_done
+                and self._arrival_stream is not None):
             try:
-                arrival, conn_id, factory = next(self._arrival_stream)
+                self._static_head = next(self._arrival_stream)
             except StopIteration:
-                return None
-            self._next_arrival = Connection(conn_id=conn_id,
-                                            arrival=arrival,
-                                            job_factory=factory)
+                self._stream_done = True
+        head = self._static_head
+        if self._pushed and (head is None
+                             or self._pushed[0][:2] < head[:2]):
+            arrival, conn_id, factory = heapq.heappop(self._pushed)
+        elif head is not None:
+            arrival, conn_id, factory = head
+            self._static_head = None
+        else:
+            return None
+        self._next_arrival = Connection(conn_id=conn_id,
+                                        arrival=arrival,
+                                        job_factory=factory)
         return self._next_arrival
 
     def _pop_arrival(self) -> Connection | None:
@@ -691,6 +789,8 @@ class ServingEngine:
         core_id = min(self.cores, key=lambda c: self.core_time[c])
         self._advance(core_id, lambda: self.kernel.clock.charge(
             self.kernel.costs.conn_reset, site="apps.serving.shed"))
+        if self.on_shed is not None:
+            self.on_shed(conn, self.core_time[core_id])
 
     def _assign_idle(self) -> None:
         """Hand queued connections to idle workers (earliest-core-time
@@ -810,6 +910,8 @@ class ServingEngine:
             self.queue_wait_digest.add(conn.start - conn.arrival)
             if conn.finish > self._makespan:
                 self._makespan = conn.finish
+        if self.on_complete is not None:
+            self.on_complete(conn, conn.finish)
         worker.served += 1
         worker.conn = None
         worker.gen = None
@@ -908,10 +1010,13 @@ class ServingEngine:
     def _abort_conn(self, worker: _Worker) -> None:
         """A signal handler abandoned the request (RequestAborted):
         the connection is lost but the worker keeps serving."""
+        conn = worker.conn
         worker.aborted += 1
         self.aborted += 1
         worker.conn = None
         worker.gen = None
+        if conn is not None and self.on_abort is not None:
+            self.on_abort(conn, self.core_time[worker.core_id])
         if self._accept:
             self._start_conn(worker, self._accept.popleft())
         else:
@@ -947,6 +1052,8 @@ class ServingEngine:
         if conn is not None and not readmitted:
             worker.aborted += 1
             self.aborted += 1
+            if self.on_abort is not None:
+                self.on_abort(conn, self.core_time[core_id])
         if self._supervisor is not None:
             replacement = self._advance(
                 core_id, lambda: self._supervisor.revive(worker.task))

@@ -157,6 +157,26 @@ class InjectedFault(ReproError):
         self.occurrence = occurrence
 
 
+class InjectionError(ReproError):
+    """The fault injector itself was misused (as opposed to
+    :class:`InjectedFault`, which is an injected *failure*).
+
+    Raised when an armed action cannot possibly do what the script
+    asked — e.g. a ``kill_task`` plan whose victim resolves to a task
+    that is already dead, or to a task belonging to a different kernel
+    than the one the action was armed against.  Surfacing these loudly
+    keeps chaos scripts honest: a plan that silently fizzles because it
+    named the wrong victim would report a survived storm that never
+    actually landed.
+    """
+
+    def __init__(self, message: str, *, site: str | None = None,
+                 occurrence: int | None = None) -> None:
+        super().__init__(message)
+        self.site = site
+        self.occurrence = occurrence
+
+
 class TaskKilled(ReproError):
     """A task died from an unhandled (or doubly-faulting) signal.
 

@@ -111,20 +111,38 @@ def kill_task(kernel, victim: typing.Callable[[], object]):
     supervisor accounting) run exactly as for an organic crash.
 
     ``victim`` is resolved at firing time (e.g. ``lambda:
-    engine.current_task``); when it returns None or an already-dead
-    task the event fizzles deterministically — the occurrence count
-    still burned.  A task that dies (no handler installed) surfaces as
-    :class:`~repro.errors.TaskKilled` at the injection point; a task
-    whose SIGSEGV handler absorbs the signal keeps running (or unwinds
-    however the handler decides).
+    engine.current_task``); when it returns None ("nobody is running
+    right now") the event fizzles deterministically — the occurrence
+    count still burned.  Resolving to an *already-dead* task, or to a
+    task living under a different kernel than the one the action was
+    armed against, is a script bug, not a miss: it raises
+    :class:`~repro.errors.InjectionError` instead of silently
+    no-op'ing, so a chaos plan aimed at the wrong victim cannot report
+    a survived storm that never landed.  A task that dies (no handler
+    installed) surfaces as :class:`~repro.errors.TaskKilled` at the
+    injection point; a task whose SIGSEGV handler absorbs the signal
+    keeps running (or unwinds however the handler decides).
     """
-    from repro.errors import TaskKilled
+    from repro.errors import InjectionError, TaskKilled
     from repro.faults.signals import SEGV_PKUERR, SIGSEGV, Siginfo
 
     def action(event: InjectionEvent) -> None:
         task = victim()
-        if task is None or task.state == "dead":
+        if task is None:
             return
+        if task.state == "dead":
+            raise InjectionError(
+                f"kill_task victim resolved to task {task.tid}, which "
+                f"is already dead (at {event.site} occurrence "
+                f"{event.occurrence})",
+                site=event.site, occurrence=event.occurrence)
+        if task.process.kernel is not kernel:
+            raise InjectionError(
+                f"kill_task victim resolved to task {task.tid} of a "
+                f"foreign kernel (at {event.site} occurrence "
+                f"{event.occurrence}); arm the plan against the "
+                f"victim's own kernel",
+                site=event.site, occurrence=event.occurrence)
         info = Siginfo(SIGSEGV, SEGV_PKUERR, si_addr=0)
         kernel.signal_task(task, info)
         if task.state == "dead":

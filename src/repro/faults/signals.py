@@ -34,7 +34,9 @@ from repro.errors import MachineFault, PkeyFault, SegmentationFault
 if typing.TYPE_CHECKING:
     from repro.hw.pkru import PKRU
 
-# Signal numbers (the subset the simulator delivers).
+# Signal numbers (the subset the simulator delivers).  SIGKILL is only
+# synthesized for machine power-off teardown (no handler may catch it).
+SIGKILL = 9
 SIGSEGV = 11
 
 # SIGSEGV si_code values, matching <asm-generic/siginfo.h>.
@@ -66,6 +68,8 @@ class Siginfo:
         return self.si_code == SEGV_PKUERR
 
     def describe(self) -> str:
+        if self.signo == SIGKILL:
+            return "SIGKILL"
         code = {SEGV_MAPERR: "SEGV_MAPERR", SEGV_ACCERR: "SEGV_ACCERR",
                 SEGV_PKUERR: "SEGV_PKUERR"}.get(self.si_code,
                                                 str(self.si_code))

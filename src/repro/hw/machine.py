@@ -21,9 +21,13 @@ class Machine:
                  memory_bytes: int = 192 << 30,
                  costs: CostModel | None = None,
                  meltdown_mitigated: bool = False,
-                 mmu_fast_path: bool = True) -> None:
+                 mmu_fast_path: bool = True,
+                 name: str = "machine") -> None:
         if num_cores <= 0:
             raise ValueError("num_cores must be positive")
+        # Boot label: the cluster prefixes this machine's charge sites
+        # with it when merging per-node ledgers ("node0.apps...").
+        self.name = name
         self.costs = costs or DEFAULT_COST_MODEL
         self.clock = Clock()
         # The instrumentation spine: registers the per-site aggregator

@@ -110,6 +110,37 @@ class Kernel:
             self.scheduler.schedule(process.main_task, charge=False)
         return process
 
+    def power_off(self) -> int:
+        """Machine teardown hook: every live task dies instantly, as if
+        the node lost power.  Returns the number of tasks killed.
+
+        Unlike :meth:`signal_task` this charges *nothing* — a dead
+        machine does no work — but it still detaches each task and runs
+        the process death hooks, so cross-layer accounting (libmpk pin
+        drops, supervisor death counts) stays consistent on the retired
+        machine's ledger.  The cluster driver calls this when a
+        node-kill fault lands; a powered-off kernel's processes keep
+        their state for post-mortem audits, they just never run again.
+        """
+        from repro.faults.signals import SIGKILL
+        info = Siginfo(signo=SIGKILL, si_code=0)
+        killed = 0
+        for process in self.processes:
+            for task in list(process.tasks):
+                if task.state == "dead":
+                    continue
+                task.exit_signal = info
+                task._task_works.clear()
+                # Same ordering contract as _execute_kill: detach
+                # before the hooks, so a hook that wakes wait queues
+                # cannot wake the task being killed.
+                process.detach_task(task)
+                for hook in list(process.task_death_hooks):
+                    hook(task, info)
+                process.exit_task(task)
+                killed += 1
+        return killed
+
     # ------------------------------------------------------------------
     # Syscalls: memory mapping.
     # ------------------------------------------------------------------

@@ -1,0 +1,667 @@
+"""The simulated cluster: N machines, a sharded memcached fleet, and
+cross-node failure handling.
+
+A :class:`Cluster` assembles full ``Machine``/``Kernel``/``Libmpk``
+nodes (built by a caller-supplied factory so the workload stays
+pluggable), wires them into one :class:`~repro.net.plane.NetworkPlane`,
+and drives everything on a single global virtual-time axis: each loop
+iteration advances whichever has the earliest next event — the plane
+(a delivery or timer) or one node's
+:class:`~repro.bench.serving.ServingEngine` (one scheduling slice via
+the engine's stepping API).  Ties go to the plane, then to node boot
+order, so the interleaving is a pure function of the inputs.
+
+The robustness machinery:
+
+* **RPC state machine** (:class:`FleetClient`) — per-request timeout,
+  capped-exponential retry/backoff (the same ``min(base * 2**n, cap)``
+  schedule as ``mpk_begin_wait``/:class:`Supervisor`, the
+  :class:`~repro.errors.MpkTimeout` semantics transplanted to the
+  wire), failover to the next replica in the shard map, and
+  shed-with-accounting at ``net.cluster.shed`` when every attempt is
+  exhausted.  Responses are at-least-once: a late first-attempt reply
+  still completes the request, and anything after that is counted as a
+  duplicate, never double-completed.
+* **Node kill** (:func:`node_kill`) — the machine "loses power" at the
+  current event boundary: every task dies via
+  :meth:`~repro.kernel.kcore.Kernel.power_off`, the engine's report and
+  the machine's per-site cycle ledger are retired (summed across
+  incarnations under the node's name prefix), in-flight RPCs go
+  unanswered (the client's timeouts take it from there), and a restart
+  is scheduled after ``restart_delay`` — within a *machine-granularity*
+  restart budget, the Supervisor policy one level up.
+* **Link partition** (:func:`link_partition`) — cuts a link for a
+  bounded window; sends during the window drop at the plane and the
+  client rides its retry/failover path.
+* **Cluster audit** (:meth:`Cluster.audit`) — every live node's
+  four-layer ``Libmpk.audit()`` plus obs conservation, the client's
+  conservation, shard-map view consistency (ring fingerprints must
+  agree), ownership (every key a node ever served must belong to that
+  node under the static map), and per-incarnation engine accounting
+  (``offered == completed + aborted + shed + unserved``).
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from repro.apps.kvstore.memcached import CONNECTION_SETUP_CYCLES
+from repro.bench.digest import LatencyDigest
+from repro.net.plane import NetworkPlane
+from repro.net.shard import ShardMap
+from repro.obs import ChargeSink
+
+#: Client-side cycle costs (charged on the client machine's clock).
+RPC_CLIENT_CYCLES = 800.0       # marshal + socket write per request
+TIMEOUT_HANDLER_CYCLES = 1_000.0  # hrtimer expiry + state transition
+
+#: Small-message wire sizes (bytes).
+REQUEST_HEADER_BYTES = 64
+RESPONSE_HEADER_BYTES = 64
+VIEW_MESSAGE_BYTES = 64
+
+#: The plane endpoint view/control messages originate from (no clock:
+#: membership changes are the simulation harness speaking, not work).
+CONTROL_ENDPOINT = "ctrl"
+
+
+class PrefixTap(ChargeSink):
+    """Forward a machine's charges to a shared sink with the node name
+    prefixed (``node0.apps.memcached.request``), so one
+    :class:`~repro.faults.inject.FaultInjector` can script per-node
+    (site, occurrence) plans across the whole cluster."""
+
+    def __init__(self, prefix: str, sink: ChargeSink) -> None:
+        self._prefix = prefix
+        self._sink = sink
+
+    def on_charge(self, site: str, cycles: float, now: float,
+                  seq: int) -> None:
+        self._sink.on_charge(f"{self._prefix}.{site}", cycles, now, seq)
+
+
+@dataclass
+class Node:
+    """One cluster member (the current incarnation, plus everything
+    carried across restarts: retired ledgers, reports, budget)."""
+
+    name: str
+    machine: typing.Any
+    kernel: typing.Any
+    process: typing.Any
+    lib: typing.Any
+    store: typing.Any
+    engine: typing.Any
+    pool: typing.Any
+    incarnation: int = 1
+    up: bool = True
+    dying: bool = False
+    restarts_used: int = 0
+    gave_up: bool = False
+    # RPCs in flight on this incarnation's engine.
+    pending: dict = field(default_factory=dict)    # conn_id -> reply info
+    results: dict = field(default_factory=dict)    # conn_id -> result str
+    rpc_handled: int = 0
+    rpc_aborted: int = 0
+    rpc_shed: int = 0
+    # Every key this node ever served (union across incarnations) —
+    # the audit's ownership check runs against this.
+    seen_keys: set = field(default_factory=set)
+    # Ledgers retired from dead incarnations.
+    retired_sites: dict = field(default_factory=dict)
+    retired_clock: float = 0.0
+    reports: list = field(default_factory=list)    # per-incarnation
+
+
+@dataclass
+class ClusterAuditReport:
+    """Outcome of one cluster-wide consistency audit."""
+
+    violations: list[str] = field(default_factory=list)
+    checks: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+class FleetClient:
+    """The twemperf fleet: open-loop connections, each a sequence of
+    set/get RPCs routed by consistent hash, with timeout / retry /
+    failover / shed handling.
+
+    Request streams mirror :class:`~repro.apps.kvstore.twemperf.
+    Twemperf.connection_job` (warmup sets, then gets of the same keys),
+    but each request travels the network plane to its shard owner
+    instead of running on a local worker.  A simple failure detector
+    rides the timeouts: a target that times out is *suspected* for
+    ``suspect_cycles`` and skipped when picking targets (unless every
+    owner is suspected — then the client tries anyway, which is what
+    lets it rediscover a restarted node even if the view message
+    raced); cluster view messages clear suspicion on restart.
+    """
+
+    def __init__(self, plane: NetworkPlane, name: str,
+                 shard_map: ShardMap, machine,
+                 arrivals: typing.Sequence[float],
+                 requests_per_connection: int = 6,
+                 value_size: int = 1024,
+                 rpc_timeout: float = 15e6,
+                 max_attempts: int = 4,
+                 backoff_base: float = 2e6,
+                 backoff_cap: float = 8e6,
+                 suspect_cycles: float = 30e6) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.plane = plane
+        self.name = name
+        self.shard_map = shard_map
+        self.machine = machine
+        self.requests_per_connection = requests_per_connection
+        self.value_size = value_size
+        self.rpc_timeout = rpc_timeout
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.suspect_cycles = suspect_cycles
+        self.offered = len(arrivals)
+        self._conns: dict[int, dict] = {}
+        self._suspect_until: dict[str, float] = {}
+        self.completed = 0
+        self.shed = 0
+        self.timeouts = 0
+        self.retries = 0
+        self.failovers = 0
+        self.dup_responses = 0
+        self.misses = 0
+        self.latency_digest = LatencyDigest()
+        self.completion_times: list[float] = []
+        self.shed_times: list[float] = []
+        plane.add_endpoint(name, clock=machine.clock,
+                           handler=self._on_message)
+        for conn_id, arrival in enumerate(arrivals):
+            plane.at(arrival,
+                     lambda now, cid=conn_id, arr=arrival:
+                     self._start_conn(cid, arr, now))
+
+    # -- the request plan (shared with Twemperf) ------------------------
+
+    def _request(self, conn_id: int, req: int) -> tuple[str, bytes]:
+        from repro.apps.kvstore.twemperf import request_plan
+        return request_plan(conn_id, req, self.requests_per_connection)
+
+    # -- connection lifecycle -------------------------------------------
+
+    def _start_conn(self, conn_id: int, arrival: float,
+                    now: float) -> None:
+        self.machine.clock.charge(CONNECTION_SETUP_CYCLES,
+                                  site="net.cluster.connect")
+        self._conns[conn_id] = {"req": 0, "attempt": 0,
+                                "arrival": arrival, "done": None,
+                                "last_target": None}
+        self._send(conn_id, now)
+
+    def _suspected(self, node: str, now: float) -> bool:
+        until = self._suspect_until.get(node)
+        return until is not None and now < until
+
+    def _pick_target(self, state: dict, key: bytes, now: float) -> str:
+        owners = self.shard_map.owners(key)
+        candidates = [o for o in owners if not self._suspected(o, now)]
+        if not candidates:
+            candidates = list(owners)
+        return candidates[state["attempt"] % len(candidates)]
+
+    def _send(self, conn_id: int, now: float) -> None:
+        state = self._conns[conn_id]
+        req = state["req"]
+        op, key = self._request(conn_id, req)
+        target = self._pick_target(state, key, now)
+        if state["attempt"] > 0 and target != state["last_target"]:
+            self.failovers += 1
+        state["last_target"] = target
+        self.machine.clock.charge(RPC_CLIENT_CYCLES,
+                                  site="net.cluster.rpc")
+        size = (self.value_size if op == "set"
+                else REQUEST_HEADER_BYTES)
+        self.plane.send(self.name, target, "req",
+                        {"conn": conn_id, "req": req,
+                         "attempt": state["attempt"], "op": op,
+                         "key": key, "size": self.value_size,
+                         "reply_to": self.name},
+                        size_bytes=size, now=now)
+        self.plane.at(now + self.rpc_timeout,
+                      lambda t, cid=conn_id, r=req,
+                      a=state["attempt"]: self._on_timeout(cid, r, a, t))
+
+    # -- timeout / retry / failover / shed ------------------------------
+
+    def _on_timeout(self, conn_id: int, req: int, attempt: int,
+                    now: float) -> None:
+        state = self._conns[conn_id]
+        if (state["done"] is not None or state["req"] != req
+                or state["attempt"] != attempt):
+            return  # resolved already: the response (or a retry) won
+        self.timeouts += 1
+        self.machine.clock.charge(TIMEOUT_HANDLER_CYCLES,
+                                  site="net.cluster.timeout")
+        if state["last_target"] is not None:
+            self._suspect_until[state["last_target"]] = \
+                now + self.suspect_cycles
+        state["attempt"] += 1
+        if state["attempt"] >= self.max_attempts:
+            # Every attempt exhausted: shed the whole connection,
+            # accounted at its own site — degradation, not silence.
+            state["done"] = "shed"
+            self.shed += 1
+            self.shed_times.append(now)
+            self.machine.clock.charge(self.machine.costs.conn_reset,
+                                      site="net.cluster.shed")
+            return
+        self.retries += 1
+        backoff = min(self.backoff_base * (2 ** (state["attempt"] - 1)),
+                      self.backoff_cap)
+        self.plane.at(now + backoff,
+                      lambda t, cid=conn_id, r=req,
+                      a=state["attempt"]: self._resend(cid, r, a, t))
+
+    def _resend(self, conn_id: int, req: int, attempt: int,
+                now: float) -> None:
+        state = self._conns[conn_id]
+        if (state["done"] is not None or state["req"] != req
+                or state["attempt"] != attempt):
+            return  # a response landed during the backoff
+        self._send(conn_id, now)
+
+    # -- responses ------------------------------------------------------
+
+    def _on_message(self, message, now: float) -> None:
+        if message.kind == "view":
+            if message.payload.get("up"):
+                self._suspect_until.pop(message.payload["node"], None)
+            return
+        if message.kind != "resp":
+            return
+        payload = message.payload
+        conn_id, req = payload["conn"], payload["req"]
+        state = self._conns[conn_id]
+        if state["done"] is not None or state["req"] != req:
+            # A duplicate (a retried request answered twice) or a
+            # response that lost to the shed path: never re-completed.
+            self.dup_responses += 1
+            return
+        if payload.get("result") == "miss":
+            self.misses += 1
+        state["req"] += 1
+        state["attempt"] = 0
+        state["last_target"] = None
+        if state["req"] >= self.requests_per_connection:
+            state["done"] = "completed"
+            self.completed += 1
+            self.completion_times.append(now)
+            self.latency_digest.add(now - state["arrival"])
+        else:
+            self._send(conn_id, now)
+
+    # -- accounting ------------------------------------------------------
+
+    def in_flight(self) -> int:
+        return sum(1 for s in self._conns.values() if s["done"] is None)
+
+    def ledger(self) -> dict:
+        """The client-centric accounting the liveness gate runs on:
+        every offered connection must end up completed or shed."""
+        return {
+            "offered": self.offered,
+            "completed": self.completed,
+            "shed": self.shed,
+            "in_flight": self.in_flight(),
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "failovers": self.failovers,
+            "dup_responses": self.dup_responses,
+            "misses": self.misses,
+        }
+
+
+class Cluster:
+    """N nodes + plane + fleet client, driven deterministically."""
+
+    def __init__(self, node_names: typing.Sequence[str],
+                 node_factory: typing.Callable,
+                 plane: NetworkPlane, shard_map: ShardMap,
+                 restart_delay: float = 45e6,
+                 max_node_restarts: int = 2) -> None:
+        self.plane = plane
+        self.shard_map = shard_map
+        self.node_factory = node_factory
+        self.restart_delay = restart_delay
+        self.max_node_restarts = max_node_restarts
+        self.nodes: dict[str, Node] = {}
+        self.client: FleetClient | None = None
+        self.injector = None
+        self.vnow = 0.0
+        self.kills = 0
+        self.restarts = 0
+        self.kill_times: list[tuple[str, float]] = []
+        self.restart_times: list[tuple[str, float]] = []
+        plane.add_endpoint(CONTROL_ENDPOINT)
+        for name in node_names:
+            self._boot(name, incarnation=1)
+
+    def attach_client(self, client: FleetClient) -> None:
+        self.client = client
+
+    def attach_injector(self, injector) -> None:
+        """Tap every machine (nodes, client, and any future node
+        incarnation) into ``injector`` with name-prefixed sites."""
+        self.injector = injector
+        for node in self.nodes.values():
+            node.machine.obs.add_sink(PrefixTap(node.name, injector))
+        if self.client is not None:
+            self.client.machine.obs.add_sink(
+                PrefixTap(self.client.name, injector))
+
+    # -- node lifecycle --------------------------------------------------
+
+    def _boot(self, name: str, incarnation: int) -> Node:
+        parts = self.node_factory(name, incarnation)
+        node = Node(name=name, incarnation=incarnation, **parts)
+        self.nodes[name] = node
+        if self.injector is not None:
+            node.machine.obs.add_sink(PrefixTap(name, self.injector))
+        node.engine.on_complete = \
+            lambda conn, now, n=node: self._request_done(n, conn, now)
+        node.engine.on_abort = \
+            lambda conn, now, n=node: self._request_lost(n, conn,
+                                                         aborted=True)
+        node.engine.on_shed = \
+            lambda conn, now, n=node: self._request_lost(n, conn,
+                                                         aborted=False)
+        node.engine.start()
+        self.plane.add_endpoint(
+            name, clock=node.machine.clock,
+            handler=lambda msg, now, n=name: self._on_node_message(
+                n, msg, now))
+        return node
+
+    def kill_node(self, name: str) -> bool:
+        """Mark a node for death at the current event boundary (the
+        fault action face; the loop finalizes via :meth:`_shutdown`)."""
+        node = self.nodes[name]
+        if not node.up or node.dying:
+            return False
+        node.dying = True
+        return True
+
+    def _shutdown(self, node: Node) -> None:
+        node.dying = False
+        node.up = False
+        self.kills += 1
+        self.kill_times.append((node.name, self.vnow))
+        self.plane.set_up(node.name, False)
+        node.kernel.power_off()
+        node.reports.append(node.engine.stop())
+        self._retire_ledger(node)
+        # Unanswered RPCs: the client's timeouts discover the death.
+        node.pending.clear()
+        node.results.clear()
+        if node.restarts_used < self.max_node_restarts:
+            self.plane.at(self.vnow + self.restart_delay,
+                          lambda now, name=node.name:
+                          self._restart(name, now))
+        else:
+            node.gave_up = True
+
+    def _retire_ledger(self, node: Node) -> None:
+        for site, cycles in node.machine.obs.aggregator.cycles.items():
+            node.retired_sites[site] = \
+                node.retired_sites.get(site, 0.0) + cycles
+        node.retired_clock += node.machine.clock.now
+
+    def _restart(self, name: str, now: float) -> None:
+        old = self.nodes[name]
+        if old.up:
+            return
+        node = self._boot(name, incarnation=old.incarnation + 1)
+        # Carry the cross-incarnation state forward.
+        node.retired_sites = old.retired_sites
+        node.retired_clock = old.retired_clock
+        node.reports = old.reports
+        node.seen_keys = old.seen_keys
+        node.restarts_used = old.restarts_used + 1
+        self.restarts += 1
+        self.restart_times.append((name, now))
+        # Rehydration is cache-shaped: the store restarts empty and
+        # refills on misses; tell the client the shard is back.
+        if self.client is not None:
+            self.plane.send(CONTROL_ENDPOINT, self.client.name, "view",
+                            {"node": name, "up": True},
+                            size_bytes=VIEW_MESSAGE_BYTES, now=now)
+
+    # -- server-side RPC handling ---------------------------------------
+
+    def _on_node_message(self, name: str, message, now: float) -> None:
+        node = self.nodes[name]
+        if not node.up or message.kind != "req":
+            return
+        payload = message.payload
+        key = payload["key"]
+        node.seen_keys.add(key)
+        conn_id = node.engine.push(
+            now, self._make_job(node, payload["op"], key,
+                                payload["size"]))
+        node.pending[conn_id] = {
+            "conn": payload["conn"], "req": payload["req"],
+            "attempt": payload["attempt"],
+            "reply_to": payload["reply_to"],
+        }
+
+    @staticmethod
+    def _make_job(node: Node, op: str, key: bytes, size: int):
+        store = node.store
+
+        def job(task, conn_id):
+            if op == "set":
+                store.set(task, key, bytes(size))
+                node.results[conn_id] = "stored"
+            else:
+                got = store.get(task, key)
+                node.results[conn_id] = "hit" if got is not None \
+                    else "miss"
+            yield
+
+        return job
+
+    def _request_done(self, node: Node, conn, now: float) -> None:
+        info = node.pending.pop(conn.conn_id, None)
+        if info is None:
+            return
+        result = node.results.pop(conn.conn_id, "error")
+        node.rpc_handled += 1
+        size = (self.client.value_size if result == "hit"
+                else RESPONSE_HEADER_BYTES)
+        self.plane.send(node.name, info["reply_to"], "resp",
+                        {"conn": info["conn"], "req": info["req"],
+                         "attempt": info["attempt"], "result": result},
+                        size_bytes=size, now=now)
+
+    def _request_lost(self, node: Node, conn, aborted: bool) -> None:
+        """A pushed RPC died server-side (worker killed mid-request, or
+        admission control shed it): no response — the client's timeout
+        owns recovery."""
+        if node.pending.pop(conn.conn_id, None) is None:
+            return
+        node.results.pop(conn.conn_id, None)
+        if aborted:
+            node.rpc_aborted += 1
+        else:
+            node.rpc_shed += 1
+
+    # -- the global event loop ------------------------------------------
+
+    def run(self) -> None:
+        """Drive plane and engines to quiescence.  Each iteration picks
+        the earliest next event cluster-wide — plane first on ties,
+        then node boot order — and advances exactly one of them."""
+        while True:
+            self._finalize_deaths()
+            best = None
+            best_key = None
+            plane_next = self.plane.next_time()
+            if plane_next is not None:
+                best_key = (plane_next, 0)
+                best = ("plane", None)
+            for index, node in enumerate(self.nodes.values()):
+                if not node.up:
+                    continue
+                node_next = node.engine.next_time()
+                if node_next is None:
+                    continue
+                key = (node_next, index + 1)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = ("node", node)
+            if best is None:
+                break
+            if best_key[0] > self.vnow:
+                self.vnow = best_key[0]
+            if best[0] == "plane":
+                self.plane.step()
+            else:
+                best[1].engine.step()
+        self._finalize_deaths()
+        for node in self.nodes.values():
+            if node.up:
+                node.reports.append(node.engine.stop())
+                self._retire_ledger(node)
+
+    def _finalize_deaths(self) -> None:
+        for node in list(self.nodes.values()):
+            if node.dying:
+                self._shutdown(node)
+
+    # -- cluster-wide accounting ----------------------------------------
+
+    def site_ledger(self) -> dict[str, float]:
+        """Per-site cycles for the whole cluster, node-name prefixed,
+        summed across every incarnation (live machines are *not*
+        re-retired: after :meth:`run`, retired_sites already holds
+        them)."""
+        merged: dict[str, float] = {}
+        for node in self.nodes.values():
+            for site, cycles in node.retired_sites.items():
+                merged[f"{node.name}.{site}"] = \
+                    merged.get(f"{node.name}.{site}", 0.0) + cycles
+        if self.client is not None:
+            client = self.client
+            for site, cycles in \
+                    client.machine.obs.aggregator.cycles.items():
+                merged[f"{client.name}.{site}"] = cycles
+        return merged
+
+    def total_cycles(self) -> float:
+        total = sum(node.retired_clock for node in self.nodes.values())
+        if self.client is not None:
+            total += self.client.machine.clock.now
+        return total
+
+    def up_nodes(self) -> list[str]:
+        return [name for name, node in self.nodes.items() if node.up]
+
+    # -- the cluster-wide audit -----------------------------------------
+
+    def audit(self) -> ClusterAuditReport:
+        report = ClusterAuditReport()
+        for node in self.nodes.values():
+            if node.up:
+                lib_report = node.lib.audit()
+                report.checks += lib_report.checks
+                report.violations.extend(
+                    f"{node.name}: {v}" for v in lib_report.violations)
+            # Ownership: a key observed on this node must be explicable
+            # by the static shard map (primary or replica).
+            for key in sorted(node.seen_keys):
+                report.checks += 1
+                if node.name not in self.shard_map.owners(key):
+                    report.violations.append(
+                        f"{node.name}: served key {key!r} it does not "
+                        f"own (owners: "
+                        f"{self.shard_map.owners(key)})")
+            # Per-incarnation engine accounting: nothing vanished.
+            for i, engine_report in enumerate(node.reports):
+                report.checks += 1
+                accounted = (engine_report.completed
+                             + engine_report.aborted
+                             + engine_report.shed
+                             + engine_report.unserved)
+                if accounted != engine_report.offered:
+                    report.violations.append(
+                        f"{node.name} incarnation {i + 1}: engine "
+                        f"accounting leak ({engine_report.offered} "
+                        f"offered != {accounted} accounted)")
+        if self.client is not None:
+            client = self.client
+            report.checks += 1
+            ok, delta = client.machine.obs.audit()
+            if not ok:
+                report.violations.append(
+                    f"{client.name}: obs conservation broken "
+                    f"(delta {delta})")
+            # Shard-map view consistency: the client routes by its own
+            # map instance; its ring must be structurally identical.
+            report.checks += 1
+            if client.shard_map.describe() != self.shard_map.describe():
+                report.violations.append(
+                    "client shard-map view diverges from the "
+                    "cluster's authoritative ring")
+            report.checks += 1
+            ledger = client.ledger()
+            if ledger["offered"] != (ledger["completed"]
+                                     + ledger["shed"]
+                                     + ledger["in_flight"]):
+                report.violations.append(
+                    f"client ledger leak: {ledger}")
+        return report
+
+
+# ---------------------------------------------------------------------------
+# Fault actions (armed on a FaultInjector via Cluster.attach_injector's
+# name-prefixed charge taps).
+# ---------------------------------------------------------------------------
+
+def node_kill(cluster: Cluster, name: str):
+    """Action: the named node loses power at the current event boundary
+    (tasks die, ledger retires, restart scheduled within the budget)."""
+    def action(event) -> None:
+        cluster.kill_node(name)
+    return action
+
+
+def link_partition(cluster: Cluster, a: str, b: str, duration: float):
+    """Action: cut the ``a``–``b`` link for ``duration`` cycles (the
+    heal is a plane timer, so it fires even if nothing else does)."""
+    def action(event) -> None:
+        plane = cluster.plane
+        if plane.partitioned(a, b):
+            return
+        plane.partition(a, b)
+        plane.at(cluster.vnow + duration,
+                 lambda now: plane.heal(a, b))
+    return action
+
+
+def node_site_delay(cluster: Cluster, name: str, extra_cycles: float):
+    """Action: stretch the victim operation on the named node (the
+    cluster flavour of :func:`repro.faults.inject.delay` — the event's
+    site arrives name-prefixed, so the re-charge strips the prefix and
+    lands on the node's *current* incarnation's clock)."""
+    def action(event) -> None:
+        node = cluster.nodes[name]
+        if not node.up:
+            return
+        site = event.site.split(".", 1)[1] if "." in event.site \
+            else event.site
+        node.kernel.clock.charge(extra_cycles, site=site)
+    return action

@@ -1,0 +1,78 @@
+"""Consistent-hash key placement for the memcached cluster.
+
+Classic ring construction: each node contributes ``vnodes`` points at
+``crc32(f"{node}#{i}")`` (``zlib.crc32`` — stable across processes,
+unlike ``hash()`` under ``PYTHONHASHSEED`` randomization); a key lands
+on the first point clockwise of ``crc32(key)``, and its replica set is
+the next ``replicas`` *distinct* nodes around the ring.  Node death
+does **not** reshape the ring — ownership is a pure function of the
+static membership, and availability is the fleet client's problem
+(failover to the next replica, shed when none is reachable) — which is
+what makes the cluster audit's ownership check meaningful: a key
+observed on a node must be explicable by the static map alone.
+"""
+
+from __future__ import annotations
+
+import bisect
+import typing
+import zlib
+
+
+def _point(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+class ShardMap:
+    """Static consistent-hash ring over a fixed node membership."""
+
+    def __init__(self, nodes: typing.Sequence[str], replicas: int = 1,
+                 vnodes: int = 64) -> None:
+        if not nodes:
+            raise ValueError("shard map needs at least one node")
+        if len(set(nodes)) != len(nodes):
+            raise ValueError("duplicate node names")
+        if not 1 <= replicas <= len(nodes):
+            raise ValueError(
+                f"replicas must be in [1, {len(nodes)}]: {replicas}")
+        if vnodes < 1:
+            raise ValueError("vnodes must be positive")
+        self.nodes = tuple(nodes)
+        self.replicas = replicas
+        self.vnodes = vnodes
+        ring = []
+        for node in self.nodes:
+            for i in range(vnodes):
+                ring.append((_point(f"{node}#{i}".encode()), node))
+        ring.sort()
+        self._points = [p for p, _ in ring]
+        self._owners_at = [n for _, n in ring]
+
+    def owners(self, key: bytes) -> tuple[str, ...]:
+        """The key's replica set: primary first, then the next distinct
+        nodes clockwise."""
+        start = bisect.bisect_right(self._points, _point(key)) \
+            % len(self._points)
+        owners: list[str] = []
+        for i in range(len(self._points)):
+            node = self._owners_at[(start + i) % len(self._points)]
+            if node not in owners:
+                owners.append(node)
+                if len(owners) == self.replicas:
+                    break
+        return tuple(owners)
+
+    def primary(self, key: bytes) -> str:
+        return self.owners(key)[0]
+
+    def describe(self) -> dict:
+        """Structural fingerprint (the audit's view-consistency check
+        compares these across holders)."""
+        return {
+            "nodes": list(self.nodes),
+            "replicas": self.replicas,
+            "vnodes": self.vnodes,
+            "ring_checksum": _point(
+                ",".join(f"{p}:{n}" for p, n in
+                         zip(self._points, self._owners_at)).encode()),
+        }

@@ -2,8 +2,14 @@
 
 import pytest
 
-from repro.errors import InjectedFault
-from repro.faults.inject import FaultInjector, delay, raise_error
+from repro.errors import InjectedFault, InjectionError, TaskKilled
+from repro.faults.inject import (
+    FaultInjector,
+    _site_matches,
+    delay,
+    kill_task,
+    raise_error,
+)
 
 SITE = "hw.test.site"
 OTHER = "hw.test.other"
@@ -108,6 +114,79 @@ class TestRandom:
 
     def test_different_seed_differs(self, clock):
         assert self._drive(clock, seed=7) != self._drive(clock, seed=8)
+
+
+class TestSiteMatchPatterns:
+    """Wildcard patterns against dotted sites — the cluster arms plans
+    on ``net.link.*`` and node-prefixed variants, so the prefix match
+    must respect component boundaries."""
+
+    def test_wildcard_matches_dotted_net_sites(self):
+        assert _site_matches("net.link.*", "net.link.tx")
+        assert _site_matches("net.link.*", "net.link.rx")
+        assert _site_matches("net.link.*", "net.link.tx.retry")
+
+    def test_wildcard_matches_the_bare_subsystem(self):
+        assert _site_matches("net.link.*", "net.link")
+
+    def test_wildcard_rejects_lookalike_components(self):
+        # "net.link.*" must not bleed into sibling subsystems whose
+        # names merely share the string prefix.
+        assert not _site_matches("net.link.*", "net.linkage.tx")
+        assert not _site_matches("net.link.*", "net.cluster.shed")
+        assert not _site_matches("net.link.*", "net.li")
+
+    def test_node_prefixed_sites_need_prefixed_patterns(self):
+        # Cluster charge taps prefix sites with the node name; an
+        # unprefixed pattern must not match across the whole fleet.
+        assert not _site_matches("net.link.*", "node0.net.link.tx")
+        assert _site_matches("node0.net.link.*", "node0.net.link.tx")
+        assert not _site_matches("node0.net.link.*", "node1.net.link.tx")
+
+    def test_exact_pattern_requires_exact_site(self):
+        assert _site_matches("net.link.tx", "net.link.tx")
+        assert not _site_matches("net.link.tx", "net.link")
+        assert not _site_matches("net.link.tx", "net.link.tx.retry")
+
+
+class TestKillTaskMisuse:
+    """kill_task must distinguish "nobody running" (fizzle) from a
+    script aimed at the wrong victim (loud InjectionError)."""
+
+    def test_none_victim_fizzles(self, clock, injector):
+        injector.arm(SITE, occurrence=1,
+                     action=kill_task(None, lambda: None))
+        clock.charge(1.0, site=SITE)  # no raise: burned occurrence
+        assert len(injector.fired) == 1
+
+    def test_dead_victim_raises_injection_error(self, kernel, process,
+                                                clock, injector):
+        victim = process.spawn_task()
+        victim.enable_signals()
+        kernel.scheduler.schedule(victim, charge=False)
+        injector.arm(SITE, occurrence=1,
+                     action=kill_task(kernel, lambda: victim))
+        with pytest.raises(TaskKilled):
+            clock.charge(1.0, site=SITE)
+        assert victim.state == "dead"
+        # Re-aiming a plan at the corpse is a script bug, not a miss.
+        injector.arm(SITE, occurrence=2,
+                     action=kill_task(kernel, lambda: victim))
+        with pytest.raises(InjectionError, match="already dead"):
+            clock.charge(1.0, site=SITE)
+
+    def test_foreign_kernel_victim_raises(self, kernel, clock,
+                                          injector):
+        from repro import Kernel, Machine
+
+        other = Kernel(Machine(num_cores=2))
+        foreign = other.create_process().spawn_task()
+        foreign.enable_signals()
+        injector.arm(SITE, occurrence=1,
+                     action=kill_task(kernel, lambda: foreign))
+        with pytest.raises(InjectionError, match="foreign kernel"):
+            clock.charge(1.0, site=SITE)
+        assert foreign.state != "dead"
 
 
 class TestValidation:

@@ -170,6 +170,68 @@ class TestWaitQueue:
         assert waiter.waiting_on is None
 
 
+class TestDeadlineWakeTiesUnderDelay:
+    """The exact-tie corner: an injected delay stretches the waker's
+    operation so the clock lands *precisely on* the waiter's deadline.
+    The contract says the wake still wins — expiry only claims waiters
+    the caller has not already woken — and the loser path (expire
+    first) must be just as deterministic."""
+
+    def _tie(self, kernel, process, extra: float):
+        from repro.faults.inject import FaultInjector, delay
+
+        clock = kernel.clock
+        wq = WaitQueue("tie")
+        events = []
+        waiter = process.spawn_task()
+        waiter.state = "blocked"
+        deadline = clock.now + 100.0 + extra
+        wq.add(waiter, on_wake=lambda t: events.append("wake"),
+               deadline=deadline,
+               on_timeout=lambda t: events.append("timeout"),
+               now=clock.now)
+        injector = FaultInjector()
+        kernel.machine.obs.add_sink(injector)
+        try:
+            injector.arm("net.link.rx", occurrence=1,
+                         action=delay(clock, extra))
+            clock.charge(100.0, site="net.link.rx")
+        finally:
+            kernel.machine.obs.remove_sink(injector)
+        assert clock.now == deadline  # the delay made it an exact tie
+        return clock, wq, waiter, events
+
+    def test_wake_wins_an_exact_tie(self, kernel, process):
+        clock, wq, waiter, events = self._tie(kernel, process, 400.0)
+        assert wq.wake_one() is waiter
+        assert wq.expire(clock.now) == []
+        assert not wq.timeout(waiter)
+        assert events == ["wake"]
+        assert wq.stats_timeouts == 0
+
+    def test_expire_claims_the_tie_when_nothing_wakes(self, kernel,
+                                                      process):
+        # deadline <= now is inclusive: with no wake driven first, the
+        # exact-tie waiter times out (a waiter can never be left parked
+        # past its deadline just because the clock stopped *on* it).
+        clock, wq, waiter, events = self._tie(kernel, process, 400.0)
+        assert wq.expire(clock.now) == [waiter]
+        assert wq.wake_one() is None
+        assert events == ["timeout"]
+        assert wq.stats_timeouts == 1
+
+    def test_tied_deadlines_expire_in_arrival_order_after_delay(
+            self, kernel, process):
+        clock, wq, first, events = self._tie(kernel, process, 300.0)
+        second = process.spawn_task()
+        second.state = "blocked"
+        wq.add(second, deadline=clock.now,
+               on_timeout=lambda t: events.append("timeout2"),
+               now=clock.now)
+        assert wq.expire(clock.now) == [first, second]
+        assert events == ["timeout", "timeout2"]
+
+
 class TestWaitQueueDeadlines:
     def test_expire_orders_by_deadline_not_arrival(self, process):
         """The earlier deadline times out first even when that waiter

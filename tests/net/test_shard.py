@@ -1,0 +1,55 @@
+"""Consistent-hash shard map: placement, replicas, stability."""
+
+import pytest
+
+from repro.net.shard import ShardMap
+
+NODES = ["node0", "node1", "node2", "node3"]
+
+
+class TestPlacement:
+    def test_placement_is_deterministic_across_instances(self):
+        a, b = ShardMap(NODES), ShardMap(NODES)
+        keys = [b"key-%d-%d" % (c, r) for c in range(32) for r in range(4)]
+        assert [a.primary(k) for k in keys] == [b.primary(k) for k in keys]
+        assert a.describe() == b.describe()
+
+    def test_every_node_owns_some_keys(self):
+        shard_map = ShardMap(NODES)
+        owners = {shard_map.primary(b"key-%d-0" % i) for i in range(200)}
+        assert owners == set(NODES)
+
+    def test_replica_sets_are_distinct_nodes(self):
+        shard_map = ShardMap(NODES, replicas=3)
+        for i in range(50):
+            owners = shard_map.owners(b"key-%d-1" % i)
+            assert len(owners) == 3
+            assert len(set(owners)) == 3
+
+    def test_replicas_extend_the_primary(self):
+        # Adding replication must not move any key's primary.
+        single = ShardMap(NODES, replicas=1)
+        double = ShardMap(NODES, replicas=2)
+        for i in range(50):
+            key = b"key-%d-2" % i
+            assert double.owners(key)[0] == single.primary(key)
+
+    def test_membership_changes_the_checksum(self):
+        assert (ShardMap(NODES).describe()["ring_checksum"]
+                != ShardMap(NODES[:3]).describe()["ring_checksum"])
+
+
+class TestValidation:
+    def test_empty_membership_rejected(self):
+        with pytest.raises(ValueError):
+            ShardMap([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            ShardMap(["a", "a"])
+
+    def test_replicas_bounded_by_membership(self):
+        with pytest.raises(ValueError):
+            ShardMap(NODES, replicas=5)
+        with pytest.raises(ValueError):
+            ShardMap(NODES, replicas=0)
