@@ -19,6 +19,7 @@ servechaos     chaos-soak campaign: seeded fault scripts over the serving
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import runpy
 import subprocess
@@ -167,17 +168,27 @@ def cmd_hostbench(args: argparse.Namespace) -> int:
     out_path = pathlib.Path(args.output)
     hostbench.write_report(report, out_path)
     print(f"\nwrote {out_path}")
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as fh:
+            fh.write(hostbench.format_markdown(report) + "\n")
     if args.check_baseline:
         baseline = json.loads(
             pathlib.Path(args.check_baseline).read_text())
         problems = hostbench.check_against_baseline(report, baseline)
-        for problem in problems:
-            print(f"REGRESSION: {problem}", file=sys.stderr)
-        if problems:
-            return 1
-        gated = report["benchmarks"][hostbench.GATED_WORKLOAD]
-        print(f"baseline check passed: {hostbench.GATED_WORKLOAD} "
-              f"speedup {gated['speedup']:.2f}x")
+    else:
+        # The absolute speedup floors need no baseline file — they
+        # always gate (restricted to --only's subset when given).
+        problems = hostbench.check_speedup_floors(report,
+                                                  workloads=workloads)
+    for problem in problems:
+        print(f"REGRESSION: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    speedups = ", ".join(
+        f"{name} {row['speedup']:.2f}x"
+        for name, row in report["benchmarks"].items())
+    print(f"speedup gate passed: {speedups}")
     return 0
 
 
@@ -333,8 +344,9 @@ def main(argv: list[str] | None = None) -> int:
     hostbench = sub.add_parser(
         "hostbench",
         help="wall-clock MMU hot-path benchmark (fast vs slow path)")
-    hostbench.add_argument("--repeat", type=int, default=3,
-                           help="timed repetitions per mode (min wins)")
+    hostbench.add_argument("--repeat", type=int, default=5,
+                           help="interleaved fast/slow repetitions "
+                                "per workload (min wins)")
     hostbench.add_argument("--only", default=None,
                            help="comma-separated workload subset")
     hostbench.add_argument("--output",

@@ -9,9 +9,20 @@ we have: the two runs must agree on final simulated time and on every
 per-site cycle total, bit for bit.
 
 ``python -m repro hostbench`` writes machine-readable
-``BENCH_hotpath.json`` at the repo root; ``--check-baseline`` compares
-the fig8 cache-access speedup against a committed baseline and fails
-on a >25% regression.
+``BENCH_hotpath.json`` at the repo root.  Two gates run under
+``--check-baseline``:
+
+* **absolute floors** (:data:`SPEEDUP_FLOORS`): the fast path must win
+  — speedup >= 1.0 — on *every* workload, including the syscall-heavy
+  ones where its margin is thin;
+* **relative baseline** (:data:`BASELINE_RELATIVE_FLOORS`): workloads
+  with real headroom (fig8's cache-access loop) must also stay within
+  a fraction of their committed-baseline speedup, catching slow decay
+  that the absolute floor would miss.
+
+Repeats interleave fast and slow runs (fast, slow, fast, slow, ...)
+so both sides sample the same host conditions, and the reported wall
+is the min over repeats — the least-perturbed observation.
 """
 
 from __future__ import annotations
@@ -24,10 +35,22 @@ from repro.consts import PAGE_SIZE, PROT_READ, PROT_WRITE
 
 RW = PROT_READ | PROT_WRITE
 
-#: The regression gate: fail when the measured fig8 speedup drops below
-#: this fraction of the baseline speedup (a >25% regression).
-REGRESSION_FLOOR = 0.75
-GATED_WORKLOAD = "fig8_cache"
+#: Absolute per-workload gate: the fast path must not lose anywhere.
+#: table1 and fig14 are syscall-dominated, so their margin over 1.0 is
+#: structurally thin — the floor pins "never a regression" rather than
+#: a large win.
+SPEEDUP_FLOORS = {
+    "fig8_cache": 1.0,
+    "table1": 1.0,
+    "fig14_memcached": 1.0,
+}
+
+#: Relative gate: measured speedup must stay above this fraction of
+#: the committed baseline's speedup.  Only workloads with enough
+#: headroom for "fraction of baseline" to be meaningful are listed.
+BASELINE_RELATIVE_FLOORS = {
+    "fig8_cache": 0.75,  # >25% regression from baseline fails
+}
 
 
 # ---------------------------------------------------------------------------
@@ -73,10 +96,12 @@ def _table1_setup(bed: TestBed):
 
 def _table1_run(bed: TestBed, addr) -> None:
     """Table-1 primitives in a loop: syscall-dominated, so the fast
-    path buys little here — tracked to catch regressions in the
-    syscall path's host cost."""
+    path's margin is thin here — tracked to catch regressions in the
+    syscall path's host cost.  The iteration count keeps the wall
+    around tens of milliseconds: with sub-10ms runs, fixed host noise
+    swamps the margin and the >= 1.0 floor turns into a coin flip."""
     kernel, task = bed.kernel, bed.task
-    for i in range(150):
+    for i in range(500):
         key = kernel.sys_pkey_alloc(task)
         kernel.sys_pkey_mprotect(task, addr, PAGE_SIZE,
                                  PROT_READ if i % 2 else RW, key)
@@ -145,13 +170,20 @@ def _run_once(name: str, mmu_fast_path: bool):
     return wall, machine.clock.now, dict(machine.obs.aggregator.cycles)
 
 
-def run_workload(name: str, repeat: int = 3) -> dict:
-    """Time ``name`` fast and slow; verify bit-identical simulation."""
+def run_workload(name: str, repeat: int = 5) -> dict:
+    """Time ``name`` fast and slow; verify bit-identical simulation.
+
+    Fast and slow runs interleave within each repeat so a host
+    perturbation (frequency step, noisy neighbour) lands on both sides
+    rather than biasing whichever block it hit; the reported wall is
+    the min over repeats and the raw per-repeat walls are recorded for
+    post-hoc flakiness forensics.
+    """
     walls = {True: [], False: []}
     sim = {}
     sites = {}
-    for fast in (True, False):
-        for _ in range(repeat):
+    for _ in range(repeat):
+        for fast in (True, False):
             wall, cycles, site_totals = _run_once(name, fast)
             walls[fast].append(wall)
             sim[fast] = cycles
@@ -171,37 +203,68 @@ def run_workload(name: str, repeat: int = 3) -> dict:
         "sim_cycles": sim[True],
         "wall_fast_s": round(wall_fast, 6),
         "wall_slow_s": round(wall_slow, 6),
+        "wall_fast_all_s": [round(w, 6) for w in walls[True]],
+        "wall_slow_all_s": [round(w, 6) for w in walls[False]],
+        "repeat": repeat,
         "speedup": round(wall_slow / wall_fast, 3),
     }
 
 
-def run_hostbench(repeat: int = 3, workloads=None) -> dict:
+def run_hostbench(repeat: int = 5, workloads=None) -> dict:
     names = list(workloads or WORKLOADS)
     results = {name: run_workload(name, repeat=repeat)
                for name in names}
     return {
-        "schema": 1,
+        "schema": 2,
         "unit": {"wall": "seconds", "sim": "cycles"},
-        "note": ("speedup = slow-path wall / fast-path wall; simulated "
-                 "results are verified bit-identical between the two"),
+        "note": ("speedup = slow-path wall / fast-path wall (min over "
+                 "interleaved repeats); simulated results are verified "
+                 "bit-identical between the two"),
         "benchmarks": results,
     }
 
 
-def check_against_baseline(report: dict, baseline: dict) -> list[str]:
-    """Regression check; returns a list of failure messages (empty when
-    the gate passes)."""
+def check_speedup_floors(report: dict, workloads=None) -> list[str]:
+    """Absolute gate: every floored workload must clear its
+    :data:`SPEEDUP_FLOORS` entry.  Failure messages name the
+    regressing workload.  ``workloads`` restricts the check (the
+    ``--only`` flag runs a subset; absent workloads are a failure only
+    when they were supposed to run)."""
     problems = []
-    gated = report["benchmarks"].get(GATED_WORKLOAD)
-    base = baseline.get("benchmarks", {}).get(GATED_WORKLOAD)
-    if gated is None or base is None:
-        return [f"baseline or report missing '{GATED_WORKLOAD}'"]
-    floor = REGRESSION_FLOOR * base["speedup"]
-    if gated["speedup"] < floor:
-        problems.append(
-            f"{GATED_WORKLOAD}: speedup {gated['speedup']:.2f}x fell "
-            f"below {floor:.2f}x ({REGRESSION_FLOOR:.0%} of baseline "
-            f"{base['speedup']:.2f}x)")
+    for name, floor in SPEEDUP_FLOORS.items():
+        if workloads is not None and name not in workloads:
+            continue
+        row = report["benchmarks"].get(name)
+        if row is None:
+            problems.append(f"{name}: missing from report (floor "
+                            f"{floor:.2f}x not checked)")
+            continue
+        if row["speedup"] < floor:
+            problems.append(
+                f"{name}: fast path lost — speedup {row['speedup']:.2f}x "
+                f"is below the {floor:.2f}x floor "
+                f"(fast {row['wall_fast_s']:.3f}s vs "
+                f"slow {row['wall_slow_s']:.3f}s)")
+    return problems
+
+
+def check_against_baseline(report: dict, baseline: dict) -> list[str]:
+    """Full regression gate: absolute per-workload floors plus the
+    relative-to-baseline checks.  Returns failure messages (empty when
+    every gate passes)."""
+    problems = check_speedup_floors(report)
+    for name, fraction in BASELINE_RELATIVE_FLOORS.items():
+        row = report["benchmarks"].get(name)
+        base = baseline.get("benchmarks", {}).get(name)
+        if row is None or base is None:
+            problems.append(f"baseline or report missing '{name}'")
+            continue
+        floor = fraction * base["speedup"]
+        if row["speedup"] < floor:
+            problems.append(
+                f"{name}: speedup {row['speedup']:.2f}x fell "
+                f"below {floor:.2f}x ({fraction:.0%} of baseline "
+                f"{base['speedup']:.2f}x)")
     return problems
 
 
@@ -213,6 +276,24 @@ def format_report(report: dict) -> str:
                      f"{row['wall_slow_s']:>10.3f} "
                      f"{row['wall_fast_s']:>10.3f} "
                      f"{row['speedup']:>7.2f}x")
+    return "\n".join(lines)
+
+
+def format_markdown(report: dict) -> str:
+    """GitHub-flavoured markdown table (for the CI step summary)."""
+    lines = ["### MMU hot-path hostbench",
+             "",
+             "| workload | sim cycles | slow (s) | fast (s) | speedup "
+             "| floor |",
+             "|---|---:|---:|---:|---:|---:|"]
+    for name, row in report["benchmarks"].items():
+        floor = SPEEDUP_FLOORS.get(name)
+        floor_text = f"{floor:.2f}x" if floor is not None else "—"
+        lines.append(f"| {name} | {row['sim_cycles']:,.1f} "
+                     f"| {row['wall_slow_s']:.3f} "
+                     f"| {row['wall_fast_s']:.3f} "
+                     f"| {row['speedup']:.2f}x | {floor_text} |")
+    lines += ["", f"_{report['note']}_"]
     return "\n".join(lines)
 
 

@@ -93,7 +93,9 @@ class Core:
         # *following* instructions (Figure 2's W2 > W1).
         self.clock.charge(self.costs.wrpkru, site="hw.cpu.wrpkru")
         self.wrpkru_count += 1
-        self.pkru = PKRU(value & 0xFFFF_FFFF)
+        value &= 0xFFFF_FFFF
+        if value != self.pkru.value:
+            self.pkru = PKRU(value)
         self._serial_shadow = self.costs.serialization_window
         self._stall_pending = True
 
@@ -181,8 +183,13 @@ class Core:
         self._enforce(prot, pkey, addr, kind)
         return page_table.lookup_populated(vpn)
 
+    #: Sentinel distinguishing "caller did not probe" from "caller
+    #: probed and found nothing" in :meth:`_translate`.
+    _UNPROBED = object()
+
     def _translate(self, page_table: PageTable, vpn: int, addr: int,
-                   kind: str, defer_hit_charge: bool = False):
+                   kind: str, defer_hit_charge: bool = False,
+                   probed: object = _UNPROBED):
         """Resolve ``vpn`` to ``(frame, prot, pkey)`` through the TLB.
 
         Raises :class:`SegmentationFault` when no translation exists.
@@ -191,13 +198,23 @@ class Core:
         charges into one :meth:`Clock.charge`).  Returns a fourth value:
         True when the translation was a TLB hit.
 
+        ``probed`` lets the batched transfer path hand over the raw
+        result of its own TLB lookup (entry or None) so the dict is not
+        probed twice per page; the LRU refresh :meth:`TLB.probe` would
+        have performed is applied here instead.
+
         Counters first, charges after: the architectural access counter
         and the TLB outcome are recorded before any cycle charge, so the
         MMU counter-conservation invariant holds even when a fault
         injector raises out of a charge.
         """
         tlb = self.tlb
-        cached = tlb.probe(vpn)
+        if probed is Core._UNPROBED:
+            cached = tlb.probe(vpn)
+        else:
+            cached = probed
+            if cached is not None:
+                tlb._entries.move_to_end(vpn)
         if cached is not None:
             if (self.mmu_fast_path and cached.table is page_table
                     and cached.generation == page_table.generation):
@@ -221,13 +238,13 @@ class Core:
             self._count_access(kind)
             tlb.record_hit(charge=not defer_hit_charge)
             if self.mmu_fast_path:
-                # Re-stamp so the next hit is authoritative again.  The
-                # possibly-stale prot/pkey are deliberately kept: the
-                # slow path would keep serving them from the TLB too.
-                tlb.update(vpn, TlbEntry(
-                    frame_number=entry.frame.number, prot=cached.prot,
-                    pkey=cached.pkey, frame=entry.frame,
-                    generation=page_table.generation, table=page_table))
+                # Re-stamp in place so the next hit is authoritative
+                # again (the entry is already resident — no allocation,
+                # no dict write).  The possibly-stale prot/pkey are
+                # deliberately kept: the slow path would keep serving
+                # them from the TLB too.
+                cached.restamp(entry.frame, entry.frame.number,
+                               page_table.generation, page_table)
             return entry.frame, cached.prot, cached.pkey, True
         entry = page_table.lookup(vpn)
         if entry is None:
@@ -333,6 +350,53 @@ class Core:
         if length < 0:
             raise ValueError("length must be non-negative")
         entries = self.tlb._entries
+        offset = addr % PAGE_SIZE
+        if 0 < length <= PAGE_SIZE - offset:
+            # Single-page transfer — the dominant shape for the
+            # syscall-heavy workloads (table1's toggle-then-touch,
+            # fig14's per-item GET/SET), where every access also tends
+            # to be a TLB *miss* because the preceding mprotect's
+            # shootdown just dropped the page.  One probe, one
+            # translate, no loop/batching machinery.  Charges, counters,
+            # and ordering match one trip through the general loop
+            # below: counters before charges, charges before the
+            # permission check can raise (a permission fault still pays
+            # tlb_hit/mem_access; an unmapped fault pays neither).
+            vpn = addr // PAGE_SIZE
+            cached = entries.get(vpn)
+            charge = self.clock.charge
+            costs = self.costs
+            if (cached is not None and cached.table is page_table
+                    and cached.generation == page_table.generation):
+                entries.move_to_end(vpn)
+                self.tlb.stats.hits += 1
+                if kind == FETCH:
+                    self.instruction_fetches += 1
+                else:
+                    self.data_accesses += 1
+                frame = cached.frame
+                prot = cached.prot
+                pkey = cached.pkey
+                charge(costs.tlb_hit, site="hw.tlb.hit")
+            else:
+                frame, prot, pkey, hit = self._translate(
+                    page_table, vpn, addr, kind, defer_hit_charge=True,
+                    probed=cached)
+                if hit:
+                    charge(costs.tlb_hit, site="hw.tlb.hit")
+            charge(costs.mem_access, site="hw.mem.access")
+            self._enforce(prot, pkey, addr, kind)
+            fdata = frame._data
+            if data is None:
+                if fdata is None:
+                    return bytes(length)
+                # bytes(), not a bare bytearray slice — read() promises
+                # bytes, and callers hash / compare the result.
+                return bytes(fdata[offset:offset + length])
+            if fdata is None:
+                frame._data = fdata = bytearray(PAGE_SIZE)
+            fdata[offset:offset + length] = data
+            return None
         entries_get = entries.get
         move_to_end = entries.move_to_end
         gen = page_table.generation
@@ -361,7 +425,8 @@ class Core:
                     auth += 1
                 else:
                     frame, prot, pkey, hit = self._translate(
-                        page_table, vpn, pos, kind, defer_hit_charge=True)
+                        page_table, vpn, pos, kind, defer_hit_charge=True,
+                        probed=cached)
                     hits += hit
                     pages += 1
                     # Demand paging inside lookup() bumps the

@@ -212,16 +212,26 @@ class Clock:
             raise ValueError(f"negative cycle charge: {cycles}")
         self.now += cycles
         self._events += 1
-        if self._dispatch:
-            sid = self._site_ids.get(site)
-            if sid is None:
-                sid = self.site_id(site)
-            now, events = self.now, self._events
-            for callback, wants_id in self._dispatch:
-                if wants_id:
-                    callback(sid, cycles, now, events)
-                else:
-                    callback(site, cycles, now, events)
+        dispatch = self._dispatch
+        if not dispatch:
+            return
+        sid = self._site_ids.get(site)
+        if sid is None:
+            sid = self.site_id(site)
+        if len(dispatch) == 1:
+            # The common shape — just the always-on aggregator — taken
+            # on every single charge; skip the loop and the tuple
+            # locals for it.
+            callback, wants_id = dispatch[0]
+            callback(sid if wants_id else site, cycles, self.now,
+                     self._events)
+            return
+        now, events = self.now, self._events
+        for callback, wants_id in dispatch:
+            if wants_id:
+                callback(sid, cycles, now, events)
+            else:
+                callback(site, cycles, now, events)
 
     def add_sink(self, sink) -> None:
         """Register a charge sink, called on every charge in

@@ -171,6 +171,39 @@ class PageTable:
                     entry.pkey = overlay.pkey
         entry._stamp = self._seq
 
+    def update_range(self, start_vpn: int, end_vpn: int, prot: int,
+                     pkey: int | None = None) -> list[int]:
+        """Eagerly rewrite every populated PTE in ``[start, end)`` —
+        the mprotect path for ranges below the bulk-overlay threshold.
+
+        The per-page loop from the caller is folded in here: one entry
+        lookup per page (instead of enumerate-then-lookup), the pkey
+        validated once, and a single generation bump for the whole call
+        — TLB stamps only ever test *equality* against the current
+        generation, so one bump and k bumps invalidate exactly the same
+        cached translations.  Returns the VPNs rewritten (the precise-
+        shootdown list).  Simulated cost is charged by the caller from
+        the page count; nothing here touches the clock.
+        """
+        if pkey is not None:
+            PageTableEntry._check_pkey(pkey)
+        entries = self._entries
+        overlays = self._overlays
+        vpns = self.populated_vpns_in_range(start_vpn, end_vpn)
+        for vpn in vpns:
+            entry = entries[vpn]
+            if overlays:
+                # Fold pending bulk overlays first (and stamp the
+                # entry) so an older overlay can never be materialized
+                # over the bits written here.
+                self._materialize(vpn, entry)
+            entry.prot = prot
+            if pkey is not None:
+                entry.pkey = pkey
+        if vpns:
+            self.generation += 1
+        return vpns
+
     def map(self, vpn: int, frame: Frame, prot: int,
             pkey: int = DEFAULT_PKEY) -> PageTableEntry:
         """Install a mapping; the page must not already be mapped."""

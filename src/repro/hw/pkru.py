@@ -94,6 +94,94 @@ class PKRU:
                 f" read-only={read_only})")
 
 
+class PkruEncodeMemo:
+    """Per-task memo for the PKRU right-insertion encode.
+
+    ``encode(base, key, rights)`` is a pure function of the base
+    register *value* and the ``(key, rights)`` pair, but
+    :meth:`PKRU.with_rights` re-validates and re-allocates a frozen
+    value object on every call — measurable on the syscall side, where
+    ``pkey_alloc``'s initial-rights install and glibc ``pkey_set`` both
+    encode against a base that rarely changes.  The memo caches results
+    for exactly one base value; the stamp is compared on every encode,
+    so any write that lands a *different* PKRU on the task — WRPKRU,
+    ``pkey_set``, a context-switch restore, a signal-frame restore —
+    lazily invalidates the whole memo at the next use.  A stale hit is
+    impossible by construction: a cached result is only ever served
+    for the base value it was computed from.
+
+    Counters (``hits``, ``misses``, ``invalidations``, ``encodes``)
+    are registered as an obs invariant per process and checked by
+    ``audit()``: every encode is exactly one hit or one miss, and every
+    cached result must re-derive from the stamped base.
+    """
+
+    __slots__ = ("_base_value", "_results", "hits", "misses",
+                 "invalidations", "encodes")
+
+    def __init__(self) -> None:
+        self._base_value = -1
+        self._results: dict[tuple[int, int], PKRU] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.encodes = 0
+
+    def invalidate(self) -> None:
+        """Drop every cached result (the base PKRU changed)."""
+        if self._results:
+            self.invalidations += 1
+            self._results.clear()
+        self._base_value = -1
+
+    def note_pkru_write(self, value: int) -> None:
+        """Eager invalidation hook for the architectural write sites
+        (WRPKRU and therefore ``pkey_set``): drop every cached result
+        when the register takes a value other than the stamped base.
+        The lazy stamp check in :meth:`encode` covers writes that
+        bypass this hook (context-switch restore, signal-frame
+        restore, lazy cross-thread sync)."""
+        if value != self._base_value:
+            self.invalidate()
+
+    def encode(self, base: PKRU, key: int, rights: int) -> PKRU:
+        """``base.with_rights(key, rights)``, memoized against
+        ``base.value``.  Invalid ``key``/``rights`` always take the
+        miss path and raise exactly as ``with_rights`` would (they are
+        never cached)."""
+        self.encodes += 1
+        value = base.value
+        if value != self._base_value:
+            self.invalidate()
+            self._base_value = value
+        result = self._results.get((key, rights))
+        if result is not None:
+            self.hits += 1
+            return result
+        self.misses += 1
+        result = base.with_rights(key, rights)
+        self._results[(key, rights)] = result
+        return result
+
+    def check_consistency(self, base_of=PKRU) -> str | None:
+        """Audit hook: counters must reconcile and every cached result
+        must re-derive from the stamped base.  Returns a failure
+        description or None."""
+        if self.hits + self.misses != self.encodes:
+            return (f"pkru memo counters leak: hits {self.hits} + "
+                    f"misses {self.misses} != encodes {self.encodes}")
+        if self._base_value >= 0:
+            base = base_of(self._base_value)
+            for (key, rights), result in self._results.items():
+                expected = base.with_rights(key, rights)
+                if result.value != expected.value:
+                    return (f"stale pkru memo entry for key {key} "
+                            f"rights {rights:#x}: cached "
+                            f"{result.value:#010x}, expected "
+                            f"{expected.value:#010x}")
+        return None
+
+
 def rights_for_prot(prot: int) -> int:
     """Translate ``PROT_*`` bits into the closest PKRU rights value.
 

@@ -38,12 +38,11 @@ contract):
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.hw.cycles import Clock, CostModel
 
 
-@dataclass(frozen=True)
 class TlbEntry:
     """Cached translation: frame number + permission + pkey bits.
 
@@ -52,14 +51,54 @@ class TlbEntry:
     being translated and ``generation`` equals its current generation
     counter.  Entries constructed without them (legacy tests, external
     code) simply never qualify for the fast path.
+
+    A plain ``__slots__`` class rather than a dataclass: entries are
+    constructed on every TLB fill, which makes ``__init__`` one of the
+    simulator's hottest allocation sites, and the revalidation path
+    re-stamps entries in place via :meth:`restamp` instead of
+    allocating a replacement.  Equality intentionally covers only the
+    architectural fields (frame number, permission bits, pkey), as the
+    frozen-dataclass version's ``compare=False`` fields did.
     """
 
-    frame_number: int
-    prot: int
-    pkey: int
-    frame: object | None = field(default=None, repr=False, compare=False)
-    generation: int = field(default=-1, compare=False)
-    table: object | None = field(default=None, repr=False, compare=False)
+    __slots__ = ("frame_number", "prot", "pkey", "frame", "generation",
+                 "table")
+
+    def __init__(self, frame_number: int, prot: int, pkey: int,
+                 frame: object | None = None, generation: int = -1,
+                 table: object | None = None) -> None:
+        self.frame_number = frame_number
+        self.prot = prot
+        self.pkey = pkey
+        self.frame = frame
+        self.generation = generation
+        self.table = table
+
+    def restamp(self, frame: object, frame_number: int, generation: int,
+                table: object) -> None:
+        """Revalidate in place after a structural page-table change:
+        adopt the current frame and generation stamp while keeping the
+        (possibly stale) prot/pkey bits — real hardware serves stale
+        permissions until a shootdown, and so does the slow path."""
+        self.frame = frame
+        self.frame_number = frame_number
+        self.generation = generation
+        self.table = table
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TlbEntry):
+            return NotImplemented
+        return (self.frame_number == other.frame_number
+                and self.prot == other.prot
+                and self.pkey == other.pkey)
+
+    def __hash__(self) -> int:
+        return hash((self.frame_number, self.prot, self.pkey))
+
+    def __repr__(self) -> str:
+        return (f"TlbEntry(frame_number={self.frame_number}, "
+                f"prot={self.prot}, pkey={self.pkey}, "
+                f"generation={self.generation})")
 
 
 @dataclass

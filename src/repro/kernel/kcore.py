@@ -50,6 +50,24 @@ class Process:
         # one to unpin the dead thread's page groups.
         self.task_death_hooks: list = []
         self.main_task = self.spawn_task()
+        # The syscall-side caches (the mprotect VMA cache, each task's
+        # PKRU-encode memo) ride the audit: a stale hit on either would
+        # be a silent isolation bug, so their counters and cached
+        # contents are re-derived on every ``audit()``.
+        obs = kernel.machine.obs
+        obs.register_invariant(f"mm_protect_cache.pid{self.pid}",
+                               self.mm.protect_cache_consistency)
+        obs.register_invariant(f"pkru_encode_memo.pid{self.pid}",
+                               self._pkru_memo_consistency)
+
+    def _pkru_memo_consistency(self) -> str | None:
+        """Audit hook: every live task's PKRU-encode memo must
+        reconcile its counters and re-derive its cached encodes."""
+        for task in self.tasks:
+            failure = task._pkru_memo.check_consistency()
+            if failure is not None:
+                return f"task {task.tid}: {failure}"
+        return None
 
     @property
     def page_table(self):
@@ -87,21 +105,15 @@ class Kernel:
 
     def __init__(self, machine: Machine | None = None) -> None:
         self.machine = machine or Machine()
+        # Bound once rather than exposed as properties: the machine
+        # never swaps its clock/costs/obs after construction, and every
+        # syscall touches all three.  ``_obs`` feeds the @traced spans.
+        self.costs = self.machine.costs
+        self.clock = self.machine.clock
+        self._obs = self.machine.obs
+        self._syscall_overhead = self.costs.syscall_overhead()
         self.scheduler = Scheduler(self.machine)
         self.processes: list[Process] = []
-
-    @property
-    def costs(self):
-        return self.machine.costs
-
-    @property
-    def clock(self):
-        return self.machine.clock
-
-    @property
-    def _obs(self):
-        """The machine's instrumentation spine (for @traced spans)."""
-        return self.machine.obs
 
     def create_process(self, schedule_main: bool = True) -> Process:
         process = Process(self)
@@ -221,20 +233,21 @@ class Kernel:
                         pkey_variant: bool = False) -> None:
         """Itemized mprotect body: each Table-1 component is charged to
         its own site so the breakdown shows *where* protect time goes."""
-        self.clock.charge(self.costs.mprotect_base,
-                          site="kernel.mprotect.base")
+        charge = self.clock.charge
+        costs = self.costs
+        charge(costs.mprotect_base, site="kernel.mprotect.base")
         if stats.vmas_found:
-            self.clock.charge(stats.vmas_found * self.costs.vma_find,
-                              site="kernel.mprotect.vma_find")
+            charge(stats.vmas_found * costs.vma_find,
+                   site="kernel.mprotect.vma_find")
         if stats.splits:
-            self.clock.charge(stats.splits * self.costs.vma_split,
-                              site="kernel.mprotect.vma_split")
+            charge(stats.splits * costs.vma_split,
+                   site="kernel.mprotect.vma_split")
         if stats.pages_updated:
-            self.clock.charge(stats.pages_updated * self.costs.pte_update,
-                              site="kernel.mprotect.pte_update")
+            charge(stats.pages_updated * costs.pte_update,
+                   site="kernel.mprotect.pte_update")
         if pkey_variant:
-            self.clock.charge(self.costs.pkey_mprotect_extra,
-                              site="kernel.mprotect.pkey_check")
+            charge(costs.pkey_mprotect_extra,
+                   site="kernel.mprotect.pkey_check")
 
     def _protect_shootdown(self, process, task: Task,
                            stats: ProtectStats) -> None:
@@ -418,5 +431,5 @@ class Kernel:
         if not task.running:
             raise RuntimeError(
                 f"syscall from task {task.tid} which is not on a core")
-        self.clock.charge(self.costs.syscall_overhead(),
+        self.clock.charge(self._syscall_overhead,
                           site="kernel.syscall.entry_exit")

@@ -89,6 +89,20 @@ class MM:
         self.vmas = VmaTree()
         self._mmap_cursor = MMAP_BASE
         self.minor_faults = 0
+        # The protect fast path: the last exact-fit (addr, end) -> VMA
+        # resolution, validated against the VMA tree's structural
+        # version.  Syscall-heavy workloads (Table 1's mprotect loop,
+        # Figure 14's epoch flips) re-protect the same range over and
+        # over; the cache skips the find_range walk and the hole/clamp
+        # checks when nothing structural changed.  Counters are
+        # audited as an obs invariant (hits + misses == lookups, and a
+        # version-valid cached VMA must still resolve identically).
+        self._protect_cache_key: tuple[int, int] | None = None
+        self._protect_cache_vma: VMA | None = None
+        self._protect_cache_version = -1
+        self.vma_cache_hits = 0
+        self.vma_cache_misses = 0
+        self.vma_cache_lookups = 0
 
     # ------------------------------------------------------------------
     # Demand paging.
@@ -207,45 +221,96 @@ class MM:
         """
         addr, end = self._check_range(addr, length)
         stats = ProtectStats()
-        covered = addr
-        for vma in self.vmas.find_range(addr, end):
-            if vma.start > covered:
+        tree = self.vmas
+        self.vma_cache_lookups += 1
+        if (self._protect_cache_key == (addr, end)
+                and self._protect_cache_version == tree.version):
+            # Cached resolution: the tree is structurally unchanged
+            # since this exact range last resolved to a single
+            # exact-fit VMA, so that VMA still spans [addr, end) and
+            # the hole/clamp checks cannot fire.  The attribute and
+            # PTE updates below are byte-for-byte the miss path's.
+            self.vma_cache_hits += 1
+            vma = self._protect_cache_vma
+            stats.vmas_found = 1
+            self._apply_protect(vma, prot, pkey, pte_prot, stats)
+        else:
+            self.vma_cache_misses += 1
+            covered = addr
+            vma = None
+            for vma in tree.find_range(addr, end):
+                if vma.start > covered:
+                    raise OutOfMemory(
+                        f"mprotect range has unmapped hole at "
+                        f"{covered:#x}")
+                stats.vmas_found += 1
+                vma = self._clamp(vma, addr, end, stats)
+                self._apply_protect(vma, prot, pkey, pte_prot, stats)
+                covered = vma.end
+            if covered < end:
                 raise OutOfMemory(
-                    f"mprotect range has unmapped hole at {covered:#x}")
-            stats.vmas_found += 1
-            vma = self._clamp(vma, addr, end, stats)
-            vma.prot = prot
-            vma.pte_prot = pte_prot
-            if pkey is not None:
-                vma.pkey = pkey
-            effective = prot if pte_prot is None else pte_prot
-            first = page_number(vma.start)
-            last = page_number(vma.end)
-            stats.pages_updated += last - first
-            if last - first >= self.BULK_PTE_THRESHOLD:
-                # Large range: record one overlay instead of touching
-                # every PTE.  The syscall layer still charges the
-                # per-page cost from pages_updated; only the host-side
-                # work is O(1).  We did not enumerate resident pages,
-                # so the vpns list is marked unpopulated.
-                self.page_table.bulk_update(first, last, prot=effective,
-                                            pkey=pkey)
-                stats.vpns_populated = False
-            else:
-                for vpn in self.page_table.populated_vpns_in_range(
-                        first, last):
-                    entry = self.page_table.lookup_populated(vpn)
-                    entry.set_prot(effective)
-                    if pkey is not None:
-                        entry.set_pkey(pkey)
-                    self.page_table.generation += 1
-                    stats.vpns.append(vpn)
-            covered = vma.end
-        if covered < end:
-            raise OutOfMemory(
-                f"mprotect range has unmapped tail at {covered:#x}")
-        stats.merges = self.vmas.merge_around(addr, end)
+                    f"mprotect range has unmapped tail at {covered:#x}")
+        stats.merges = tree.merge_around(addr, end)
+        if (stats.vmas_found == 1 and stats.splits == 0
+                and stats.merges == 0):
+            # Exactly one VMA, no surgery: ``vma`` spans [addr, end)
+            # precisely (anything else would have split or raised) and
+            # is still in the tree, so the next protect of this range
+            # can reuse it as long as the version holds.
+            self._protect_cache_key = (addr, end)
+            self._protect_cache_vma = vma
+            self._protect_cache_version = tree.version
+        else:
+            self._protect_cache_key = None
+            self._protect_cache_vma = None
+            self._protect_cache_version = -1
         return stats
+
+    def _apply_protect(self, vma: VMA, prot: int, pkey: int | None,
+                       pte_prot: int | None, stats: ProtectStats) -> None:
+        """Apply new attributes to one in-range VMA and its PTEs
+        (shared by the cached and walking protect paths)."""
+        vma.prot = prot
+        vma.pte_prot = pte_prot
+        if pkey is not None:
+            vma.pkey = pkey
+        effective = prot if pte_prot is None else pte_prot
+        first = page_number(vma.start)
+        last = page_number(vma.end)
+        stats.pages_updated += last - first
+        if last - first >= self.BULK_PTE_THRESHOLD:
+            # Large range: record one overlay instead of touching
+            # every PTE.  The syscall layer still charges the
+            # per-page cost from pages_updated; only the host-side
+            # work is O(1).  We did not enumerate resident pages,
+            # so the vpns list is marked unpopulated.
+            self.page_table.bulk_update(first, last, prot=effective,
+                                        pkey=pkey)
+            stats.vpns_populated = False
+        else:
+            stats.vpns.extend(self.page_table.update_range(
+                first, last, effective, pkey))
+
+    def protect_cache_consistency(self) -> str | None:
+        """Audit hook for the protect VMA cache: counters reconcile,
+        and a version-valid cached entry still resolves to the same
+        exact-fit VMA the tree would return.  Returns a failure
+        description or None."""
+        if self.vma_cache_hits + self.vma_cache_misses != \
+                self.vma_cache_lookups:
+            return (f"vma cache counters leak: hits "
+                    f"{self.vma_cache_hits} + misses "
+                    f"{self.vma_cache_misses} != lookups "
+                    f"{self.vma_cache_lookups}")
+        if (self._protect_cache_vma is not None
+                and self._protect_cache_version == self.vmas.version):
+            addr, end = self._protect_cache_key
+            vma = self.vmas.find(addr)
+            if (vma is not self._protect_cache_vma
+                    or vma.start != addr or vma.end != end):
+                return (f"stale protect cache for [{addr:#x},{end:#x}): "
+                        f"cached VMA is no longer the tree's exact fit")
+        return None
 
     # ------------------------------------------------------------------
     # Helpers.

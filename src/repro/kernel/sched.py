@@ -34,6 +34,10 @@ if typing.TYPE_CHECKING:
     from repro.kernel.task import Task
 
 
+def _task_tid(task: "Task") -> int:
+    return task.tid
+
+
 class QuantumSink(ChargeSink):
     """Clock sink that watches the running time slice.
 
@@ -128,10 +132,14 @@ class Scheduler:
         task.state = "runnable"
 
     def running_tasks(self, process: "Process | None" = None) -> list["Task"]:
-        tasks = list(self._core_task.values())
+        core_task = self._core_task
         if process is not None:
-            tasks = [t for t in tasks if t.process is process]
-        return sorted(tasks, key=lambda t: t.tid)
+            tasks = [t for t in core_task.values() if t.process is process]
+        else:
+            tasks = list(core_task.values())
+        if len(tasks) > 1:
+            tasks.sort(key=_task_tid)
+        return tasks
 
     def running_task(self, core_id: int) -> "Task | None":
         """The task currently on ``core_id`` (None when the core idles)."""
@@ -262,16 +270,18 @@ class Scheduler:
         # cycle ledger and ipis_sent permanently skewed.
         if initiator is not None and not initiator.running:
             raise RuntimeError("shootdown initiator must be running")
+        machine = self.machine
+        ipi_cost = machine.costs.tlb_shootdown_ipi
+        charge = machine.clock.charge
         remote = 0
         flushed_initiator = False
         for task in self.running_tasks(process):
-            core = self.machine.core(task.core_id)
+            core = machine.core(task.core_id)
             if initiator is not None and task is initiator:
                 self._flush(core, full, vpns, charge_pages)
                 flushed_initiator = True
                 continue
-            self.machine.clock.charge(self.machine.costs.tlb_shootdown_ipi,
-                                      site="hw.tlb.shootdown_ipi")
+            charge(ipi_cost, site="hw.tlb.shootdown_ipi")
             self.ipis_sent += 1
             remote += 1
             self._flush(core, full, vpns, charge_pages)

@@ -14,7 +14,7 @@ import typing
 from collections import deque
 
 from repro.errors import MachineFault, SandboxViolation
-from repro.hw.pkru import PKRU
+from repro.hw.pkru import PKRU, PkruEncodeMemo
 
 
 class _TrustedGate:
@@ -236,6 +236,11 @@ class Task:
         Task._next_tid += 1
         self.process = process
         self.pkru = PKRU.deny_all_but_default()
+        # Memoized PKRU encode for this thread's right-insertion paths
+        # (pkey_set, the kernel's initial-rights install).  Invalidated
+        # eagerly by wrpkru/pkey_set and lazily whenever the base value
+        # diverges from the stamp (task switch, signal restore, sync).
+        self._pkru_memo = PkruEncodeMemo()
         self.core_id: int | None = None
         self._task_works: deque[typing.Callable[["Task"], None]] = deque()
         self.state = "runnable"
@@ -313,6 +318,7 @@ class Task:
         core = self._core()
         core.wrpkru(value)
         self.pkru = core.pkru
+        self._pkru_memo.note_pkru_write(self.pkru.value)
 
     def rdpkru(self) -> int:
         return self._core().rdpkru()
@@ -321,13 +327,13 @@ class Task:
         """Kernel-side PKRU edit (xstate write, no WRPKRU charge): used
         by pkey_alloc's initial-rights install and execute-only setup;
         the cost is part of the syscall body."""
-        self.pkru = self.pkru.with_rights(pkey, rights)
+        self.pkru = self._pkru_memo.encode(self.pkru, pkey, rights)
         if self.running:
             self._core().load_pkru(self.pkru)
 
     def pkey_set(self, pkey: int, rights: int) -> None:
         """glibc pkey_set(): read-modify-write of this thread's PKRU."""
-        new = self._core().pkru.with_rights(pkey, rights)
+        new = self._pkru_memo.encode(self._core().pkru, pkey, rights)
         self.wrpkru(new.value)
 
     def pkey_get(self, pkey: int) -> int:

@@ -81,11 +81,20 @@ class VMA:
 
 
 class VmaTree:
-    """Ordered, non-overlapping collection of VMAs for one process."""
+    """Ordered, non-overlapping collection of VMAs for one process.
+
+    ``version`` counts structural changes: every insert and remove —
+    and therefore every split and merge, which are remove+insert
+    sequences — bumps it.  Callers caching a ``find``/``find_range``
+    result (the mprotect fast path in :class:`repro.kernel.mm.MM`)
+    validate the cached VMA by comparing versions; any mmap, munmap,
+    split, or merge anywhere in the tree invalidates them all.
+    """
 
     def __init__(self) -> None:
         self._starts: list[int] = []
         self._vmas: list[VMA] = []
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self._vmas)
@@ -104,6 +113,7 @@ class VmaTree:
                     f"[{other.start:#x},{other.end:#x})")
         self._starts.insert(idx, vma.start)
         self._vmas.insert(idx, vma)
+        self.version += 1
 
     def remove(self, vma: VMA) -> None:
         idx = bisect.bisect_left(self._starts, vma.start)
@@ -111,6 +121,7 @@ class VmaTree:
             raise ValueError(f"VMA [{vma.start:#x},{vma.end:#x}) not in tree")
         del self._starts[idx]
         del self._vmas[idx]
+        self.version += 1
 
     def find(self, addr: int) -> VMA | None:
         """The VMA containing ``addr``, if any."""

@@ -104,7 +104,10 @@ class SiteAggregator(ChargeSink):
         self._ids: dict[str, int] = {}
         self._cycles: list[float] = []
         self._counts: list[int] = []
-        self._histograms: list[dict[int, int] | None] = []
+        # Per-site magnitude histograms as flat bucket lists (index =
+        # bit-length bucket); allocated on a site's first charge and
+        # grown on demand.  :meth:`histogram` rebuilds the dict view.
+        self._histograms: list[list[int] | None] = []
 
     def bind_clock(self, clock) -> None:
         """Share ``clock``'s intern table (called by ``add_sink``)."""
@@ -125,8 +128,12 @@ class SiteAggregator(ChargeSink):
         bucket = int(cycles).bit_length()
         hist = self._histograms[site_id]
         if hist is None:
-            hist = self._histograms[site_id] = {}
-        hist[bucket] = hist.get(bucket, 0) + 1
+            # 24 buckets covers charges up to 2**23 cycles; larger
+            # ones grow the list below.
+            hist = self._histograms[site_id] = [0] * 24
+        if bucket >= len(hist):
+            hist.extend([0] * (bucket + 1 - len(hist)))
+        hist[bucket] += 1
 
     def on_charge(self, site: str, cycles: float, now: float,
                   seq: int) -> None:
@@ -181,7 +188,11 @@ class SiteAggregator(ChargeSink):
             self._clock.find_site(site)
         if sid is None or sid >= len(self._histograms):
             return {}
-        return dict(self._histograms[sid] or {})
+        hist = self._histograms[sid]
+        if hist is None:
+            return {}
+        return {bucket: count for bucket, count in enumerate(hist)
+                if count}
 
     def breakdown(self, depth: int | None = None) -> dict[str, float]:
         """Cycles aggregated by label prefix of ``depth`` components
@@ -289,18 +300,26 @@ class _Span:
 
     def __enter__(self) -> "_Span":
         obs = self._obs
+        stack = obs._span_stack
         self._start = obs.clock.now
-        self._depth = len(obs._span_stack)
-        self._path = tuple(s.label for s in obs._span_stack) + \
-            (self.label,)
-        obs._span_stack.append(self)
+        self._depth = len(stack)
+        # Extend the parent's already-built path instead of re-walking
+        # the stack: span entry sits on every traced syscall, so this
+        # is O(1) per enter rather than O(depth).
+        if stack:
+            self._path = stack[-1]._path + (self.label,)
+        else:
+            self._path = (self.label,)
+        stack.append(self)
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         obs = self._obs
         obs._span_stack.pop()
         cycles = obs.clock.now - self._start
-        stats = obs._profile.setdefault(self._path, SpanStats())
+        stats = obs._profile.get(self._path)
+        if stats is None:
+            stats = obs._profile[self._path] = SpanStats()
         stats.count += 1
         stats.cycles += cycles
         stats.self_cycles += cycles - self._child_cycles

@@ -1,0 +1,93 @@
+"""The hostbench speedup gates, driven by synthetic reports.
+
+The real benchmark is timed in CI; these tests pin the gate *logic* —
+per-workload absolute floors with failure messages that name the
+regressing workload, the relative-to-baseline check, and the markdown
+rendering — without burning benchmark wall time in the unit suite.
+"""
+
+from __future__ import annotations
+
+from repro.bench import hostbench
+
+
+def _report(speedups: dict[str, float]) -> dict:
+    return {
+        "schema": 2,
+        "note": "synthetic",
+        "benchmarks": {
+            name: {
+                "sim_cycles": 1000.0,
+                "wall_fast_s": 0.010,
+                "wall_slow_s": round(0.010 * speedup, 6),
+                "wall_fast_all_s": [0.010],
+                "wall_slow_all_s": [round(0.010 * speedup, 6)],
+                "repeat": 1,
+                "speedup": speedup,
+            }
+            for name, speedup in speedups.items()
+        },
+    }
+
+
+ALL_GOOD = {"fig8_cache": 2.0, "table1": 1.05, "fig14_memcached": 1.2}
+
+
+class TestSpeedupFloors:
+    def test_passes_when_every_workload_clears_floor(self):
+        assert hostbench.check_speedup_floors(_report(ALL_GOOD)) == []
+
+    def test_failure_names_the_regressing_workload(self):
+        bad = dict(ALL_GOOD, table1=0.93)
+        problems = hostbench.check_speedup_floors(_report(bad))
+        assert len(problems) == 1
+        assert "table1" in problems[0]
+        assert "0.93" in problems[0]
+        assert "fig8" not in problems[0]
+
+    def test_every_workload_has_a_floor(self):
+        assert set(hostbench.SPEEDUP_FLOORS) == set(hostbench.WORKLOADS)
+
+    def test_all_floors_require_fast_path_to_win(self):
+        assert all(floor >= 1.0
+                   for floor in hostbench.SPEEDUP_FLOORS.values())
+
+    def test_missing_workload_is_a_failure(self):
+        partial = {k: v for k, v in ALL_GOOD.items() if k != "table1"}
+        problems = hostbench.check_speedup_floors(_report(partial))
+        assert any("table1" in p and "missing" in p for p in problems)
+
+    def test_subset_restriction_skips_absent_workloads(self):
+        partial = {"table1": 1.1}
+        assert hostbench.check_speedup_floors(
+            _report(partial), workloads=["table1"]) == []
+
+
+class TestBaselineGate:
+    def test_includes_absolute_floors(self):
+        bad = dict(ALL_GOOD, fig14_memcached=0.8)
+        problems = hostbench.check_against_baseline(
+            _report(bad), _report(ALL_GOOD))
+        assert any("fig14_memcached" in p for p in problems)
+
+    def test_relative_regression_fails_even_above_absolute_floor(self):
+        # fig8 at 1.2x clears the 1.0 floor but is far below 75% of a
+        # 2.0x baseline.
+        decayed = dict(ALL_GOOD, fig8_cache=1.2)
+        problems = hostbench.check_against_baseline(
+            _report(decayed), _report(ALL_GOOD))
+        assert any("fig8_cache" in p and "baseline" in p
+                   for p in problems)
+
+    def test_passes_at_baseline(self):
+        assert hostbench.check_against_baseline(
+            _report(ALL_GOOD), _report(ALL_GOOD)) == []
+
+
+class TestMarkdown:
+    def test_renders_one_row_per_workload_with_floor(self):
+        text = hostbench.format_markdown(_report(ALL_GOOD))
+        for name in ALL_GOOD:
+            assert f"| {name} |" in text
+        assert "1.00x" in text  # the floor column
+        assert text.startswith("### ")

@@ -1,0 +1,203 @@
+"""Invalidation regressions for the syscall-side caches.
+
+The mprotect fast path keeps two host-side caches: the per-process
+protect-VMA cache (exact-fit range -> VMA, validated by the VMA tree's
+structural version) and the per-task PKRU-encode memo (``(key,
+rights) -> PKRU`` against a stamped base value).  Each test here
+encodes a way either cache could serve a stale hit; every one fails
+against a cache that skips the corresponding invalidation.  Both
+caches also register their counters as ``obs.audit()`` invariants —
+the tamper tests prove the audit actually trips.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consts import (
+    PAGE_SIZE,
+    PKEY_DISABLE_ACCESS,
+    PKEY_DISABLE_WRITE,
+    PROT_READ,
+    PROT_WRITE,
+)
+from repro.hw.pkru import PKRU, PkruEncodeMemo
+
+RW = PROT_READ | PROT_WRITE
+
+
+class TestProtectVmaCache:
+    def test_repeat_protect_hits_cache(self, kernel, task):
+        """The table1 shape: mprotect toggles over one exact-fit VMA
+        must hit the cache from the second call on."""
+        mm = task.process.mm
+        addr = kernel.sys_mmap(task, PAGE_SIZE, RW)
+        kernel.sys_mprotect(task, addr, PAGE_SIZE, PROT_READ)
+        misses_after_first = mm.vma_cache_misses
+        for i in range(4):
+            kernel.sys_mprotect(task, addr, PAGE_SIZE,
+                                RW if i % 2 else PROT_READ)
+        assert mm.vma_cache_misses == misses_after_first
+        assert mm.vma_cache_hits >= 4
+        assert (mm.vma_cache_hits + mm.vma_cache_misses
+                == mm.vma_cache_lookups)
+
+    def test_munmap_remap_invalidates(self, kernel, task):
+        """munmap + remap at the same address must not reuse the dead
+        VMA: the new mapping has different attributes, and a stale hit
+        would write protections through a VMA no longer in the tree."""
+        mm = task.process.mm
+        addr = kernel.sys_mmap(task, PAGE_SIZE, RW)
+        kernel.sys_mprotect(task, addr, PAGE_SIZE, PROT_READ)
+        stale = mm._protect_cache_vma
+        assert stale is not None
+        kernel.sys_munmap(task, addr, PAGE_SIZE)
+        new_addr = kernel.sys_mmap(task, PAGE_SIZE, RW, addr=addr)
+        assert new_addr == addr
+        kernel.sys_mprotect(task, addr, PAGE_SIZE, PROT_READ)
+        live = mm.vmas.find(addr)
+        assert live is not stale
+        assert live.prot == PROT_READ
+        # The dead VMA kept whatever it had; the protect landed on the
+        # live one.
+        ok, _ = kernel.machine.obs.audit()
+        assert ok, kernel.machine.obs.invariant_failures()
+
+    def test_split_invalidates(self, kernel, task):
+        """A sub-range protect splits the cached VMA; the full-range
+        entry must not survive the split."""
+        mm = task.process.mm
+        addr = kernel.sys_mmap(task, 4 * PAGE_SIZE, RW)
+        kernel.sys_mprotect(task, addr, 4 * PAGE_SIZE, PROT_READ)
+        kernel.sys_mprotect(task, addr + PAGE_SIZE, PAGE_SIZE, RW)
+        # Re-protect the original full range: the old single VMA is
+        # gone (split into three); a stale hit would update only it.
+        kernel.sys_mprotect(task, addr, 4 * PAGE_SIZE, PROT_READ)
+        for vma in mm.vmas:
+            if vma.start >= addr and vma.end <= addr + 4 * PAGE_SIZE:
+                assert vma.prot == PROT_READ
+        ok, _ = kernel.machine.obs.audit()
+        assert ok, kernel.machine.obs.invariant_failures()
+
+    def test_cache_not_stored_on_multi_vma_range(self, kernel, task):
+        """A range spanning several VMAs (or splitting) must not seed
+        the cache — only the proven exact-fit single-VMA case may."""
+        mm = task.process.mm
+        addr = kernel.sys_mmap(task, 4 * PAGE_SIZE, RW)
+        kernel.sys_mprotect(task, addr, PAGE_SIZE, PROT_READ)  # splits
+        assert mm._protect_cache_key != (addr, addr + 4 * PAGE_SIZE)
+
+    def test_audit_trips_on_corrupt_cache(self, kernel, task):
+        """The registered invariant must notice a cache entry pointing
+        at a VMA that is no longer what the tree holds for the range."""
+        from repro.kernel.vma import VMA
+        mm = task.process.mm
+        addr = kernel.sys_mmap(task, PAGE_SIZE, RW)
+        kernel.sys_mprotect(task, addr, PAGE_SIZE, PROT_READ)
+        assert mm._protect_cache_vma is not None
+        mm._protect_cache_vma = VMA(addr, addr + PAGE_SIZE, RW)
+        ok, _ = kernel.machine.obs.audit()
+        assert not ok
+        failures = kernel.machine.obs.invariant_failures()
+        assert any("mm_protect_cache" in name for name in failures)
+
+    def test_audit_trips_on_counter_leak(self, kernel, task):
+        mm = task.process.mm
+        addr = kernel.sys_mmap(task, PAGE_SIZE, RW)
+        kernel.sys_mprotect(task, addr, PAGE_SIZE, PROT_READ)
+        mm.vma_cache_hits += 7
+        ok, _ = kernel.machine.obs.audit()
+        assert not ok
+
+
+class TestPkruEncodeMemo:
+    def test_repeat_kernel_encodes_hit(self, kernel, task):
+        """pkey_alloc's initial-rights install is the hot caller: with
+        a stable base PKRU the memo must hit from the second alloc of
+        the same (key, rights) on."""
+        # Two warmup rounds: the first alloc populates the memo, the
+        # second restamps it against the post-grant base value (which
+        # pkey_free leaves in place — it never touches PKRU).
+        for _ in range(2):
+            key = kernel.sys_pkey_alloc(task)
+            kernel.sys_pkey_free(task, key)
+        memo = task._pkru_memo
+        hits_before = memo.hits
+        for _ in range(3):
+            key = kernel.sys_pkey_alloc(task)
+            kernel.sys_pkey_free(task, key)
+        assert memo.hits >= hits_before + 3
+        assert memo.hits + memo.misses == memo.encodes
+
+    def test_wrpkru_invalidates(self, kernel, task):
+        """A userspace WRPKRU changes the base value: a cached encode
+        against the old base must not be served afterwards."""
+        key = kernel.sys_pkey_alloc(task)
+        memo = task._pkru_memo
+        # Populate through the kernel-side path (no WRPKRU of its own;
+        # pkey_set would immediately self-invalidate via wrpkru).
+        task.set_pkru_rights_from_kernel(key, PKEY_DISABLE_WRITE)
+        assert memo._results, "kernel encode should populate the memo"
+        invalidations_before = memo.invalidations
+        # Direct WRPKRU to a different value (deny the key entirely).
+        new = task.pkru.with_rights(key,
+                                    PKEY_DISABLE_ACCESS
+                                    | PKEY_DISABLE_WRITE)
+        task.wrpkru(new.value)
+        assert memo.invalidations > invalidations_before
+        assert not memo._results
+        # Re-encoding against the new base must reflect it, not the
+        # stale cached result.
+        task.pkey_set(key, 0)
+        assert task.pkru.rights(key) == 0
+        assert task.pkru.value == new.with_rights(key, 0).value
+        ok, _ = kernel.machine.obs.audit()
+        assert ok, kernel.machine.obs.invariant_failures()
+
+    def test_external_pkru_swap_is_caught_lazily(self, kernel, task):
+        """The signal-restore / context-switch path replaces
+        ``task.pkru`` without telling the memo; the next encode must
+        detect the base mismatch instead of serving a stale value."""
+        key = kernel.sys_pkey_alloc(task)
+        task.pkey_set(key, PKEY_DISABLE_WRITE)
+        # Swap the base behind the memo's back (what sigreturn does).
+        task.pkru = PKRU.allow_all()
+        task.set_pkru_rights_from_kernel(key, PKEY_DISABLE_ACCESS)
+        expected = PKRU.allow_all().with_rights(key,
+                                                PKEY_DISABLE_ACCESS)
+        assert task.pkru.value == expected.value
+        ok, _ = kernel.machine.obs.audit()
+        assert ok, kernel.machine.obs.invariant_failures()
+
+    def test_invalid_rights_never_served_from_cache(self):
+        """Bogus rights must raise on every call — a packed-int memo
+        key could alias an invalid request onto a cached valid one."""
+        memo = PkruEncodeMemo()
+        base = PKRU.allow_all()
+        memo.encode(base, 1, PKEY_DISABLE_WRITE)
+        with pytest.raises(ValueError):
+            memo.encode(base, 1, 5)
+        with pytest.raises(ValueError):
+            memo.encode(base, 1, 5)  # and again, post-populate
+
+    def test_audit_trips_on_counter_leak(self, kernel, task):
+        key = kernel.sys_pkey_alloc(task)
+        task.pkey_set(key, PKEY_DISABLE_WRITE)
+        task._pkru_memo.hits += 1
+        ok, _ = kernel.machine.obs.audit()
+        assert not ok
+        failures = kernel.machine.obs.invariant_failures()
+        assert any("pkru_encode_memo" in name for name in failures)
+
+    def test_audit_trips_on_stale_cached_result(self, kernel, task):
+        """A cached encode that no longer re-derives from the stamped
+        base is exactly the stale-hit bug class; plant one and make
+        sure the audit finds it."""
+        key = kernel.sys_pkey_alloc(task)
+        task.set_pkru_rights_from_kernel(key, PKEY_DISABLE_WRITE)
+        memo = task._pkru_memo
+        assert memo._results, "memo should hold at least one encode"
+        k = next(iter(memo._results))
+        memo._results[k] = PKRU.allow_all()
+        ok, _ = kernel.machine.obs.audit()
+        assert not ok

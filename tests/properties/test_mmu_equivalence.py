@@ -1,18 +1,28 @@
 """The MMU fast path must be observationally invisible.
 
-Random interleavings of mmap/munmap/mprotect/pkey_mprotect and data
-accesses across two cores are run twice — ``mmu_fast_path=True`` and
-``False`` — and must produce identical per-op outcomes (bytes or fault
-class), an identical final ``clock.now``, and identical per-site cycle
-totals.  A naive eager reference model (no TLB, no overlays, PTEs
-applied immediately) independently predicts every byte and fault class,
-including the bytes a partially-faulting write leaves behind.
+Random interleavings of mmap/munmap/mprotect/pkey_mprotect/pkey_set
+and data accesses across two cores are run twice —
+``mmu_fast_path=True`` and ``False`` — and must produce identical
+per-op outcomes (bytes or fault class), an identical final
+``clock.now``, and identical per-site cycle totals.  A naive eager
+reference model (no TLB, no overlays, PTEs applied immediately, PKRU
+rights as a flat per-key map) independently predicts every byte and
+fault class, including the bytes a partially-faulting write leaves
+behind.
+
+The op mix deliberately interleaves every cache-invalidation event the
+syscall-side caches react to: mmap/munmap/split/merge (the per-process
+protect-VMA cache keys on the tree version) and pkey_set's WRPKRU (the
+PKRU-encode memo keys on the base register value) — so a stale hit in
+either cache surfaces as an outcome or cycle divergence here.
 """
 
 from hypothesis import given, settings, strategies as st
 
 from repro.consts import (
     PAGE_SIZE,
+    PKEY_DISABLE_ACCESS,
+    PKEY_DISABLE_WRITE,
     PROT_NONE,
     PROT_READ,
     PROT_WRITE,
@@ -24,11 +34,15 @@ from repro.kernel.kcore import Kernel
 
 RW = PROT_READ | PROT_WRITE
 PROTS = [PROT_NONE, PROT_READ, RW]
+KEY_RIGHTS = [0, PKEY_DISABLE_WRITE,
+              PKEY_DISABLE_ACCESS | PKEY_DISABLE_WRITE]
 N_SLOTS = 3
 MAX_PAGES = 3
 N_KEYS = 2  # allocated pkeys available to pkey_mprotect
 
 op_strategy = st.one_of(
+    st.tuples(st.just("pkey_set"), st.integers(0, N_KEYS - 1),
+              st.sampled_from(KEY_RIGHTS)),
     st.tuples(st.just("mmap"), st.integers(0, N_SLOTS - 1),
               st.integers(1, MAX_PAGES)),
     st.tuples(st.just("munmap"), st.integers(0, N_SLOTS - 1)),
@@ -70,6 +84,13 @@ class Run:
         """Execute one op; returns a comparable outcome token."""
         kind = op[0]
         try:
+            if kind == "pkey_set":
+                # Main task only: exercises the PKRU-encode memo and
+                # its WRPKRU invalidation without perturbing the
+                # sibling's always-denied rights.
+                _, key_idx, rights = op
+                self.tasks[0].pkey_set(self.keys[key_idx], rights)
+                return ("rights", key_idx, rights)
             if kind == "mmap":
                 _, slot, npages = op
                 if slot in self.slots:
@@ -129,6 +150,7 @@ class Reference:
         self.slots = {}          # slot -> (base, npages)
         self.pages = {}          # vpn -> {"prot": int, "pkey": int}
         self.bytes = {}          # vpn -> bytearray
+        self.key_rights = {}     # key_idx -> main task's rights bits
         self.next_base = None    # mirrors the simulator's mmap cursor
 
     def _fault_for(self, vpn, who, is_write):
@@ -138,9 +160,16 @@ class Reference:
         needed = PROT_WRITE if is_write else PROT_READ
         if not page["prot"] & needed:
             return ("fault", "SegmentationFault", False)
-        # Only the allocating (main) task has rights on non-zero keys.
-        if page["pkey"] != 0 and who != 0:
-            return ("fault", "PkeyFault", False)
+        if page["pkey"] != 0:
+            # The sibling never gains rights on non-zero keys; the
+            # main task's rights follow its pkey_set history.
+            if who != 0:
+                return ("fault", "PkeyFault", False)
+            rights = self.key_rights.get(page["pkey"] - 1, 0)
+            if rights & PKEY_DISABLE_ACCESS:
+                return ("fault", "PkeyFault", False)
+            if is_write and rights & PKEY_DISABLE_WRITE:
+                return ("fault", "PkeyFault", False)
         return None
 
     def read(self, who, addr, length):
@@ -184,6 +213,10 @@ class Reference:
     def apply(self, op, sim_outcome):
         """Mirror ``op``; mapping ops learn addresses from the sim."""
         kind = op[0]
+        if kind == "pkey_set":
+            _, key_idx, rights = op
+            self.key_rights[key_idx] = rights
+            return ("rights", key_idx, rights)
         if kind == "mmap":
             _, slot, npages = op
             if slot in self.slots:
