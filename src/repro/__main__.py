@@ -14,6 +14,8 @@ servebench     open-loop serving benchmark (latency percentiles), with a
                bit-identical determinism gate
 servechaos     chaos-soak campaign: seeded fault scripts over the serving
                scenarios, with liveness, audit, and determinism gates
+keyscale       eviction-policy shootout: sweep 100..10k virtual keys over
+               serving and JIT workloads, with a determinism gate
 """
 
 from __future__ import annotations
@@ -262,6 +264,33 @@ def cmd_servechaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_keyscale(args: argparse.Namespace) -> int:
+    from repro.bench import keyscale
+
+    domains = None
+    if args.domains:
+        domains = tuple(int(d) for d in args.domains.split(","))
+    policies = args.policies.split(",") if args.policies else None
+    workloads = args.workloads.split(",") if args.workloads else None
+    try:
+        report = keyscale.run_keyscale(seed=args.seed, domains=domains,
+                                       policies=policies,
+                                       workloads=workloads,
+                                       smoke=args.smoke)
+    except AssertionError as exc:
+        print(f"keyscale FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(keyscale.format_report(report))
+    out_path = pathlib.Path(args.output)
+    keyscale.write_report(report, out_path)
+    print(f"\nwrote {out_path}")
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as fh:
+            fh.write(keyscale.format_markdown(report) + "\n")
+    return 0
+
+
 def cmd_clusterbench(args: argparse.Namespace) -> int:
     from repro.bench import cluster
 
@@ -394,6 +423,27 @@ def main(argv: list[str] | None = None) -> int:
                                  "one")
     servechaos.add_argument("--output",
                             default=str(REPO_ROOT / "BENCH_chaos.json"))
+    keyscale = sub.add_parser(
+        "keyscale",
+        help="eviction-policy shootout across the virtual-key sweep "
+             "(run-twice determinism gate)")
+    keyscale.add_argument("--seed", type=int, default=11,
+                          help="workload seed")
+    keyscale.add_argument("--smoke", action="store_true",
+                          help="small sweep (100 and 1000 domains, "
+                               "fewer connections) for CI")
+    keyscale.add_argument("--domains", default=None,
+                          help="comma-separated sweep points "
+                               "(default: 100,300,1000,3000,10000)")
+    keyscale.add_argument("--policies", default=None,
+                          help="comma-separated policy subset "
+                               "(default: all registered policies)")
+    keyscale.add_argument("--workloads", default=None,
+                          help="comma-separated workload subset "
+                               "(default: serving,jit)")
+    keyscale.add_argument("--output",
+                          default=str(REPO_ROOT
+                                      / "BENCH_keyscale.json"))
     clusterbench = sub.add_parser(
         "clusterbench",
         help="healthy sharded-memcached cluster baseline over the "
@@ -435,6 +485,7 @@ def main(argv: list[str] | None = None) -> int:
         "hostbench": cmd_hostbench,
         "servebench": cmd_servebench,
         "servechaos": cmd_servechaos,
+        "keyscale": cmd_keyscale,
         "clusterbench": cmd_clusterbench,
         "clusterchaos": cmd_clusterchaos,
     }[args.command]

@@ -9,11 +9,84 @@ EXPERIMENTS.md can reference stable artifacts.
 
 from __future__ import annotations
 
+import math
 import pathlib
 import sys
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parents[3] / \
     "benchmarks" / "results"
+
+
+def ascii_curves(series: dict[str, list[tuple[float, float]]],
+                 width: int = 56, height: int = 12,
+                 x_label: str = "x", y_label: str = "y") -> str:
+    """Render families of (x, y) curves as an ASCII chart.
+
+    ``series`` maps a curve name to its sorted (x, y) points.  Each
+    curve is plotted with its own marker (the first letter of its
+    name, uppercased on collision); the x axis is laid out on a log
+    scale when the range spans more than a decade — the natural shape
+    for a 100→10k domain sweep.  Used by ``repro keyscale`` to chart
+    the per-policy throughput/eviction/timeout curves into the text
+    report.
+    """
+    points = [pt for pts in series.values() for pt in pts]
+    if not points:
+        return "(no data)"
+    xs = sorted({x for x, _ in points})
+    y_min = min(y for _, y in points)
+    y_max = max(y for _, y in points)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    log_x = xs[0] > 0 and xs[-1] / xs[0] > 10.0
+
+    def x_pos(x: float) -> int:
+        if len(xs) == 1:
+            return 0
+        if log_x:
+            span = math.log(xs[-1]) - math.log(xs[0])
+            frac = (math.log(x) - math.log(xs[0])) / span
+        else:
+            frac = (x - xs[0]) / (xs[-1] - xs[0])
+        return min(width - 1, max(0, round(frac * (width - 1))))
+
+    def y_pos(y: float) -> int:
+        frac = (y - y_min) / (y_max - y_min)
+        return min(height - 1, max(0, round(frac * (height - 1))))
+
+    grid = [[" "] * width for _ in range(height)]
+    markers: dict[str, str] = {}
+    for name in series:
+        marker = name[0]
+        if marker in markers.values():
+            marker = marker.upper()
+        while marker in markers.values():
+            marker = "*"
+        markers[name] = marker
+    for name, pts in series.items():
+        for x, y in pts:
+            row = height - 1 - y_pos(y)
+            col = x_pos(x)
+            cell = grid[row][col]
+            grid[row][col] = "+" if cell not in (" ", markers[name]) \
+                else markers[name]
+    lines = []
+    for i, row in enumerate(grid):
+        label = ""
+        if i == 0:
+            label = f"{y_max:,.3g}"
+        elif i == height - 1:
+            label = f"{y_min:,.3g}"
+        lines.append(f"{label:>10s} |{''.join(row)}")
+    lines.append(f"{'':>10s} +{'-' * width}")
+    x_axis = (f"{xs[0]:,.3g}{' ' * (width - 12)}{xs[-1]:,.3g}"
+              if width > 24 else f"{xs[0]:,.3g}..{xs[-1]:,.3g}")
+    scale = " (log x)" if log_x else ""
+    lines.append(f"{'':>10s}  {x_axis}  [{x_label}{scale}]")
+    legend = "  ".join(f"{marker}={name}"
+                       for name, marker in markers.items())
+    lines.append(f"{'':>10s}  {y_label}: {legend}")
+    return "\n".join(lines)
 
 
 def _csv_cell(value: object) -> str:

@@ -1156,20 +1156,27 @@ def blocking_begin(lib, task: "Task", vkey: int, prot: int,
     wait_timeout``) and :class:`~repro.errors.MpkTimeout` is raised
     here, at the yield point, for the job to handle or propagate.
     """
-    for _ in range(max_spins):
-        try:
-            lib.mpk_begin(task, vkey, prot)
-            return
-        except MpkKeyExhaustion:
-            task.kernel.clock.charge(task.kernel.costs.futex_block,
-                                     site="libmpk.keycache.wait")
-            if timeout is None:
-                yield lib.key_waiters
-            else:
-                yield WaitSpec(lib.key_waiters, timeout,
-                               on_expire=lib.key_wait_timeout)
-    raise MpkKeyExhaustion(
-        f"blocking_begin: no key after {max_spins} wakes")
+    # Tag the wanted vkey while (potentially) parked: the watchdog's
+    # key_demand() contention export reads it off the wait queue, and
+    # the cost-aware eviction policy uses it to spare demanded keys.
+    task.wanted_vkey = vkey
+    try:
+        for _ in range(max_spins):
+            try:
+                lib.mpk_begin(task, vkey, prot)
+                return
+            except MpkKeyExhaustion:
+                task.kernel.clock.charge(task.kernel.costs.futex_block,
+                                         site="libmpk.keycache.wait")
+                if timeout is None:
+                    yield lib.key_waiters
+                else:
+                    yield WaitSpec(lib.key_waiters, timeout,
+                                   on_expire=lib.key_wait_timeout)
+        raise MpkKeyExhaustion(
+            f"blocking_begin: no key after {max_spins} wakes")
+    finally:
+        task.wanted_vkey = None
 
 
 # ---------------------------------------------------------------------------

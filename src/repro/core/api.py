@@ -26,6 +26,7 @@ never evicted while any exist.
 
 from __future__ import annotations
 
+import math
 import typing
 from contextlib import contextmanager, suppress
 
@@ -50,10 +51,11 @@ from repro.hw.pkru import KEY_RIGHTS_NONE, rights_for_prot
 from repro.obs import traced
 from repro.core.groups import PageGroup
 from repro.core.heap import GroupHeap
-from repro.core.keycache import KeyCache
+from repro.core.keycache import EvictionPolicy, KeyCache
 from repro.core.metadata import CallSiteRegistry, MetadataRegion
 from repro.core.sync import do_pkey_sync
 from repro.kernel.task import WaitQueue
+from repro.kernel.watchdog import key_demand
 
 if typing.TYPE_CHECKING:
     from repro.kernel.kcore import Kernel, Process
@@ -64,6 +66,10 @@ _DEFAULT_FLAGS = MAP_ANONYMOUS | MAP_PRIVATE
 # Usage models a group was last driven by (decides eviction behaviour).
 _MODEL_DOMAIN = "domain"
 _MODEL_GLOBAL = "global"
+
+#: Obs cost table keyed by vkey: measured cycles of each group (re)load
+#: (see ``Observability.charge_key_cost``; read by cost-aware eviction).
+RELOAD_COST_TABLE = "libmpk.keycache.reload"
 
 
 class Libmpk:
@@ -105,7 +111,8 @@ class Libmpk:
     @traced("libmpk.mpk_init")
     def mpk_init(self, task: "Task", evict_rate: float = -1,
                  static_vkeys: typing.Iterable[int] | None = None,
-                 policy: str = "lru") -> None:
+                 policy: str | EvictionPolicy = "lru",
+                 seed: int = 42) -> None:
         """Initialize libmpk: grab all hardware keys, set the eviction
         rate (-1 means the default of 100%), and set up the protected
         metadata region.
@@ -113,8 +120,11 @@ class Libmpk:
         ``static_vkeys`` models the load-time binary scan of §4.3: when
         given, every later API call must use one of these hardcoded
         virtual keys.  ``policy`` selects the victim-selection policy
-        ("lru" is the paper's design; "fifo"/"random" exist for the
-        ablation benchmarks).
+        ("lru" is the paper's design; the rest exist for the eviction
+        shootout) by registry name or strategy object.  ``seed`` feeds
+        the cache's private RNG — the only randomness any policy may
+        draw from — so victim sequences are a pure function of the
+        seed regardless of global ``random`` state.
         """
         if self._cache is not None:
             raise MpkError("mpk_init() called twice")
@@ -129,7 +139,11 @@ class Libmpk:
                 break
         if not keys:
             raise MpkError("no hardware protection keys available")
-        self._cache = KeyCache(keys, evict_rate, policy=policy)
+        self._cache = KeyCache(keys, evict_rate, policy=policy,
+                               seed=seed)
+        # Victim pricing for cost-using policies: measured reload
+        # cycles per vkey, with parked-waiter demand as a veto.
+        self._cache.victim_cost = self._victim_costs
         self._metadata = MetadataRegion(self._kernel, self._process, task)
         self._registry = CallSiteRegistry(static_vkeys)
         # Key-cache counter conservation, checked by obs.audit()
@@ -138,6 +152,12 @@ class Libmpk:
         self._obs.register_invariant(
             f"keycache_counters.pid{self._process.pid}",
             self._cache.check_counters)
+        # Key partition: bound + free + reserved cover the hardware
+        # keys exactly (a limbo key mid-eviction is transient inside a
+        # single call and never outlives it).
+        self._obs.register_invariant(
+            f"keycache_partition.pid{self._process.pid}",
+            self._cache.check_partition)
         # Wait-timeout conservation: every waiter expired off the key
         # wait queue must have gone through key_wait_timeout() — i.e.
         # been charged as libmpk.keycache.wait_timeout and counted —
@@ -409,33 +429,42 @@ class Libmpk:
                     f"mpk_begin_wait: timeout must be positive cycles, "
                     f"got {timeout!r}")
             deadline = started + timeout
-        for attempt in range(1, max_attempts + 1):
-            try:
-                self.mpk_begin(task, vkey, prot)
-                self._begin_wait_attempts += attempt
-                return attempt
-            except MpkKeyExhaustion:
-                outcome = self._wait_for_key(task, attempt, on_wait,
-                                             deadline)
-                if outcome == "timeout":
+        # Tag the task with the vkey it is about to sleep for, so the
+        # watchdog's key_demand() contention export (and through it the
+        # cost-aware eviction policy) can see *what* each parked waiter
+        # wants, not just that it waits.  Host-side bookkeeping only.
+        task.wanted_vkey = vkey
+        try:
+            for attempt in range(1, max_attempts + 1):
+                try:
+                    self.mpk_begin(task, vkey, prot)
                     self._begin_wait_attempts += attempt
-                    waited = self._kernel.clock.now - started
-                    raise MpkTimeout(
-                        f"mpk_begin_wait: no hardware key for vkey "
-                        f"{vkey} within the deadline ({waited:.0f} "
-                        f"cycles waited)", vkey=vkey,
-                        waited_cycles=waited) from None
-                if outcome == "stuck":
-                    self._begin_wait_attempts += attempt
-                    raise MpkKeyExhaustion(
-                        "mpk_begin_wait: all hardware keys pinned and "
-                        "no waker (no on_wait hook and no concurrent "
-                        "thread to free a key) — would deadlock"
-                    ) from None
-        self._begin_wait_attempts += max_attempts
-        raise MpkKeyExhaustion(
-            f"mpk_begin_wait: no hardware key freed after "
-            f"{max_attempts} attempts")
+                    return attempt
+                except MpkKeyExhaustion:
+                    outcome = self._wait_for_key(task, attempt, on_wait,
+                                                 deadline)
+                    if outcome == "timeout":
+                        self._begin_wait_attempts += attempt
+                        waited = self._kernel.clock.now - started
+                        raise MpkTimeout(
+                            f"mpk_begin_wait: no hardware key for vkey "
+                            f"{vkey} within the deadline ({waited:.0f} "
+                            f"cycles waited)", vkey=vkey,
+                            waited_cycles=waited) from None
+                    if outcome == "stuck":
+                        self._begin_wait_attempts += attempt
+                        raise MpkKeyExhaustion(
+                            "mpk_begin_wait: all hardware keys pinned "
+                            "and no waker (no on_wait hook and no "
+                            "concurrent thread to free a key) — would "
+                            "deadlock"
+                        ) from None
+            self._begin_wait_attempts += max_attempts
+            raise MpkKeyExhaustion(
+                f"mpk_begin_wait: no hardware key freed after "
+                f"{max_attempts} attempts")
+        finally:
+            task.wanted_vkey = None
 
     def _wait_for_key(self, task: "Task", attempt: int, on_wait,
                       deadline: float | None = None) -> str:
@@ -783,11 +812,28 @@ class Libmpk:
         self._kernel._charge_protect(stats, pkey_variant=True)
         self._kernel._protect_shootdown(self._process, task, stats)
 
+    def _victim_costs(self, candidates: list[int]) -> list[float]:
+        """Price each eviction candidate for a cost-using policy.
+
+        A vkey some parked waiter is sleeping on (the watchdog's
+        :func:`~repro.kernel.watchdog.key_demand` export) costs +inf —
+        evicting it would guarantee that waiter another miss on wake.
+        Everything else costs its mean measured reload
+        (:data:`RELOAD_COST_TABLE`); a never-reloaded vkey prices at
+        zero, making untouched-since-mmap groups the cheapest victims.
+        """
+        demand = key_demand(self)
+        obs = self._obs
+        return [math.inf if vkey in demand
+                else obs.key_cost(RELOAD_COST_TABLE, vkey)
+                for vkey in candidates]
+
     def _load_group(self, task: "Task", group: PageGroup,
                     page_prot: int) -> int:
         """Map ``group`` onto a hardware key, evicting the LRU unpinned
         key when none is free.  Returns the key."""
         cache = self._require_init()
+        load_started = self._kernel.clock.now
         pkey = cache.assign_free(group.vkey)
         if pkey is None:
             victim_vkey = cache.choose_victim(
@@ -819,6 +865,10 @@ class Libmpk:
             self._repair_record(group)
             raise
         self._page_prots[group.vkey] = page_prot
+        # Observational only: remember what this (re)load cost so the
+        # cost-aware policy can later prefer cheap-to-reload victims.
+        self._obs.charge_key_cost(RELOAD_COST_TABLE, group.vkey,
+                                  self._kernel.clock.now - load_started)
         return pkey
 
     def _unload_group(self, task: "Task", group: PageGroup) -> None:

@@ -29,12 +29,14 @@ from repro.errors import MpkError, MpkKeyExhaustion
 class EvictionPolicy:
     """Pluggable victim-selection strategy for the key cache.
 
-    The cache delegates its two policy-sensitive decisions here:
-    whether a lookup hit refreshes recency, and which candidate vkey
-    loses its hardware key under pressure.  Strategies are stateless —
-    the cache hands them its recency structure and seeded RNG — so a
-    policy object can be shared between caches and the default remains
-    bit-identical to the historical inline LRU code.
+    The cache delegates its policy-sensitive decisions here: whether a
+    lookup hit refreshes recency, and which candidate vkey loses its
+    hardware key under pressure.  The cache hands strategies its
+    recency structure and seeded RNG, so the default remains
+    bit-identical to the historical inline LRU code.  Most built-in
+    policies are stateless and may be shared between caches; "clock"
+    keeps per-cache reference bits, so pass its *name* (the registry
+    instantiates a fresh object per cache) rather than one instance.
 
     Subclass and pass an instance as ``KeyCache(policy=...)`` to ablate
     new strategies (the ROADMAP's eviction-policy shootout) without
@@ -45,15 +47,35 @@ class EvictionPolicy:
     #: :data:`EVICTION_POLICIES`).
     name = "base"
 
+    #: True when the policy wants per-candidate costs: the cache then
+    #: routes victim selection through :meth:`choose_victim_cost`,
+    #: feeding it the caller-installed ``victim_cost`` hook's numbers.
+    uses_cost = False
+
     def on_hit(self, lru: "OrderedDict[int, int]", vkey: int) -> None:
         """A lookup hit on ``vkey`` — refresh recency if the policy
         tracks it.  The base policy does not."""
+
+    def on_evict(self, vkey: int) -> None:
+        """``vkey`` left the cache (eviction or release) — drop any
+        per-vkey policy state.  The base policy keeps none."""
 
     def choose_victim(self, candidates: list[int],
                       rng: random.Random) -> int:
         """Pick the vkey to evict from the non-empty, LRU-ordered
         (oldest-first) ``candidates``."""
         return candidates[0]
+
+    def choose_victim_cost(self, candidates: list[int],
+                           rng: random.Random,
+                           costs: list[float]) -> int:
+        """Cost-weighted victim selection: ``costs[i]`` is the caller's
+        price for evicting ``candidates[i]`` (e.g. its reload cost, or
+        +inf for a key that parked waiters are sleeping on).  The base
+        implementation ignores the costs and defers to
+        :meth:`choose_victim`, so cost-blind policies behave the same
+        whether or not a cost hook is installed."""
+        return self.choose_victim(candidates, rng)
 
 
 class LruPolicy(EvictionPolicy):
@@ -72,7 +94,11 @@ class FifoPolicy(EvictionPolicy):
 
 
 class RandomPolicy(EvictionPolicy):
-    """Uniform victim among the candidates (seeded — deterministic)."""
+    """Uniform victim among the candidates — drawn from the *injected*
+    RNG only (``KeyCache``'s ``random.Random(seed)``), never the
+    module-global ``random`` state, so two runs with the same seed
+    produce the same victim sequence no matter what other code does to
+    the global generator in between."""
 
     name = "random"
 
@@ -81,10 +107,101 @@ class RandomPolicy(EvictionPolicy):
         return rng.choice(candidates)
 
 
-#: Name -> strategy class.  The paper uses LRU; FIFO and RANDOM are
-#: provided for the ablation study in ``benchmarks/``.
+class ClockPolicy(EvictionPolicy):
+    """Second-chance (clock): a hit sets the vkey's reference bit; the
+    hand sweeps the oldest-first candidate ring, clearing bits, and
+    the first unreferenced entry loses its key.  When every candidate
+    was referenced the sweep has cleared them all and the entry under
+    the hand is evicted.
+
+    Stateful (per-cache reference bits and hand position): select it
+    by *name* so the registry builds a fresh instance per cache;
+    sharing one object between caches would mix their reference bits.
+    """
+
+    name = "clock"
+
+    def __init__(self) -> None:
+        self._referenced: set[int] = set()
+        self._hand = 0
+
+    def on_hit(self, lru: "OrderedDict[int, int]", vkey: int) -> None:
+        self._referenced.add(vkey)
+
+    def on_evict(self, vkey: int) -> None:
+        self._referenced.discard(vkey)
+
+    def choose_victim(self, candidates: list[int],
+                      rng: random.Random) -> int:
+        n = len(candidates)
+        start = self._hand % n
+        for offset in range(n):
+            i = (start + offset) % n
+            vkey = candidates[i]
+            if vkey not in self._referenced:
+                self._hand = i + 1
+                return vkey
+            self._referenced.discard(vkey)  # second chance spent
+        # Full sweep: every bit was set and is now cleared; the entry
+        # the hand started on loses.
+        self._hand = start + 1
+        return candidates[start]
+
+
+class CostAwarePolicy(EvictionPolicy):
+    """Recency-primary, cost-refined victim choice.
+
+    The cache's ``victim_cost`` hook prices each candidate (libmpk
+    feeds it per-vkey mean reload cycles from the obs cost table, with
+    +inf for any key a parked waiter wants — see
+    ``Libmpk._victim_costs``).  Candidates arrive oldest-first; the
+    policy restricts itself to the *oldest half* (the cohort LRU deems
+    unlikely to be reused) and evicts the cheapest-to-reload key in it,
+    ties falling to the oldest.  A +inf price is a contention veto: a
+    demanded key is skipped — widening to the full candidate list, and
+    only when *every* candidate is vetoed does the choice fall back to
+    the plain oldest (someone must go).  Evicting recency-blind by raw
+    cost measurably loses to LRU at scale (hot keys are exactly the
+    ones reloaded), so cost only refines *within* the old cohort.
+    Hits refresh recency; with no cost hook installed the policy
+    degenerates to exact LRU.
+    """
+
+    name = "cost-aware"
+    uses_cost = True
+
+    def on_hit(self, lru: "OrderedDict[int, int]", vkey: int) -> None:
+        lru.move_to_end(vkey)
+
+    def choose_victim_cost(self, candidates: list[int],
+                           rng: random.Random,
+                           costs: list[float]) -> int:
+        window = max(1, (len(candidates) + 1) // 2)
+        best = None
+        for i in range(window):
+            if math.isinf(costs[i]):
+                continue
+            if best is None or costs[i] < costs[best]:
+                best = i
+        if best is None:
+            # The whole old cohort is demanded: widen to every
+            # candidate before giving up on the veto entirely.
+            for i in range(window, len(candidates)):
+                if math.isinf(costs[i]):
+                    continue
+                if best is None or costs[i] < costs[best]:
+                    best = i
+        if best is None:
+            best = 0
+        return candidates[best]
+
+
+#: Name -> strategy class.  The paper uses LRU; the others exist for
+#: the eviction-policy shootout (``benchmarks/`` and
+#: ``python -m repro keyscale``).
 EVICTION_POLICIES: dict[str, type[EvictionPolicy]] = {
-    cls.name: cls for cls in (LruPolicy, FifoPolicy, RandomPolicy)
+    cls.name: cls for cls in (LruPolicy, FifoPolicy, RandomPolicy,
+                              ClockPolicy, CostAwarePolicy)
 }
 
 #: Historical tuple of the built-in policy names (kept for callers that
@@ -120,6 +237,11 @@ class KeyCache:
         self.policy = self._policy.name
         self._rng = random.Random(seed)
         self._reserved: set[int] = set()
+        # Optional victim-pricing hook: ``victim_cost(candidates)``
+        # returns one float per candidate vkey.  Consulted only when
+        # the policy opts in (``uses_cost``); libmpk installs its
+        # reload-cost/waiter-demand pricer here at mpk_init.
+        self.victim_cost = None
         # True when the most recent lookup() missed and its eviction
         # decision is still outstanding — lets should_evict_on_miss()
         # avoid double-counting that miss (see the method docstring).
@@ -202,7 +324,17 @@ class KeyCache:
                 "all hardware protection keys are pinned or reserved")
         # "lru" and "fifo" both take the oldest entry (they differ in
         # whether lookup() refreshed recency above); "random" draws from
-        # the cache's seeded RNG so runs stay reproducible.
+        # the cache's seeded RNG so runs stay reproducible.  A
+        # cost-using policy gets the victim_cost hook's per-candidate
+        # prices; without a hook it falls back to the cost-free path.
+        if self._policy.uses_cost and self.victim_cost is not None:
+            costs = list(self.victim_cost(candidates))
+            if len(costs) != len(candidates):
+                raise MpkError(
+                    f"victim_cost hook returned {len(costs)} costs for "
+                    f"{len(candidates)} candidates")
+            return self._policy.choose_victim_cost(candidates, self._rng,
+                                                   costs)
         return self._policy.choose_victim(candidates, self._rng)
 
     def evict(self, vkey: int) -> int:
@@ -213,14 +345,29 @@ class KeyCache:
         except KeyError:
             raise MpkError(f"vkey {vkey} is not cached") from None
         self.stats_evictions += 1
+        self._policy.on_evict(vkey)
         return pkey
 
     def bind(self, vkey: int, pkey: int) -> None:
-        """Bind ``vkey`` to a key obtained from :meth:`evict`."""
+        """Bind ``vkey`` to a key obtained from :meth:`evict`.
+
+        Only a *limbo* key (evicted, not yet rebound) may be bound:
+        binding a free, reserved, or already-bound key would put it in
+        two pools at once and silently break the partition invariant —
+        each is rejected loudly instead.
+        """
         if pkey not in self._all:
             raise MpkError(f"pkey {pkey} is not managed by this cache")
         if vkey in self._lru:
             raise MpkError(f"vkey {vkey} is already cached")
+        if pkey in self._free:
+            raise MpkError(
+                f"pkey {pkey} is free — claim it via assign_free, "
+                f"not bind")
+        if pkey in self._reserved:
+            raise MpkError(f"pkey {pkey} is reserved")
+        if pkey in self._lru.values():
+            raise MpkError(f"pkey {pkey} is already bound")
         self._lru[vkey] = pkey
 
     def refund(self, pkey: int) -> None:
@@ -229,6 +376,10 @@ class KeyCache:
         work completed but the new tenant's load failed)."""
         if pkey not in self._all:
             raise MpkError(f"pkey {pkey} is not managed by this cache")
+        if pkey in self._reserved:
+            # Refunding a reserved key would land it in both the
+            # reserved and free pools; unreserve() is the only exit.
+            raise MpkError(f"pkey {pkey} is reserved, not in limbo")
         if pkey in self._lru.values() or pkey in self._free:
             raise MpkError(f"pkey {pkey} is not in limbo")
         self._free.append(pkey)
@@ -240,6 +391,29 @@ class KeyCache:
         self.stats_evictions -= 1  # not a capacity eviction
         self._free.append(pkey)
         return pkey
+
+    def check_partition(self) -> str | None:
+        """The key-partition invariant (obs audit hook): the bound,
+        free, and reserved pools are disjoint and together cover every
+        hardware key exactly once.  A key in limbo between
+        :meth:`evict` and :meth:`bind` is a transient inside a single
+        libmpk call (refunded or rebound before control returns), so
+        an audit never legitimately observes one.  Returns None when
+        consistent, else a description.
+        """
+        bound = list(self._lru.values())
+        if len(bound) != len(set(bound)):
+            return (f"hardware key double-booked: bindings "
+                    f"{dict(self._lru)}")
+        counted = len(bound) + len(self._free) + len(self._reserved)
+        covered = set(bound) | set(self._free) | self._reserved
+        if counted != len(self._all) or covered != self._all:
+            return (f"key partition broken: {len(bound)} bound + "
+                    f"{len(self._free)} free + {len(self._reserved)} "
+                    f"reserved != capacity {len(self._all)} "
+                    f"(bound={sorted(bound)} free={sorted(self._free)} "
+                    f"reserved={sorted(self._reserved)})")
+        return None
 
     # ------------------------------------------------------------------
     # Eviction-rate policy.

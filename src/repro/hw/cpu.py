@@ -245,6 +245,7 @@ class Core:
                 # them from the TLB too.
                 cached.restamp(entry.frame, entry.frame.number,
                                page_table.generation, page_table)
+                tlb.note_table(page_table)
             return entry.frame, cached.prot, cached.pkey, True
         entry = page_table.lookup(vpn)
         if entry is None:

@@ -137,6 +137,14 @@ class TLB:
         self._costs = costs
         self._capacity = capacity
         self._entries: OrderedDict[int, TlbEntry] = OrderedDict()
+        # Page tables whose translations may be resident — the per-core
+        # half of the kernel's mm_cpumask.  Sticky: set on fill, cleared
+        # only by a *full* flush (LRU eviction and INVLPG leave it, a
+        # conservative over-approximation, exactly like a core staying
+        # in mm_cpumask until it switches mms).  Shootdowns consult it
+        # so cores holding a process's translations are flushed even
+        # when no task of that process is running there at that moment.
+        self._tables: set[object] = set()
         self.stats = TlbStats()
 
     # ------------------------------------------------------------------
@@ -183,6 +191,8 @@ class TLB:
         if vpn in self._entries:
             self._entries.move_to_end(vpn)
         self._entries[vpn] = entry
+        if entry.table is not None:
+            self._tables.add(entry.table)
         if len(self._entries) > self._capacity:
             self._entries.popitem(last=False)
 
@@ -191,6 +201,19 @@ class TLB:
         unlike :meth:`fill` this is not a walk and must not evict."""
         if vpn in self._entries:
             self._entries[vpn] = entry
+            if entry.table is not None:
+                self._tables.add(entry.table)
+
+    def note_table(self, table: object) -> None:
+        """Record that a resident entry now stamps ``table`` (the
+        revalidation path re-stamps entries in place, bypassing
+        :meth:`fill`)."""
+        self._tables.add(table)
+
+    def may_hold(self, table: object) -> bool:
+        """True when this TLB may hold translations of ``table`` — the
+        shootdown targeting predicate (see ``_tables``)."""
+        return table in self._tables
 
     # ------------------------------------------------------------------
     # Invalidation.
@@ -209,6 +232,7 @@ class TLB:
             self.stats.full_flushes += 1
         else:
             self.stats.noop_flushes += 1
+        self._tables.clear()
         self._clock.charge(self._costs.tlb_flush_full,
                            site="hw.tlb.flush_full")
 

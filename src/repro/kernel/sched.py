@@ -252,10 +252,18 @@ class Scheduler:
     def tlb_shootdown(self, process: "Process", initiator: "Task | None",
                       full: bool = True, vpns: list[int] | None = None,
                       charge_pages: int | None = None) -> int:
-        """Flush TLBs on every core running a task of ``process``.
+        """Flush TLBs on every core that may hold ``process``'s
+        translations — the kernel's mm_cpumask targeting.
 
-        The initiating core flushes locally; each *other* core costs a
-        shootdown IPI.  Returns the number of remote IPIs sent.
+        Targeted cores are those running a task of the process *plus*
+        those whose TLB reports :meth:`~repro.hw.tlb.TLB.may_hold` for
+        the process's page table: with no ASIDs, a core whose worker
+        blocked and left the core idle still caches the old
+        translations, and skipping it would let a resumed task read
+        stale pkey/prot bits forever (the keyscale serving bench at 10k
+        domains trips exactly this).  The initiating core flushes
+        locally; each *other* targeted core costs a shootdown IPI.
+        Returns the number of remote IPIs sent.
 
         ``full=True`` (the default) flushes everything on each core.
         ``full=False`` with ``vpns`` is the precise flavour — the
@@ -273,25 +281,29 @@ class Scheduler:
         machine = self.machine
         ipi_cost = machine.costs.tlb_shootdown_ipi
         charge = machine.clock.charge
-        remote = 0
-        flushed_initiator = False
+        page_table = process.page_table
+        targets: dict[int, bool] = {}   # core_id -> is the initiator
         for task in self.running_tasks(process):
-            core = machine.core(task.core_id)
-            if initiator is not None and task is initiator:
-                self._flush(core, full, vpns, charge_pages)
-                flushed_initiator = True
-                continue
-            charge(ipi_cost, site="hw.tlb.shootdown_ipi")
-            self.ipis_sent += 1
-            remote += 1
-            self._flush(core, full, vpns, charge_pages)
-        if initiator is not None and not flushed_initiator:
+            targets[task.core_id] = (initiator is not None
+                                     and task is initiator)
+        for core in machine.cores:
+            if core.core_id not in targets and core.tlb.may_hold(
+                    page_table):
+                targets[core.core_id] = False
+        if initiator is not None and not targets.get(
+                initiator.core_id, False):
             # The initiator may be running a task of a *different*
             # process (the kernel editing another mm).  Cores have no
             # ASIDs here, so its TLB can still hold stale translations
             # of the flushed process — the local flush is mandatory.
-            self._flush(self.machine.core(initiator.core_id), full, vpns,
-                        charge_pages)
+            targets[initiator.core_id] = True
+        remote = 0
+        for core_id in sorted(targets):
+            if not targets[core_id]:
+                charge(ipi_cost, site="hw.tlb.shootdown_ipi")
+                self.ipis_sent += 1
+                remote += 1
+            self._flush(machine.core(core_id), full, vpns, charge_pages)
         return remote
 
     @staticmethod

@@ -246,6 +246,11 @@ class Task:
         self.state = "runnable"
         # The WaitQueue this task is currently parked on, if any.
         self.waiting_on: WaitQueue | None = None
+        # While blocked for a hardware key (mpk_begin_wait / the
+        # serving engine's blocking_begin): the vkey this task wants.
+        # Read back by the watchdog's key_demand() contention export;
+        # None when the task is not waiting for a key.
+        self.wanted_vkey: int | None = None
         # WRPKRU call-gating (the §7 control-flow-hijack mitigation):
         # when sandboxed, WRPKRU may only execute inside a trusted gate.
         self.wrpkru_sandboxed = False

@@ -49,6 +49,9 @@ class WatchdogReport:
     stalls: list[tuple[int, float]] = field(default_factory=list)
     #: Parked waiters seen across all watched libmpk instances.
     waiters: int = 0
+    #: Aggregate key contention: vkey -> live parked waiters wanting
+    #: it (see :func:`key_demand`; empty when nobody waits).
+    contention: dict[int, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -83,6 +86,32 @@ def wait_for_graph(lib: "Libmpk") -> dict[int, set[int]]:
             continue
         graph[entry.task.tid] = set(holders)
     return graph
+
+
+def key_demand(lib: "Libmpk") -> dict[int, int]:
+    """Contention export: vkey -> number of live parked waiters that
+    are sleeping for that virtual key.
+
+    Each blocking entry point (``mpk_begin_wait``, the serving
+    engine's ``blocking_begin``) tags its task with the vkey it wants
+    (``task.wanted_vkey``) before parking on ``lib.key_waiters``; this
+    reads those tags back off the queue.  The cost-aware eviction
+    policy treats a demanded vkey as infinitely expensive to evict —
+    evicting it would guarantee the parked waiter another miss on
+    wake — and the watchdog surfaces the aggregate as the
+    ``kernel.watchdog.contention`` metric.  Pure state inspection: no
+    cycles are charged.
+    """
+    demand: dict[int, int] = {}
+    for entry in lib.key_waiters.entries():
+        task = entry.task
+        if task.state == "dead":
+            continue
+        vkey = task.wanted_vkey
+        if vkey is None:
+            continue
+        demand[vkey] = demand.get(vkey, 0) + 1
+    return demand
 
 
 def find_cycles(graph: dict[int, set[int]],
@@ -194,6 +223,9 @@ class Watchdog:
         report = WatchdogReport()
         now = clock.now
         for lib in self._libs:
+            for vkey, waiters in key_demand(lib).items():
+                report.contention[vkey] = (
+                    report.contention.get(vkey, 0) + waiters)
             for cycle in self._deadlocks_for(lib):
                 report.deadlocks.append(cycle)
                 self.deadlocks_detected += 1
@@ -208,5 +240,12 @@ class Watchdog:
                     report.stalls.append((entry.task.tid, waited))
                     self.stalls_detected += 1
                     obs.record_metric("kernel.watchdog.stall", waited)
+        if report.contention:
+            # One observation per scan that saw contention: how many
+            # distinct vkeys had parked demand.  Recorded only when
+            # non-empty so contention-free workloads keep their metric
+            # summaries byte-identical.
+            obs.record_metric("kernel.watchdog.contention",
+                              float(len(report.contention)))
         self.last_report = report
         return report

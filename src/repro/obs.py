@@ -405,6 +405,8 @@ class Observability:
         self._metric_ids: dict[str, int] = {}
         self._metric_names: list[str] = []
         self._metric_list: list[MetricSeries] = []
+        # table -> key -> [total_cycles, observations]
+        self._key_costs: dict[str, dict[int, list[float]]] = {}
 
     # ------------------------------------------------------------------
     # Metric series (non-cycle observations: queue depths, wait times).
@@ -453,6 +455,50 @@ class Observability:
         :meth:`MetricSeries.summary`), sorted by site."""
         return {name: series.summary()
                 for name, series in sorted(self.metrics().items())}
+
+    # ------------------------------------------------------------------
+    # Per-key cost tables (keyed attribution of charged cycles).
+    # ------------------------------------------------------------------
+
+    def charge_key_cost(self, table: str, key: int,
+                        cycles: float) -> None:
+        """Attribute ``cycles`` — already charged to the clock through
+        an ordinary ``charge`` site — to ``key`` inside ``table``.
+
+        Purely observational, like :meth:`record_metric`: nothing here
+        touches the clock or the conservation audit.  libmpk records
+        each virtual key's measured reload cost this way
+        (``libmpk.keycache.reload``), and the cost-aware eviction
+        policy reads it back through :meth:`key_cost` to prefer
+        cheap-to-reload victims.
+        """
+        table_map = self._key_costs.get(table)
+        if table_map is None:
+            table_map = self._key_costs[table] = {}
+        entry = table_map.get(key)
+        if entry is None:
+            table_map[key] = [cycles, 1]
+        else:
+            entry[0] += cycles
+            entry[1] += 1
+
+    def key_cost(self, table: str, key: int,
+                 default: float = 0.0) -> float:
+        """Mean recorded cost of ``key`` in ``table`` (``default``
+        when the key was never charged there)."""
+        table_map = self._key_costs.get(table)
+        if table_map is None:
+            return default
+        entry = table_map.get(key)
+        if entry is None:
+            return default
+        return entry[0] / entry[1]
+
+    def key_costs(self, table: str) -> dict[int, float]:
+        """Snapshot of ``table``: key -> mean recorded cost."""
+        table_map = self._key_costs.get(table, {})
+        return {key: entry[0] / entry[1]
+                for key, entry in table_map.items()}
 
     # ------------------------------------------------------------------
     # Sink management (pass-through with a tiny convenience).

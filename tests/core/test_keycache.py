@@ -174,7 +174,8 @@ class TestEvictionPolicyStrategy:
     def test_registry_name_resolution(self):
         from repro.core.keycache import EVICTION_POLICIES, POLICIES
 
-        assert set(POLICIES) == {"lru", "fifo", "random"}
+        assert set(POLICIES) == {"lru", "fifo", "random", "clock",
+                                 "cost-aware"}
         for name in POLICIES:
             assert KeyCache([1, 2], evict_rate=1.0,
                             policy=name).policy == name
@@ -225,3 +226,236 @@ class TestEvictionPolicyStrategy:
 
         assert victims(1) == victims(1)
         assert victims(1) != victims(2)
+
+    def test_global_random_state_cannot_perturb_victims(self):
+        """Regression (keyscale determinism contract): the random
+        policy must draw only from the cache's injected seeded RNG.
+        Were it to touch the module-global ``random`` stream, two runs
+        identical in everything but unrelated global-RNG activity
+        would pick different victims — exactly what this simulates by
+        reseeding and draining the global generator differently
+        between and during two otherwise-identical runs."""
+        import random as global_random
+
+        def victims(global_noise):
+            global_random.seed(global_noise)
+            cache = KeyCache(list(range(1, 9)), evict_rate=1.0,
+                             policy="random", seed=7)
+            for vkey in range(10, 18):
+                cache.assign_free(vkey)
+            out = []
+            for i in range(6):
+                # Unrelated global-RNG traffic mid-run.
+                global_random.random()
+                victim = cache.choose_victim(lambda v: True)
+                out.append(victim)
+                cache.bind(100 + i, cache.evict(victim))
+            return out
+
+        assert victims(0xAAAA) == victims(0x5555)
+
+
+class TestClockPolicy:
+    def make(self, keys=4):
+        cache = KeyCache(list(range(1, keys + 1)), evict_rate=1.0,
+                         policy="clock")
+        for vkey in range(10, 10 + keys):
+            cache.assign_free(vkey)
+        return cache
+
+    def test_unreferenced_oldest_evicted_first(self):
+        cache = self.make()
+        assert cache.choose_victim(lambda v: True) == 10
+
+    def test_hit_earns_a_second_chance(self):
+        cache = self.make(keys=2)
+        cache.lookup(10)  # sets 10's reference bit
+        assert cache.choose_victim(lambda v: True) == 11
+
+    def test_second_chance_is_spent_by_the_sweep(self):
+        cache = self.make(keys=2)
+        cache.lookup(10)
+        cache.choose_victim(lambda v: True)   # sweep clears 10's bit
+        # Hand sits past 11; the wrapped scan finds 10 unreferenced.
+        assert cache.choose_victim(lambda v: True) == 10
+
+    def test_all_referenced_evicts_under_the_hand(self):
+        cache = self.make(keys=3)
+        for vkey in (10, 11, 12):
+            cache.lookup(vkey)
+        assert cache.choose_victim(lambda v: True) == 10
+
+    def test_eviction_drops_reference_state(self):
+        cache = self.make(keys=2)
+        cache.lookup(10)
+        cache.bind(20, cache.evict(10))
+        assert 10 not in cache._policy._referenced
+
+    def test_deterministic_across_runs(self):
+        def sequence():
+            cache = self.make(keys=4)
+            out = []
+            for i in range(8):
+                cache.lookup(10 + (i % 2))
+                victim = cache.choose_victim(lambda v: True)
+                out.append(victim)
+                cache.bind(100 + i, cache.evict(victim))
+            return out
+
+        assert sequence() == sequence()
+
+
+class TestCostAwarePolicy:
+    def make(self, costs=None, keys=3):
+        cache = KeyCache(list(range(1, keys + 1)), evict_rate=1.0,
+                         policy="cost-aware")
+        if costs is not None:
+            cache.victim_cost = lambda cands: [costs[v] for v in cands]
+        for vkey in range(10, 10 + keys):
+            cache.assign_free(vkey)
+        return cache
+
+    def test_without_hook_degenerates_to_lru(self):
+        cache = self.make()
+        cache.lookup(10)
+        assert cache.choose_victim(lambda v: True) == 11
+
+    def test_cheapest_candidate_loses(self):
+        cache = self.make(costs={10: 5.0, 11: 1.0, 12: 3.0})
+        assert cache.choose_victim(lambda v: True) == 11
+
+    def test_cost_ties_fall_to_the_oldest(self):
+        cache = self.make(costs={10: 2.0, 11: 2.0, 12: 2.0})
+        cache.lookup(10)  # recency refresh: 11 becomes oldest
+        assert cache.choose_victim(lambda v: True) == 11
+
+    def test_infinite_cost_is_an_effective_veto(self):
+        """The libmpk pricer marks a vkey with parked waiters as +inf:
+        it must never be picked while any finite candidate exists."""
+        import math
+        cache = self.make(costs={10: math.inf, 11: math.inf, 12: 9.0})
+        assert cache.choose_victim(lambda v: True) == 12
+
+    def test_all_infinite_falls_back_to_oldest(self):
+        import math
+        cache = self.make(
+            costs={10: math.inf, 11: math.inf, 12: math.inf})
+        assert cache.choose_victim(lambda v: True) == 10
+
+    def test_recency_window_bounds_the_cost_search(self):
+        """Cost refines only within the oldest half of the candidates:
+        a dirt-cheap but recently-used key survives over a pricier old
+        one (evicting purely by cost re-evicts the hot set)."""
+        cache = self.make(costs={10: 5.0, 11: 4.0, 12: 1.0, 13: 0.5},
+                          keys=4)
+        assert cache.choose_victim(lambda v: True) == 11
+
+    def test_vetoed_old_cohort_widens_to_the_young(self):
+        """A fully-demanded old cohort must not force evicting a
+        demanded key while an undemanded young one exists."""
+        import math
+        cache = self.make(costs={10: math.inf, 11: math.inf,
+                                 12: 7.0, 13: math.inf}, keys=4)
+        assert cache.choose_victim(lambda v: True) == 12
+
+    def test_miscounting_hook_rejected(self):
+        cache = self.make(keys=2)
+        cache.victim_cost = lambda cands: [1.0]
+        with pytest.raises(MpkError, match="victim_cost"):
+            cache.choose_victim(lambda v: True)
+
+    def test_cost_blind_policies_ignore_the_hook(self):
+        cache = KeyCache([1, 2], evict_rate=1.0, policy="lru")
+        cache.victim_cost = lambda cands: [0.0, -1.0][:len(cands)]
+        cache.assign_free(10)
+        cache.assign_free(11)
+        assert cache.choose_victim(lambda v: True) == 10
+
+
+class TestPartitionHardening:
+    """Fail-pre-fix regressions for the bind/refund partition holes
+    found by the 10k-domain keyscale soak, plus trip-tests for the
+    check_partition() audit hook itself."""
+
+    def test_refund_of_reserved_key_rejected(self, cache):
+        """Pre-fix, refund() accepted a reserved key — it landed in
+        both the reserved and free pools, and a later assign_free
+        could hand out a key the execute-only plane still owned."""
+        reserved = cache.reserve_free_key()
+        with pytest.raises(MpkError, match="reserved"):
+            cache.refund(reserved)
+        assert cache.check_partition() is None
+
+    def test_bind_of_free_key_rejected(self, cache):
+        """Pre-fix, bind() accepted a key straight off the free list,
+        double-counting it (free and bound at once)."""
+        with pytest.raises(MpkError, match="free"):
+            cache.bind(10, cache.free_keys[0])
+        assert cache.check_partition() is None
+
+    def test_bind_of_reserved_key_rejected(self, cache):
+        reserved = cache.reserve_free_key()
+        with pytest.raises(MpkError, match="reserved"):
+            cache.bind(10, reserved)
+        assert cache.check_partition() is None
+
+    def test_bind_of_bound_key_rejected(self, cache):
+        pkey = cache.assign_free(10)
+        with pytest.raises(MpkError, match="already bound"):
+            cache.bind(11, pkey)
+        assert cache.check_partition() is None
+
+    def test_partition_check_trips_on_a_lost_key(self, cache):
+        pkey = cache.assign_free(10)
+        cache.evict(10)  # pkey now in limbo: an audit would see a hole
+        problem = cache.check_partition()
+        assert problem is not None and "partition broken" in problem
+        cache.refund(pkey)
+        assert cache.check_partition() is None
+
+    def test_partition_check_trips_on_a_double_counted_key(self, cache):
+        reserved = cache.reserve_free_key()
+        cache._free.append(reserved)  # simulate the pre-fix refund bug
+        assert cache.check_partition() is not None
+
+    def test_partition_holds_through_the_full_lifecycle(self, cache):
+        cache.assign_free(10)
+        cache.assign_free(11)
+        cache.bind(20, cache.evict(10))
+        cache.release(11)
+        reserved = cache.reserve_free_key()
+        cache.unreserve(reserved)
+        assert cache.check_partition() is None
+
+
+class TestExtremeMissRates:
+    """should_evict_on_miss() accounting when nearly every lookup
+    misses (satellite of the keyscale soak: 10k domains over 15 keys
+    run the miss path almost exclusively)."""
+
+    @pytest.mark.parametrize("rate", [0.001, 0.1, 0.5, 0.999, 1.0])
+    def test_identity_and_decision_count_at_scale(self, rate):
+        import math
+        cache = KeyCache([1], evict_rate=rate)
+        n = 10_000
+        decisions = 0
+        for vkey in range(n):  # every lookup a miss
+            assert cache.lookup(vkey) is None
+            if cache.should_evict_on_miss():
+                decisions += 1
+        assert cache.check_counters() is None
+        assert cache.stats_misses == n
+        # Error diffusion telescopes: floor(n*rate) evictions exactly.
+        assert decisions == math.floor(n * rate)
+        assert cache.stats_fallbacks == n - decisions
+
+    def test_identity_survives_rare_hits_in_a_miss_storm(self):
+        cache = KeyCache([1, 2], evict_rate=0.999)
+        cache.assign_free(0)
+        for i in range(5_000):
+            vkey = 0 if i % 100 == 0 else 1_000 + i
+            if cache.lookup(vkey) is None:
+                cache.should_evict_on_miss()
+        assert cache.check_counters() is None
+        assert (cache.stats_hits + cache.stats_misses
+                == cache.stats_lookups)

@@ -136,6 +136,54 @@ class TestFlush:
         assert tlb.stats.noop_flushes == 0
 
 
+class TestMmResidency:
+    """The per-core mm_cpumask analogue: which page tables may have
+    translations resident (the shootdown targeting predicate)."""
+
+    def test_fill_records_the_stamping_table(self, tlb):
+        table = object()
+        assert not tlb.may_hold(table)
+        tlb.fill(1, TlbEntry(frame_number=1, prot=0x3, pkey=0,
+                             generation=0, table=table))
+        assert tlb.may_hold(table)
+
+    def test_unstamped_entries_record_nothing(self, tlb):
+        tlb.fill(1, entry(1))          # legacy entry, table=None
+        assert not tlb.may_hold(None)
+
+    def test_update_and_note_table_record_residency(self, tlb):
+        table = object()
+        tlb.fill(1, entry(1))
+        tlb.update(1, TlbEntry(frame_number=1, prot=0x3, pkey=0,
+                               generation=0, table=table))
+        assert tlb.may_hold(table)
+        other = object()
+        tlb.note_table(other)          # fast-path restamp bypasses fill
+        assert tlb.may_hold(other)
+
+    def test_residency_is_sticky_across_eviction_and_invlpg(self, tlb):
+        # Conservative like mm_cpumask: LRU eviction and INVLPG do not
+        # retract residency — only a full flush does.
+        table = object()
+        tlb.fill(0, TlbEntry(frame_number=0, prot=0x3, pkey=0,
+                             generation=0, table=table))
+        tlb.invalidate_page(0)
+        assert tlb.may_hold(table)
+        tlb.fill(0, TlbEntry(frame_number=0, prot=0x3, pkey=0,
+                             generation=0, table=table))
+        for vpn in range(1, 5):
+            tlb.fill(vpn, entry(vpn))  # capacity 4: evicts vpn 0
+        assert tlb.probe(0) is None
+        assert tlb.may_hold(table)
+
+    def test_full_flush_clears_residency(self, tlb):
+        table = object()
+        tlb.fill(1, TlbEntry(frame_number=1, prot=0x3, pkey=0,
+                             generation=0, table=table))
+        tlb.flush()
+        assert not tlb.may_hold(table)
+
+
 class TestValidation:
     def test_zero_capacity_rejected(self):
         with pytest.raises(ValueError):

@@ -412,6 +412,55 @@ class TestShootdownRegressions:
         kernel.scheduler.tlb_shootdown(other, initiator=initiator)
         assert core.tlb.probe(vpn) is None
 
+    def test_idle_core_holding_translations_is_flushed(self, kernel,
+                                                       process):
+        """Regression (keyscale at scale): a core whose worker blocked
+        (e.g. parked on key_waiters during pkey exhaustion) sits idle
+        but still caches the process's translations.  Pre-fix the
+        shootdown only targeted cores *currently running* a task of the
+        process, so the idle core kept stale prot/pkey tags and the
+        worker faulted on resume."""
+        worker = process.spawn_task()
+        kernel.scheduler.schedule(worker)
+        addr = kernel.sys_mmap(worker, PAGE_SIZE, RW)
+        worker.write(addr, b"x")              # fills this core's TLB
+        core = kernel.machine.core(worker.core_id)
+        vpn = addr // PAGE_SIZE
+        assert core.tlb.probe(vpn) is not None
+        initiator = process.spawn_task()
+        kernel.scheduler.schedule(initiator)  # lands on another core
+        assert initiator.core_id != core.core_id
+        kernel.scheduler.unschedule(worker)   # core now idle
+        ipis = kernel.scheduler.ipis_sent
+        flushes = core.tlb.stats.full_flushes
+        remote = kernel.scheduler.tlb_shootdown(process,
+                                                initiator=initiator)
+        assert core.tlb.probe(vpn) is None    # pre-fix: still resident
+        assert core.tlb.stats.full_flushes == flushes + 1
+        assert kernel.scheduler.ipis_sent == ipis + remote
+
+    def test_full_flush_retracts_shootdown_targeting(self, kernel,
+                                                     process):
+        """Once a core full-flushed, it holds nothing of the process —
+        later shootdowns must not keep IPI-ing it forever."""
+        worker = process.spawn_task()
+        kernel.scheduler.schedule(worker)
+        addr = kernel.sys_mmap(worker, PAGE_SIZE, RW)
+        worker.write(addr, b"x")
+        core = kernel.machine.core(worker.core_id)
+        initiator = process.spawn_task()
+        kernel.scheduler.schedule(initiator)
+        kernel.scheduler.unschedule(worker)
+        first = kernel.scheduler.tlb_shootdown(process,
+                                               initiator=initiator)
+        assert not core.tlb.may_hold(process.page_table)
+        flushes = core.tlb.stats.full_flushes + core.tlb.stats.noop_flushes
+        second = kernel.scheduler.tlb_shootdown(process,
+                                                initiator=initiator)
+        assert second == first - 1            # the idle core dropped out
+        assert (core.tlb.stats.full_flushes
+                + core.tlb.stats.noop_flushes) == flushes
+
 
 class TestProcessLifecycle:
     def test_exit_task_removes_from_process(self, kernel, process):

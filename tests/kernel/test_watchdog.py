@@ -145,6 +145,47 @@ class TestWatchdogStalls:
         assert after == before + kernel.costs.watchdog_scan
 
 
+class TestKeyDemand:
+    def test_tagged_waiters_are_aggregated_per_vkey(self, kernel,
+                                                    process, task, lib):
+        from repro.kernel.watchdog import key_demand
+
+        a, b, c = (process.spawn_task() for _ in range(3))
+        for waiter, vkey in ((a, 70), (b, 70), (c, 71)):
+            waiter.wanted_vkey = vkey
+            lib.key_waiters.add(waiter, now=kernel.clock.now)
+        assert key_demand(lib) == {70: 2, 71: 1}
+
+    def test_untagged_and_dead_waiters_are_skipped(self, kernel,
+                                                   process, task, lib):
+        from repro.kernel.watchdog import key_demand
+
+        untagged = process.spawn_task()
+        lib.key_waiters.add(untagged, now=kernel.clock.now)
+        dead = process.spawn_task()
+        dead.wanted_vkey = 70
+        lib.key_waiters.add(dead, now=kernel.clock.now)
+        dead.state = "dead"
+        assert key_demand(lib) == {}
+
+    def test_scan_reports_and_records_contention(self, kernel, process,
+                                                 task, lib):
+        watchdog = Watchdog(kernel)
+        watchdog.watch(lib)
+        waiter = process.spawn_task()
+        waiter.wanted_vkey = 70
+        lib.key_waiters.add(waiter, now=kernel.clock.now)
+        report = watchdog.scan()
+        assert report.contention == {70: 1}
+        series = kernel.machine.obs.metric("kernel.watchdog.contention")
+        assert series.count == 1 and series.last == 1.0
+        lib.key_waiters.remove(waiter)
+        # Contention-free scans record nothing (determinism contract:
+        # metric summaries stay byte-identical for quiet workloads).
+        assert watchdog.scan().contention == {}
+        assert series.count == 1
+
+
 class TestWatchdogApi:
     def test_double_watch_rejected(self, kernel, lib):
         watchdog = Watchdog(kernel)

@@ -70,6 +70,30 @@ class TestServebench:
             assert row["latency_cycles"]["p50"] > 0
 
 
+class TestKeyscale:
+    def test_writes_report_and_prints_tables(self, capsys, tmp_path):
+        import json
+        out_path = tmp_path / "keyscale.json"
+        assert main(["keyscale", "--domains", "60",
+                     "--policies", "lru,clock", "--smoke",
+                     "--output", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "workload: serving" in out and "workload: jit" in out
+        assert "determinism gate" in out
+        report = json.loads(out_path.read_text())
+        assert report["policies"] == ["lru", "clock"]
+        assert report["domains"] == [60]
+        assert set(report["workloads"]) == {"serving", "jit"}
+
+    def test_unknown_policy_fails_cleanly(self, capsys, tmp_path):
+        out_path = tmp_path / "keyscale.json"
+        assert main(["keyscale", "--domains", "60",
+                     "--policies", "belady",
+                     "--output", str(out_path)]) == 1
+        assert "keyscale FAILED" in capsys.readouterr().err
+        assert not out_path.exists()
+
+
 class TestServechaos:
     def test_writes_report_and_replays_it(self, capsys, tmp_path):
         import json

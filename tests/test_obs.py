@@ -290,6 +290,39 @@ class TestSiteInterning:
         assert agg.cycles["hw.test.a"] == pytest.approx(3.0)
 
 
+class TestKeyCostTables:
+    def test_mean_cost_per_key(self):
+        clock = Clock()
+        obs = Observability(clock)
+        obs.charge_key_cost("libmpk.keycache.reload", 100, 4_000.0)
+        obs.charge_key_cost("libmpk.keycache.reload", 100, 2_000.0)
+        obs.charge_key_cost("libmpk.keycache.reload", 101, 500.0)
+        assert obs.key_cost("libmpk.keycache.reload",
+                            100) == pytest.approx(3_000.0)
+        assert obs.key_costs("libmpk.keycache.reload") == {
+            100: pytest.approx(3_000.0), 101: pytest.approx(500.0)}
+
+    def test_unknown_table_or_key_yields_default(self):
+        clock = Clock()
+        obs = Observability(clock)
+        assert obs.key_cost("libmpk.keycache.reload", 100) == 0.0
+        assert obs.key_cost("libmpk.keycache.reload", 100,
+                            default=7.5) == 7.5
+        obs.charge_key_cost("libmpk.keycache.reload", 100, 1.0)
+        assert obs.key_cost("libmpk.keycache.reload", 999,
+                            default=-1.0) == -1.0
+        assert obs.key_costs("other.table") == {}
+
+    def test_recording_is_purely_observational(self):
+        """charge_key_cost attributes already-charged cycles — it must
+        never touch the clock itself."""
+        clock = Clock()
+        obs = Observability(clock)
+        before = clock.now
+        obs.charge_key_cost("libmpk.keycache.reload", 100, 4_000.0)
+        assert clock.now == before
+
+
 class TestMetricSeries:
     def test_interned_ids_record_like_labels(self):
         clock = Clock()
