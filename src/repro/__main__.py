@@ -292,8 +292,41 @@ def cmd_keyscale(args: argparse.Namespace) -> int:
 
 
 def cmd_clusterbench(args: argparse.Namespace) -> int:
+    import json
+
     from repro.bench import cluster
 
+    if args.sweep:
+        nodes_axis = tuple(
+            int(n) for n in args.sweep_nodes.split(","))
+        replicas_axis = tuple(
+            int(r) for r in args.sweep_replicas.split(","))
+        partition_axis = tuple(
+            float(p) for p in args.sweep_partitions.split(","))
+        try:
+            sweep = cluster.run_cluster_sweep(
+                seed=args.seed, nodes_axis=nodes_axis,
+                replicas_axis=replicas_axis,
+                partition_axis_mcyc=partition_axis,
+                connections=args.connections)
+        except AssertionError as exc:
+            print(f"cluster sweep FAILED: {exc}", file=sys.stderr)
+            return 1
+        print(cluster.format_sweep_table(sweep))
+        if args.output:
+            # The sweep merges into the chaos payload (one
+            # BENCH_cluster.json carries both) instead of clobbering.
+            out_path = pathlib.Path(args.output)
+            payload = (json.loads(out_path.read_text())
+                       if out_path.exists() else {})
+            payload["sweep"] = sweep
+            cluster.write_cluster_report(payload, out_path)
+            print(f"\nwrote {out_path}")
+        summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+        if summary_path:
+            with open(summary_path, "a") as fh:
+                fh.write(cluster.format_sweep_table(sweep) + "\n")
+        return 0
     try:
         report = cluster.run_clusterbench(seed=args.seed,
                                           nodes=args.nodes,
@@ -315,18 +348,21 @@ def cmd_clusterchaos(args: argparse.Namespace) -> int:
     from repro.bench import cluster
 
     script = None
+    rehydration_script = None
     if args.replay:
         recorded = json.loads(pathlib.Path(args.replay).read_text())
         script = cluster.script_from_json(recorded["script"])
+        if recorded.get("rehydration_script"):
+            rehydration_script = cluster.script_from_json(
+                recorded["rehydration_script"])
         args.seed = recorded.get("seed", args.seed)
         print(f"replaying {len(script)}-event cluster script from "
               f"{args.replay} (seed {args.seed})")
     try:
-        report = cluster.run_clusterchaos(seed=args.seed,
-                                          nodes=args.nodes,
-                                          connections=args.connections,
-                                          events=args.events,
-                                          script=script)
+        report = cluster.run_clusterchaos(
+            seed=args.seed, nodes=args.nodes,
+            connections=args.connections, events=args.events,
+            script=script, rehydration_script=rehydration_script)
     except AssertionError as exc:
         print(f"clusterchaos FAILED: {exc}", file=sys.stderr)
         return 1
@@ -448,6 +484,16 @@ def main(argv: list[str] | None = None) -> int:
         "clusterbench",
         help="healthy sharded-memcached cluster baseline over the "
              "network plane")
+    clusterbench.add_argument("--sweep", action="store_true",
+                              help="run the nodes x replicas x "
+                                   "partition-duration sweep grid")
+    clusterbench.add_argument("--sweep-nodes", default="3,4",
+                              help="comma list of cluster sizes")
+    clusterbench.add_argument("--sweep-replicas", default="1,2",
+                              help="comma list of replica counts")
+    clusterbench.add_argument("--sweep-partitions", default="10,40",
+                              help="comma list of partition windows "
+                                   "(Mcycles)")
     clusterbench.add_argument("--seed", type=int, default=29,
                               help="arrival-schedule seed")
     clusterbench.add_argument("--nodes", type=int, default=4)

@@ -22,8 +22,24 @@ script of **node kills**, **link partitions**, and **operation delays**
 * **Degradation** — while a node is down the cluster keeps completing
   requests on surviving shards, and completes more after the restart
   (recovery to full capacity).
+* **Replication** — zero post-sync misses on previously-stored
+  replicated keys, every surviving node's anti-entropy sync complete,
+  no hint stuck in a buffer at quiescence.
 
-The script is data (:class:`ClusterChaosEvent` tuples) embedded in
+A third scenario, ``rehydration``, soaks the recovery plane itself
+under a handcrafted kill → partial sync → kill-again script
+(:func:`generate_rehydration_script`): the victim dies mid-traffic,
+its restart's anti-entropy sync is partitioned away from its first
+peer (forcing the timeout/retry/backoff path), and a second kill
+lands at the first applied sync page — the second restart must
+rehydrate from scratch and still converge with zero unexplained
+misses.
+
+``python -m repro clusterbench --sweep`` runs the nodes × replicas ×
+partition-duration grid (:func:`run_cluster_sweep`) under the same
+gate set and merges the rows into ``BENCH_cluster.json``.
+
+The scripts are data (:class:`ClusterChaosEvent` tuples) embedded in
 ``BENCH_cluster.json`` for exact replay, the same idiom as
 ``servechaos``.
 """
@@ -44,6 +60,8 @@ from repro.net.cluster import (
     link_partition,
     node_kill,
     node_site_delay,
+    sync_kill,
+    sync_partition,
 )
 from repro.net.plane import NetworkPlane
 from repro.net.shard import ShardMap
@@ -68,7 +86,8 @@ class ClusterChaosEvent:
     """One scripted cluster failure, triggered at the
     ``occurrence``-th charge of the (name-prefixed) ``site``."""
 
-    kind: str          # "node_kill" | "partition" | "worker_kill" | "delay"
+    kind: str          # "node_kill" | "partition" | "worker_kill"
+    #                    | "delay" | "sync_partition" | "sync_kill"
     site: str          # trigger, e.g. "node0.apps.memcached.request"
     occurrence: int
     node: str = ""     # victim node (node_kill / worker_kill / delay)
@@ -140,6 +159,39 @@ def generate_cluster_script(seed: int, node_names: typing.Sequence[str],
     return tuple(script)
 
 
+def generate_rehydration_script(node_names: typing.Sequence[str]
+                                ) -> tuple[ClusterChaosEvent, ...]:
+    """The kill → partial sync → kill-again script the rehydration
+    scenario soaks under (deterministic by construction, no rng):
+
+    1. ``node_kill`` takes the victim down mid-traffic; its restart
+       enters anti-entropy sync.
+    2. ``sync_partition`` cuts the victim's link to its first sync
+       peer *while the sync is in flight* (the action fizzles
+       otherwise), long enough to force at least one sync timeout +
+       retry, short enough to heal before the retry budget runs out.
+    3. ``sync_kill`` powers the victim off again at its first applied
+       sync page — a partial sync is lost wholesale, and the *second*
+       restart must rehydrate from scratch and still converge.
+    """
+    victim = node_names[1]
+    helper = node_names[0]   # sorted first => the first sync peer
+    return (
+        ClusterChaosEvent(
+            kind="node_kill",
+            site=f"{victim}.apps.memcached.request",
+            occurrence=12, node=victim),
+        ClusterChaosEvent(
+            kind="sync_partition",
+            site=f"{victim}.net.repl.sync_req",
+            occurrence=1, node=victim, peer=helper, duration=12e6),
+        ClusterChaosEvent(
+            kind="sync_kill",
+            site=f"{victim}.net.repl.sync_apply",
+            occurrence=1, node=victim),
+    )
+
+
 def script_to_json(script) -> list[dict]:
     return [event.to_json() for event in script]
 
@@ -175,6 +227,11 @@ def _arm_cluster_script(injector: FaultInjector, cluster: Cluster,
         elif event.kind == "delay":
             action = node_site_delay(cluster, event.node,
                                      event.extra_cycles)
+        elif event.kind == "sync_partition":
+            action = sync_partition(cluster, event.node, event.peer,
+                                    event.duration)
+        elif event.kind == "sync_kill":
+            action = sync_kill(cluster, event.node)
         else:
             raise ValueError(
                 f"unknown cluster chaos event kind: {event.kind!r}")
@@ -273,6 +330,7 @@ class ClusterRun:
     completion_times: tuple
     shed_times: tuple
     up_nodes: tuple
+    repl_totals: dict
 
 
 def _soak_cluster(build, script) -> ClusterRun:
@@ -300,6 +358,7 @@ def _soak_cluster(build, script) -> ClusterRun:
                  "unserved": r.unserved}
                 for r in node.reports],
             "supervisor": node.pool.stats(),
+            "replication": node.repl_stats(),
         }
     return ClusterRun(
         site_ledger=cluster.site_ledger(),
@@ -318,6 +377,7 @@ def _soak_cluster(build, script) -> ClusterRun:
         completion_times=tuple(client.completion_times),
         shed_times=tuple(client.shed_times),
         up_nodes=tuple(cluster.up_nodes()),
+        repl_totals=cluster.repl_totals(),
     )
 
 
@@ -403,6 +463,54 @@ def _check_degradation(run: ClusterRun) -> list[str]:
     return violations
 
 
+def _check_replication(run: ClusterRun) -> list[str]:
+    """The replication plane's quiescence gates: no unexplained
+    post-restart misses on previously-stored keys, every surviving
+    node's anti-entropy sync complete, no hint stuck in a buffer."""
+    violations = []
+    totals = run.repl_totals
+    if totals.get("post_sync_misses"):
+        violations.append(
+            f"{totals['post_sync_misses']} post-sync misses on "
+            f"previously-stored replicated keys (rehydration gate "
+            f"demands 0)")
+    if totals.get("hints_pending"):
+        violations.append(
+            f"{totals['hints_pending']} hints still queued at "
+            f"quiescence (neither drained nor shed)")
+    for name in run.up_nodes:
+        repl = run.nodes[name]["replication"]
+        if not repl["sync_done"]:
+            violations.append(
+                f"{name} is up but its anti-entropy sync never "
+                f"completed")
+    return violations
+
+
+def _check_rehydration(run: ClusterRun) -> list[str]:
+    """The kill → partial sync → kill-again scenario's extra gates:
+    both kills must actually land, the mid-sync partition must force
+    at least one sync retry, and rehydration must stream real pages."""
+    violations = []
+    if run.kills < 2:
+        violations.append(
+            f"only {run.kills} kill(s) landed — the sync_kill never "
+            f"caught the victim mid-rehydration")
+    if run.restarts < 2:
+        violations.append(
+            f"only {run.restarts} restart(s) — the second recovery "
+            f"never happened")
+    totals = run.repl_totals
+    if not totals.get("sync_retries"):
+        violations.append(
+            "the mid-sync partition forced no sync retry — the "
+            "timeout/backoff path went unexercised")
+    if not totals.get("sync_pages"):
+        violations.append("no sync page was ever applied — "
+                          "rehydration streamed nothing")
+    return violations
+
+
 # ---------------------------------------------------------------------------
 # Campaign drivers.
 # ---------------------------------------------------------------------------
@@ -422,6 +530,7 @@ def _summarize(run: ClusterRun) -> dict:
         "fired": list(run.fired),
         "audit_checks": run.audit_checks,
         "charge_sites": len(run.site_ledger),
+        "replication": dict(run.repl_totals),
     }
 
 
@@ -442,7 +551,8 @@ def run_clusterbench(seed: int = 29, nodes: int = 4,
             raise AssertionError(
                 f"{name}: cluster audit failed: "
                 f"{list(first.audit_violations)}")
-        liveness = _check_cluster_liveness(first)
+        liveness = (_check_cluster_liveness(first)
+                    + _check_replication(first))
         if liveness:
             raise AssertionError(f"{name}: liveness violated: {liveness}")
         summary = _summarize(first)
@@ -461,30 +571,51 @@ def run_clusterbench(seed: int = 29, nodes: int = 4,
 def run_clusterchaos(seed: int = 29, nodes: int = 4,
                      connections: int = 96, events: int = 6,
                      script: typing.Sequence[ClusterChaosEvent] | None
-                     = None) -> dict:
-    """Soak both cluster scenarios under the (seeded or replayed)
-    kill/partition/delay script; every gate is an AssertionError.
-    Returns the ``BENCH_cluster.json`` payload, script embedded."""
+                     = None,
+                     rehydration_script:
+                     typing.Sequence[ClusterChaosEvent] | None = None
+                     ) -> dict:
+    """Soak the cluster scenarios under chaos; every gate is an
+    AssertionError.  Returns the ``BENCH_cluster.json`` payload,
+    scripts embedded.
+
+    ``sharded``/``replicated`` run under the seeded (or replayed)
+    kill/partition/delay ``script``; ``rehydration`` (replicas=2)
+    runs under the handcrafted kill → partial sync → kill-again
+    ``rehydration_script`` and additionally gates on the sync state
+    machine actually being stressed (retries forced, pages streamed,
+    both kills landing mid-flight).
+    """
     node_names = [f"node{i}" for i in range(nodes)]
     if script is None:
         script = generate_cluster_script(seed, node_names,
                                          events=events)
     script = tuple(script)
+    if rehydration_script is None:
+        rehydration_script = generate_rehydration_script(node_names)
+    rehydration_script = tuple(rehydration_script)
     scenarios = {}
-    for name, config in CLUSTER_SCENARIOS.items():
+    runs = [(name, config, script, ())
+            for name, config in CLUSTER_SCENARIOS.items()]
+    runs.append(("rehydration", {"replicas": 2}, rehydration_script,
+                 (_check_rehydration,)))
+    for name, config, scenario_script, extra_gates in runs:
         def build(config=config):
             return _build_cluster(seed, nodes=nodes,
                                   connections=connections, **config)
 
-        first = _soak_cluster(build, script)
-        second = _soak_cluster(build, script)
+        first = _soak_cluster(build, scenario_script)
+        second = _soak_cluster(build, scenario_script)
         _assert_identical(name, first, second)
         if first.audit_violations:
             raise AssertionError(
                 f"{name}: cluster audit failed after chaos: "
                 f"{list(first.audit_violations)}")
         violations = (_check_cluster_liveness(first)
-                      + _check_degradation(first))
+                      + _check_degradation(first)
+                      + _check_replication(first))
+        for gate in extra_gates:
+            violations += gate(first)
         if violations:
             raise AssertionError(
                 f"{name}: chaos gates violated: {violations}")
@@ -495,24 +626,153 @@ def run_clusterchaos(seed: int = 29, nodes: int = 4,
             "audit_ok": True,
             "liveness_ok": True,
             "degradation_ok": True,
+            "replication_ok": True,
         })
         scenarios[name] = summary
     return {
-        "schema": 1,
+        "schema": 2,
         "kind": "clusterchaos",
         "seed": seed,
         "nodes": nodes,
         "connections": connections,
         "script": script_to_json(script),
+        "rehydration_script": script_to_json(rehydration_script),
         "note": ("cluster chaos soak: each scenario ran twice under "
                  "the same seeded kill/partition/delay script and "
                  "produced bit-identical site ledgers, cycle totals, "
-                 "and client accounting; zero audit violations; every "
-                 "offered connection completed or shed; the cluster "
-                 "kept serving through node downtime and recovered "
-                 "after restart"),
+                 "and client accounting; zero audit violations "
+                 "(including replica version agreement, hint-ledger "
+                 "conservation, and tenant isolation); every offered "
+                 "connection completed or shed; zero post-sync misses "
+                 "on previously-stored replicated keys; the "
+                 "rehydration scenario survived kill → partial sync "
+                 "→ kill-again with forced sync retries"),
         "scenarios": scenarios,
     }
+
+
+# ---------------------------------------------------------------------------
+# The nodes × replicas × partition-duration sweep.
+# ---------------------------------------------------------------------------
+
+def _sweep_script(node_names: typing.Sequence[str],
+                  partition_mcyc: float
+                  ) -> tuple[ClusterChaosEvent, ...]:
+    """One sweep cell's script: an early inter-node partition (repl
+    traffic between node0 and node1 rides the hint path for its
+    duration) plus a node kill (the restart rehydrates)."""
+    victim = node_names[-1]
+    return (
+        ClusterChaosEvent(
+            kind="partition",
+            site=f"{node_names[0]}.net.link.rx",
+            occurrence=8, node=node_names[0], peer=node_names[1],
+            duration=partition_mcyc * 1e6),
+        ClusterChaosEvent(
+            kind="node_kill",
+            site=f"{victim}.apps.memcached.request",
+            occurrence=15, node=victim),
+    )
+
+
+def run_cluster_sweep(seed: int = 29,
+                      nodes_axis: typing.Sequence[int] = (3, 4),
+                      replicas_axis: typing.Sequence[int] = (1, 2),
+                      partition_axis_mcyc:
+                      typing.Sequence[float] = (10.0, 40.0),
+                      connections: int = 48) -> dict:
+    """The ``clusterbench --sweep`` grid: every (nodes, replicas,
+    partition-duration) cell runs the same partition+kill script
+    twice under the full gate set (bit-identity, audit, liveness,
+    replication).  Cells with ``replicas > nodes`` are skipped — the
+    shard map rejects them by construction."""
+    rows = []
+    for node_count in nodes_axis:
+        for replicas in replicas_axis:
+            if replicas > node_count:
+                continue
+            for partition_mcyc in partition_axis_mcyc:
+                names = [f"node{i}" for i in range(node_count)]
+                script = _sweep_script(names, partition_mcyc)
+
+                def build(node_count=node_count, replicas=replicas):
+                    return _build_cluster(seed, nodes=node_count,
+                                          connections=connections,
+                                          replicas=replicas)
+
+                label = (f"n{node_count} r{replicas} "
+                         f"p{partition_mcyc:.0f}M")
+                first = _soak_cluster(build, script)
+                second = _soak_cluster(build, script)
+                _assert_identical(label, first, second)
+                if first.audit_violations:
+                    raise AssertionError(
+                        f"sweep {label}: audit failed: "
+                        f"{list(first.audit_violations)}")
+                violations = (_check_cluster_liveness(first)
+                              + _check_replication(first))
+                if violations:
+                    raise AssertionError(
+                        f"sweep {label}: gates violated: {violations}")
+                client = first.client_ledger
+                totals = first.repl_totals
+                rows.append({
+                    "nodes": node_count,
+                    "replicas": replicas,
+                    "partition_mcyc": partition_mcyc,
+                    "completed": client["completed"],
+                    "shed": client["shed"],
+                    "misses": client["misses"],
+                    "retries": client["retries"],
+                    "failovers": client["failovers"],
+                    "kills": first.kills,
+                    "restarts": first.restarts,
+                    "repl_writes": totals["repl_writes"],
+                    "hints_queued": totals["hints_queued"],
+                    "hints_drained": totals["hints_drained"],
+                    "hints_dropped": totals["hints_dropped"],
+                    "sync_pages": totals["sync_pages"],
+                    "sync_retries": totals["sync_retries"],
+                    "post_sync_misses": totals["post_sync_misses"],
+                    "total_cycles": first.total_cycles,
+                })
+    return {
+        "schema": 1,
+        "kind": "cluster_sweep",
+        "seed": seed,
+        "connections": connections,
+        "nodes_axis": list(nodes_axis),
+        "replicas_axis": list(replicas_axis),
+        "partition_axis_mcyc": list(partition_axis_mcyc),
+        "rows": rows,
+        "note": ("nodes x replicas x partition-duration sweep under "
+                 "a fixed partition+kill script; every cell ran "
+                 "twice bit-identically with zero audit violations "
+                 "and zero post-sync misses"),
+    }
+
+
+def format_sweep_table(sweep: dict) -> str:
+    """The sweep as a GitHub-flavoured markdown table (appended to
+    ``$GITHUB_STEP_SUMMARY`` by the CI job)."""
+    lines = [
+        "### cluster sweep (nodes × replicas × partition duration)",
+        "",
+        "| nodes | replicas | partition | done | shed | miss "
+        "| hints q/d/x | sync pages | sync retries | post-sync miss |",
+        "|---|---|---|---|---|---|---|---|---|---|",
+    ]
+    for row in sweep["rows"]:
+        hints = (f"{row['hints_queued']}/{row['hints_drained']}"
+                 f"/{row['hints_dropped']}")
+        lines.append(
+            f"| {row['nodes']} | {row['replicas']} "
+            f"| {row['partition_mcyc']:.0f}M "
+            f"| {row['completed']} | {row['shed']} "
+            f"| {row['misses']} | {hints} "
+            f"| {row['sync_pages']} | {row['sync_retries']} "
+            f"| {row['post_sync_misses']} |")
+    return "\n".join(lines)
 
 
 # ---------------------------------------------------------------------------
@@ -538,14 +798,19 @@ def format_cluster_report(report: dict) -> str:
         lines.append("")
     lines.append(f"{'scenario':<12s} {'conns':>6s} {'done':>6s} "
                  f"{'shed':>6s} {'retry':>6s} {'fail':>6s} "
-                 f"{'miss':>6s} {'kills':>6s} {'audit':>6s}")
+                 f"{'miss':>6s} {'kills':>6s} {'hints':>6s} "
+                 f"{'sync':>6s} {'psm':>6s} {'audit':>6s}")
     for name, row in report["scenarios"].items():
         client = row["client"]
+        repl = row.get("replication", {})
         lines.append(
             f"{name:<12s} {client['offered']:>6d} "
             f"{client['completed']:>6d} {client['shed']:>6d} "
             f"{client['retries']:>6d} {client['failovers']:>6d} "
             f"{client['misses']:>6d} {row['kills']:>6d} "
+            f"{repl.get('hints_queued', 0):>6d} "
+            f"{repl.get('sync_pages', 0):>6d} "
+            f"{repl.get('post_sync_misses', 0):>6d} "
             f"{'ok' if row['audit_ok'] else 'FAIL':>6s}")
     return "\n".join(lines)
 

@@ -119,6 +119,22 @@ def mpk_stats(process: "Process") -> dict:
             "watchdog_stalls": metric_count("kernel.watchdog.stall"),
             "watchdog_deadlocks": metric_count("kernel.watchdog.deadlock"),
         },
+        # Replication-plane counters (write-through fan-out, hinted
+        # handoff, anti-entropy sync).  Charge counts at the net.repl
+        # sites — on a cluster node these mirror the Node's cumulative
+        # counters for the *current* incarnation's machine; on a
+        # machine that never replicated they are all zero.
+        "replication": {
+            "repl_writes": agg.counts.get("net.repl.tx", 0),
+            "repl_applied": agg.counts.get("net.repl.rx", 0),
+            "repl_acks": agg.counts.get("net.repl.ack", 0),
+            "hints_queued": agg.counts.get("net.repl.hint_queue", 0),
+            "hints_drained": agg.counts.get("net.repl.hint_drain", 0),
+            "hints_dropped": agg.counts.get("net.repl.hint_drop", 0),
+            "sync_pages": agg.counts.get("net.repl.sync_apply", 0),
+            "sync_served": agg.counts.get("net.repl.sync_page", 0),
+            "sync_retries": agg.counts.get("net.repl.sync_retry", 0),
+        },
         # Every registered metric series, JSON-safe: empty series report
         # minimum/maximum/last as None rather than leaking ±inf.
         "metrics": obs.metrics_summary(),
@@ -142,6 +158,11 @@ def format_mpk_stats(process: "Process", depth: int | None = 2,
     if any(resilience.values()):
         lines.append("Resilience:       " + "  ".join(
             f"{name}={value}" for name, value in resilience.items()
+            if value))
+    replication = stats["replication"]
+    if any(replication.values()):
+        lines.append("Replication:      " + "  ".join(
+            f"{name}={value}" for name, value in replication.items()
             if value))
     lines.append("")
     lines.append(obs.format_breakdown(depth=depth, limit=limit))

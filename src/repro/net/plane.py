@@ -125,6 +125,13 @@ class NetworkPlane:
         send nor receive; in-flight messages to them drop on arrival)."""
         self._endpoints[name].up = up
 
+    def is_up(self, name: str) -> bool:
+        """Whether an endpoint is registered and its machine is up
+        (the hint-drain scheduler consults this before burning a drain
+        attempt on a peer that cannot possibly receive)."""
+        endpoint = self._endpoints.get(name)
+        return endpoint is not None and endpoint.up
+
     # -- partitions -----------------------------------------------------
 
     def partition(self, a: str, b: str) -> None:

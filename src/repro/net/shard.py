@@ -65,6 +65,11 @@ class ShardMap:
     def primary(self, key: bytes) -> str:
         return self.owners(key)[0]
 
+    def owns(self, node: str, key: bytes) -> bool:
+        """Whether ``node`` is in the key's replica set (the audit's
+        replica-contents-vs-authority check runs on this)."""
+        return node in self.owners(key)
+
     def describe(self) -> dict:
         """Structural fingerprint (the audit's view-consistency check
         compares these across holders)."""

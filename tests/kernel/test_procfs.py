@@ -98,3 +98,63 @@ class TestMpkStatsResilience:
         rendered = format_mpk_stats(process)
         assert "Resilience:" in rendered
         assert "shed=2" in rendered
+
+
+class TestMpkStatsReplication:
+    def test_counters_start_at_zero(self, kernel, process):
+        from repro.kernel.procfs import format_mpk_stats, mpk_stats
+
+        replication = mpk_stats(process)["replication"]
+        assert replication == {
+            "repl_writes": 0, "repl_applied": 0, "repl_acks": 0,
+            "hints_queued": 0, "hints_drained": 0,
+            "hints_dropped": 0, "sync_pages": 0, "sync_served": 0,
+            "sync_retries": 0,
+        }
+        # An all-zero section stays out of the rendered summary.
+        assert "Replication:" not in format_mpk_stats(process)
+
+    def test_counters_follow_the_charge_sites(self, kernel, process):
+        from repro.kernel.procfs import format_mpk_stats, mpk_stats
+
+        kernel.clock.charge(600.0, site="net.repl.tx")
+        kernel.clock.charge(500.0, site="net.repl.rx")
+        kernel.clock.charge(200.0, site="net.repl.hint_queue")
+        kernel.clock.charge(200.0, site="net.repl.hint_queue")
+        kernel.clock.charge(100.0, site="net.repl.hint_drop")
+        kernel.clock.charge(400.0, site="net.repl.sync_apply")
+        kernel.clock.charge(300.0, site="net.repl.sync_retry")
+        replication = mpk_stats(process)["replication"]
+        assert replication["repl_writes"] == 1
+        assert replication["repl_applied"] == 1
+        assert replication["hints_queued"] == 2
+        assert replication["hints_dropped"] == 1
+        assert replication["sync_pages"] == 1
+        assert replication["sync_retries"] == 1
+        rendered = format_mpk_stats(process)
+        assert "Replication:" in rendered
+        assert "hints_queued=2" in rendered
+
+    def test_cluster_node_counters_surface_through_procfs(self):
+        # End to end: a replicated chaos soak leaves real net.repl
+        # charges on a node's machine; procfs must mirror them.
+        from repro.bench.cluster import (
+            ClusterChaosEvent,
+            _arm_cluster_script,
+            _build_cluster,
+        )
+        from repro.faults.inject import FaultInjector
+        from repro.kernel.procfs import mpk_stats
+
+        cluster, _ = _build_cluster(5, nodes=4, connections=24,
+                                    replicas=2)
+        injector = FaultInjector()
+        _arm_cluster_script(injector, cluster, (ClusterChaosEvent(
+            kind="node_kill", site="node1.apps.memcached.request",
+            occurrence=3, node="node1"),))
+        cluster.attach_injector(injector)
+        cluster.run()
+        survivor = cluster.nodes["node0"]
+        replication = mpk_stats(survivor.process)["replication"]
+        assert replication["repl_writes"] > 0 \
+            or replication["repl_applied"] > 0

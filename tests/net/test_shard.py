@@ -39,6 +39,52 @@ class TestPlacement:
                 != ShardMap(NODES[:3]).describe()["ring_checksum"])
 
 
+class TestReplicaWalkEdges:
+    def test_replicas_equal_to_node_count(self):
+        # The distinct-node walk at full replication is the whole
+        # membership, primary first, no repeats.
+        shard_map = ShardMap(NODES, replicas=len(NODES))
+        for i in range(30):
+            owners = shard_map.owners(b"key-%d-3" % i)
+            assert len(owners) == len(NODES)
+            assert set(owners) == set(NODES)
+            assert owners[0] == shard_map.primary(b"key-%d-3" % i)
+
+    def test_single_node_ring(self):
+        solo = ShardMap(["solo"])
+        for i in range(10):
+            key = b"key-%d-0" % i
+            assert solo.owners(key) == ("solo",)
+            assert solo.primary(key) == "solo"
+            assert solo.owns("solo", key)
+        with pytest.raises(ValueError):
+            ShardMap(["solo"], replicas=2)
+
+    def test_fingerprint_stable_across_reconstruction(self):
+        a = ShardMap(NODES, replicas=2)
+        b = ShardMap(NODES, replicas=2)
+        assert a.describe() == b.describe()
+        assert (a.describe()["ring_checksum"]
+                == b.describe()["ring_checksum"])
+
+    def test_replica_count_does_not_move_the_ring(self):
+        # The checksum fingerprints point placement; replicas only
+        # change how far the walk goes, so describe() must differ in
+        # the replicas field but agree on the ring itself.
+        single = ShardMap(NODES, replicas=1).describe()
+        triple = ShardMap(NODES, replicas=3).describe()
+        assert single["ring_checksum"] == triple["ring_checksum"]
+        assert single["replicas"] != triple["replicas"]
+
+    def test_owns_matches_the_replica_walk(self):
+        shard_map = ShardMap(NODES, replicas=2)
+        for i in range(25):
+            key = b"key-%d-1" % i
+            owners = shard_map.owners(key)
+            for node in NODES:
+                assert shard_map.owns(node, key) == (node in owners)
+
+
 class TestValidation:
     def test_empty_membership_rejected(self):
         with pytest.raises(ValueError):
